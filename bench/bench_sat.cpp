@@ -1,0 +1,101 @@
+// SUB-SAT — substrate sanity benchmark (not a paper figure): throughput of
+// the CDCL SAT solver that powers the SEC engine, on random 3-SAT near the
+// phase transition and on pigeonhole instances.  Establishes that SEC
+// runtimes in the other benches are dominated by problem structure, not by
+// a pathological solver.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "sat/solver.h"
+
+using namespace dfv::sat;
+
+namespace {
+
+std::vector<std::vector<Lit>> random3Sat(int vars, double ratio,
+                                         std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<Lit>> clauses;
+  const int m = static_cast<int>(vars * ratio);
+  for (int c = 0; c < m; ++c) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k)
+      cl.emplace_back(static_cast<Var>(rng() % static_cast<unsigned>(vars)),
+                      (rng() & 1) != 0);
+    clauses.push_back(std::move(cl));
+  }
+  return clauses;
+}
+
+void BM_Random3SatPhaseTransition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  std::uint64_t satCount = 0, total = 0;
+  for (auto _ : state) {
+    const auto clauses = random3Sat(n, 4.26, seed++);
+    Solver s;
+    for (int v = 0; v < n; ++v) s.newVar();
+    bool ok = true;
+    for (const auto& cl : clauses) ok = s.addClause(cl) && ok;
+    const Result r = ok ? s.solve() : Result::kUnsat;
+    benchmark::DoNotOptimize(r);
+    satCount += r == Result::kSat ? 1 : 0;
+    ++total;
+  }
+  state.counters["sat_fraction"] =
+      total ? static_cast<double>(satCount) / static_cast<double>(total) : 0;
+}
+BENCHMARK(BM_Random3SatPhaseTransition)->Arg(50)->Arg(100)->Arg(150)->Arg(200);
+
+void addPigeonhole(Solver& s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> p(static_cast<std::size_t>(pigeons));
+  for (auto& row : p)
+    for (int j = 0; j < holes; ++j) row.push_back(s.newVar());
+  for (const auto& row : p) {
+    std::vector<Lit> clause;
+    for (Var v : row) clause.emplace_back(v, false);
+    s.addClause(clause);
+  }
+  for (int j = 0; j < holes; ++j)
+    for (int i1 = 0; i1 < pigeons; ++i1)
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2)
+        s.addClause(
+            Lit(p[static_cast<std::size_t>(i1)][static_cast<std::size_t>(j)], true),
+            Lit(p[static_cast<std::size_t>(i2)][static_cast<std::size_t>(j)], true));
+}
+
+void BM_PigeonholeUnsat(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Solver s;
+    addPigeonhole(s, holes);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_PigeonholeUnsat)->Arg(5)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_IncrementalAssumptions(benchmark::State& state) {
+  // One formula, many assumption queries: the pattern BMC uses.
+  const int n = 120;
+  const auto clauses = random3Sat(n, 3.5, 7);  // under-constrained: SAT
+  Solver s;
+  for (int v = 0; v < n; ++v) s.newVar();
+  for (const auto& cl : clauses) s.addClause(cl);
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    std::vector<Lit> assumptions;
+    for (int k = 0; k < 4; ++k)
+      assumptions.emplace_back(
+          static_cast<Var>(rng() % n), (rng() & 1) != 0);
+    benchmark::DoNotOptimize(s.solve(assumptions));
+  }
+}
+BENCHMARK(BM_IncrementalAssumptions);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// And-Inverter Graphs: the bit-level representation between the word-level
+// IR and CNF.
+//
+// Literals are encoded as 2*node + complement; node 0 is the constant false
+// node, so literal 0 is FALSE and literal 1 is TRUE.  makeAnd performs
+// constant folding, trivial simplification, and structural hashing, which
+// keeps the CNF the SAT solver sees compact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dfv::aig {
+
+/// An AIG literal: node index * 2 + complement bit.
+using Lit = std::uint32_t;
+
+inline constexpr Lit kFalse = 0;
+inline constexpr Lit kTrue = 1;
+
+inline Lit negate(Lit l) { return l ^ 1u; }
+inline std::uint32_t nodeOf(Lit l) { return l >> 1; }
+inline bool isComplemented(Lit l) { return l & 1u; }
+
+/// An and-inverter graph with structural hashing.
+class Aig {
+ public:
+  Aig() {
+    // Node 0: constant false.
+    fanin0_.push_back(kFalse);
+    fanin1_.push_back(kFalse);
+    isInput_.push_back(false);
+  }
+
+  /// Creates a primary input; returns its positive literal.
+  Lit makeInput(std::string name = "");
+
+  /// AND of two literals (folded, simplified, hashed).
+  Lit makeAnd(Lit a, Lit b);
+
+  Lit makeOr(Lit a, Lit b) { return negate(makeAnd(negate(a), negate(b))); }
+  Lit makeXor(Lit a, Lit b) {
+    // a^b = (a|b) & ~(a&b)
+    return makeAnd(makeOr(a, b), negate(makeAnd(a, b)));
+  }
+  Lit makeXnor(Lit a, Lit b) { return negate(makeXor(a, b)); }
+  /// sel ? t : e
+  Lit makeMux(Lit sel, Lit t, Lit e) {
+    if (t == e) return t;
+    return makeOr(makeAnd(sel, t), makeAnd(negate(sel), e));
+  }
+  Lit makeImplies(Lit a, Lit b) { return makeOr(negate(a), b); }
+
+  std::size_t numNodes() const { return fanin0_.size(); }
+  std::size_t numInputs() const { return inputs_.size(); }
+  const std::vector<std::uint32_t>& inputs() const { return inputs_; }
+
+  bool isInputNode(std::uint32_t node) const {
+    return isInput_[static_cast<std::size_t>(node)];
+  }
+  bool isAndNode(std::uint32_t node) const {
+    return node != 0 && !isInputNode(node);
+  }
+  Lit fanin0(std::uint32_t node) const {
+    return fanin0_[static_cast<std::size_t>(node)];
+  }
+  Lit fanin1(std::uint32_t node) const {
+    return fanin1_[static_cast<std::size_t>(node)];
+  }
+  const std::string& inputName(std::uint32_t node) const {
+    return inputNames_.at(node);
+  }
+
+  /// Reference simulation: values for ALL nodes given input-node values
+  /// (indexed by node id; non-input positions ignored).  Used by property
+  /// tests to check the blaster and the CNF encoding.
+  std::vector<bool> evaluate(
+      const std::unordered_map<std::uint32_t, bool>& inputValues) const;
+
+  /// Evaluates a single literal under the given full node-value table.
+  static bool litValue(const std::vector<bool>& nodeValues, Lit l) {
+    return nodeValues[nodeOf(l)] != isComplemented(l);
+  }
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<Lit, Lit>& p) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(p.first) << 32) | p.second);
+    }
+  };
+
+  std::vector<Lit> fanin0_, fanin1_;  // per node; inputs have kFalse/kFalse
+  std::vector<bool> isInput_;
+  std::vector<std::uint32_t> inputs_;
+  std::unordered_map<std::uint32_t, std::string> inputNames_;
+  std::unordered_map<std::pair<Lit, Lit>, Lit, PairHash> strash_;
+};
+
+}  // namespace dfv::aig

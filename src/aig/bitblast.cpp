@@ -1,0 +1,390 @@
+#include "aig/bitblast.h"
+
+#include <algorithm>
+
+namespace dfv::aig {
+
+Word BitBlaster::freshWord(unsigned width, const std::string& name) {
+  Word w;
+  w.reserve(width);
+  for (unsigned i = 0; i < width; ++i)
+    w.push_back(aig_.makeInput(name + "[" + std::to_string(i) + "]"));
+  return w;
+}
+
+Word BitBlaster::constWord(const bv::BitVector& v) {
+  Word w;
+  w.reserve(v.width());
+  for (unsigned i = 0; i < v.width(); ++i)
+    w.push_back(v.bit(i) ? kTrue : kFalse);
+  return w;
+}
+
+void BitBlaster::bindScalar(ir::NodeRef leaf, Word w) {
+  DFV_CHECK_MSG(leaf->isLeaf() && !leaf->type().isArray(),
+                "bindScalar on non-leaf or array");
+  DFV_CHECK_MSG(w.size() == leaf->width(), "binding width mismatch");
+  scalarCache_[leaf] = std::move(w);
+}
+
+void BitBlaster::bindArray(ir::NodeRef leaf, ArrayWord a) {
+  DFV_CHECK_MSG(leaf->isLeaf() && leaf->type().isArray(),
+                "bindArray on non-leaf or scalar");
+  DFV_CHECK_MSG(a.elems.size() == leaf->type().depth, "array depth mismatch");
+  for (const Word& e : a.elems)
+    DFV_CHECK_MSG(e.size() == leaf->type().width, "array element width mismatch");
+  arrayCache_[leaf] = std::move(a);
+}
+
+Word BitBlaster::adder(const Word& a, const Word& b, Lit carryIn) {
+  DFV_CHECK(a.size() == b.size());
+  // Adding a constant zero is free (common with constant-coefficient
+  // multiplies, where most partial products vanish).
+  if (carryIn == kFalse) {
+    const bool bZero = std::all_of(b.begin(), b.end(),
+                                   [](Lit l) { return l == kFalse; });
+    if (bZero) return a;
+    const bool aZero = std::all_of(a.begin(), a.end(),
+                                   [](Lit l) { return l == kFalse; });
+    if (aZero) return b;
+  }
+  Word sum(a.size());
+  Lit carry = carryIn;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit axb = aig_.makeXor(a[i], b[i]);
+    sum[i] = aig_.makeXor(axb, carry);
+    carry = aig_.makeOr(aig_.makeAnd(a[i], b[i]), aig_.makeAnd(axb, carry));
+  }
+  return sum;
+}
+
+Word BitBlaster::subtractor(const Word& a, const Word& b) {
+  Word nb(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) nb[i] = negate(b[i]);
+  return adder(a, nb, kTrue);  // a + ~b + 1
+}
+
+Word BitBlaster::negator(const Word& a) {
+  Word zero(a.size(), kFalse);
+  return subtractor(zero, a);
+}
+
+Word BitBlaster::multiplier(const Word& a, const Word& b) {
+  DFV_CHECK(a.size() == b.size());
+  const std::size_t w = a.size();
+  auto isConstWord = [](const Word& x) {
+    return std::all_of(x.begin(), x.end(),
+                       [](Lit l) { return l == kTrue || l == kFalse; });
+  };
+  // Canonical orientation: a constant operand selects the partial products
+  // (most of which vanish), and both operand orders of the same multiply
+  // produce the identical circuit — which lets SEC miters merge the two
+  // sides structurally.
+  if (isConstWord(a) && !isConstWord(b)) return multiplier(b, a);
+  Word acc(w, kFalse);
+  for (std::size_t i = 0; i < w; ++i) {
+    if (b[i] == kFalse) continue;  // vanishing partial product
+    // Partial product: (a << i) & b[i], truncated to w bits.
+    Word pp(w, kFalse);
+    for (std::size_t j = i; j < w; ++j) pp[j] = aig_.makeAnd(a[j - i], b[i]);
+    acc = adder(acc, pp);
+  }
+  return acc;
+}
+
+Lit BitBlaster::ultGate(const Word& a, const Word& b) {
+  DFV_CHECK(a.size() == b.size());
+  // Borrow of a - b: iterate LSB->MSB.
+  Lit lt = kFalse;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit eq = aig_.makeXnor(a[i], b[i]);
+    const Lit biGreater = aig_.makeAnd(negate(a[i]), b[i]);
+    lt = aig_.makeOr(biGreater, aig_.makeAnd(eq, lt));
+  }
+  return lt;
+}
+
+Lit BitBlaster::uleGate(const Word& a, const Word& b) {
+  return negate(ultGate(b, a));
+}
+
+Lit BitBlaster::sltGate(const Word& a, const Word& b) {
+  const Lit sa = a.back(), sb = b.back();
+  const Lit signDiffers = aig_.makeXor(sa, sb);
+  // If signs differ, a < b iff a is negative; else unsigned compare.
+  return aig_.makeMux(signDiffers, sa, ultGate(a, b));
+}
+
+Lit BitBlaster::sleGate(const Word& a, const Word& b) {
+  return negate(sltGate(b, a));
+}
+
+Lit BitBlaster::eqGate(const Word& a, const Word& b) {
+  DFV_CHECK(a.size() == b.size());
+  Lit eq = kTrue;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    eq = aig_.makeAnd(eq, aig_.makeXnor(a[i], b[i]));
+  return eq;
+}
+
+Word BitBlaster::muxWord(Lit sel, const Word& t, const Word& e) {
+  DFV_CHECK(t.size() == e.size());
+  Word out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i)
+    out[i] = aig_.makeMux(sel, t[i], e[i]);
+  return out;
+}
+
+Word BitBlaster::shifter(ir::Op op, const Word& a, const Word& amount) {
+  const std::size_t w = a.size();
+  const Lit fill = (op == ir::Op::kAShr) ? a.back() : kFalse;
+  // Stages for shift-amount bits that can matter; the rest force saturation.
+  unsigned significantBits = 0;
+  while ((1ull << significantBits) < w) ++significantBits;
+  // saturate = any amount bit >= significantBits is set, or the value of the
+  // significant bits alone is >= w (non-power-of-two widths).
+  Lit highBitsSet = kFalse;
+  for (std::size_t i = significantBits; i < amount.size(); ++i)
+    highBitsSet = aig_.makeOr(highBitsSet, amount[i]);
+
+  Word cur = a;
+  for (unsigned s = 0; s < significantBits && s < amount.size(); ++s) {
+    const std::size_t dist = std::size_t{1} << s;
+    Word shifted(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      if (op == ir::Op::kShl)
+        shifted[i] = i >= dist ? cur[i - dist] : kFalse;
+      else
+        shifted[i] = i + dist < w ? cur[i + dist] : fill;
+    }
+    cur = muxWord(amount[s], shifted, cur);
+  }
+  // In-range overshoot (e.g. width 5, amount 7): compare low bits against w.
+  Lit overshoot = highBitsSet;
+  if ((std::size_t{1} << significantBits) != w && significantBits > 0) {
+    Word lowBits(amount.begin(),
+                 amount.begin() +
+                     std::min<std::size_t>(significantBits, amount.size()));
+    while (lowBits.size() < significantBits) lowBits.push_back(kFalse);
+    const Word wConst = constWord(
+        bv::BitVector::fromUint(significantBits, w));
+    overshoot = aig_.makeOr(overshoot, negate(ultGate(lowBits, wConst)));
+  }
+  Word saturated(w, fill);
+  return muxWord(overshoot, saturated, cur);
+}
+
+void BitBlaster::divider(const Word& a, const Word& b, Word* quotient,
+                         Word* remainder) {
+  DFV_CHECK(a.size() == b.size());
+  const std::size_t w = a.size();
+  Word q(w, kFalse);
+  Word rem(w, kFalse);
+  for (std::size_t step = w; step-- > 0;) {
+    // rem = (rem << 1) | a[step]
+    Word shifted(w);
+    shifted[0] = a[step];
+    for (std::size_t i = 1; i < w; ++i) shifted[i] = rem[i - 1];
+    rem = shifted;
+    const Lit geq = negate(ultGate(rem, b));
+    rem = muxWord(geq, subtractor(rem, b), rem);
+    q[step] = geq;
+  }
+  // Division by zero: quotient all ones, remainder = a.
+  const Lit bZero = negate(orReduce(b));
+  Word allOnes(w, kTrue);
+  if (quotient != nullptr) *quotient = muxWord(bZero, allOnes, q);
+  if (remainder != nullptr) *remainder = muxWord(bZero, a, rem);
+}
+
+Lit BitBlaster::orReduce(const Word& a) {
+  Lit r = kFalse;
+  for (Lit l : a) r = aig_.makeOr(r, l);
+  return r;
+}
+
+Lit BitBlaster::andReduce(const Word& a) {
+  Lit r = kTrue;
+  for (Lit l : a) r = aig_.makeAnd(r, l);
+  return r;
+}
+
+Lit BitBlaster::xorReduce(const Word& a) {
+  Lit r = kFalse;
+  for (Lit l : a) r = aig_.makeXor(r, l);
+  return r;
+}
+
+ArrayWord BitBlaster::blastArray(ir::NodeRef node) {
+  DFV_CHECK_MSG(node->type().isArray(), "blastArray on scalar node");
+  auto it = arrayCache_.find(node);
+  if (it != arrayCache_.end()) return it->second;
+
+  ArrayWord result;
+  switch (node->op()) {
+    case ir::Op::kState:
+    case ir::Op::kInput:
+      DFV_UNREACHABLE("unbound array leaf '" << node->name() << "'");
+    case ir::Op::kArrayWrite: {
+      const ArrayWord base = blastArray(node->operand(0));
+      const Word idx = blast(node->operand(1));
+      const Word val = blast(node->operand(2));
+      result.elems.reserve(base.elems.size());
+      for (std::size_t i = 0; i < base.elems.size(); ++i) {
+        const Lit hit = eqGate(
+            idx, constWord(bv::BitVector::fromUint(
+                     static_cast<unsigned>(idx.size()), i)));
+        result.elems.push_back(muxWord(hit, val, base.elems[i]));
+      }
+      break;
+    }
+    case ir::Op::kMux: {
+      const Lit sel = blast(node->operand(0))[0];
+      const ArrayWord t = blastArray(node->operand(1));
+      const ArrayWord e = blastArray(node->operand(2));
+      result.elems.reserve(t.elems.size());
+      for (std::size_t i = 0; i < t.elems.size(); ++i)
+        result.elems.push_back(muxWord(sel, t.elems[i], e.elems[i]));
+      break;
+    }
+    default:
+      DFV_UNREACHABLE("array-sorted op " << ir::opName(node->op()));
+  }
+  arrayCache_.emplace(node, result);
+  return result;
+}
+
+Word BitBlaster::blast(ir::NodeRef node) {
+  DFV_CHECK_MSG(!node->type().isArray(), "blast on array node");
+  auto it = scalarCache_.find(node);
+  if (it != scalarCache_.end()) return it->second;
+  Word result = blastOp(node);
+  DFV_CHECK(result.size() == node->width());
+  scalarCache_.emplace(node, result);
+  return result;
+}
+
+Word BitBlaster::blastOp(ir::NodeRef node) {
+  using ir::Op;
+  auto in = [&](unsigned i) { return blast(node->operand(i)); };
+  switch (node->op()) {
+    case Op::kConst:
+      return constWord(node->constValue());
+    case Op::kInput:
+    case Op::kState:
+      DFV_UNREACHABLE("unbound leaf '" << node->name() << "'");
+    case Op::kAdd: return adder(in(0), in(1));
+    case Op::kSub: return subtractor(in(0), in(1));
+    case Op::kMul: return multiplier(in(0), in(1));
+    case Op::kNeg: return negator(in(0));
+    case Op::kUDiv: {
+      Word q;
+      divider(in(0), in(1), &q, nullptr);
+      return q;
+    }
+    case Op::kURem: {
+      Word r;
+      divider(in(0), in(1), nullptr, &r);
+      return r;
+    }
+    case Op::kSDiv: {
+      const Word a = in(0), b = in(1);
+      const Lit sa = a.back(), sb = b.back();
+      const Word ua = muxWord(sa, negator(a), a);
+      const Word ub = muxWord(sb, negator(b), b);
+      Word q;
+      divider(ua, ub, &q, nullptr);
+      return muxWord(aig_.makeXor(sa, sb), negator(q), q);
+    }
+    case Op::kSRem: {
+      const Word a = in(0), b = in(1);
+      const Lit sa = a.back(), sb = b.back();
+      const Word ua = muxWord(sa, negator(a), a);
+      const Word ub = muxWord(sb, negator(b), b);
+      Word r;
+      divider(ua, ub, nullptr, &r);
+      return muxWord(sa, negator(r), r);
+    }
+    case Op::kAnd: {
+      const Word a = in(0), b = in(1);
+      Word out(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = aig_.makeAnd(a[i], b[i]);
+      return out;
+    }
+    case Op::kOr: {
+      const Word a = in(0), b = in(1);
+      Word out(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = aig_.makeOr(a[i], b[i]);
+      return out;
+    }
+    case Op::kXor: {
+      const Word a = in(0), b = in(1);
+      Word out(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = aig_.makeXor(a[i], b[i]);
+      return out;
+    }
+    case Op::kNot: {
+      const Word a = in(0);
+      Word out(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = negate(a[i]);
+      return out;
+    }
+    case Op::kShl:
+    case Op::kLShr:
+    case Op::kAShr:
+      return shifter(node->op(), in(0), in(1));
+    case Op::kEq: return Word{eqGate(in(0), in(1))};
+    case Op::kNe: return Word{negate(eqGate(in(0), in(1)))};
+    case Op::kULt: return Word{ultGate(in(0), in(1))};
+    case Op::kULe: return Word{uleGate(in(0), in(1))};
+    case Op::kSLt: return Word{sltGate(in(0), in(1))};
+    case Op::kSLe: return Word{sleGate(in(0), in(1))};
+    case Op::kMux: return muxWord(in(0)[0], in(1), in(2));
+    case Op::kConcat: {
+      const Word hi = in(0), lo = in(1);
+      Word out = lo;
+      out.insert(out.end(), hi.begin(), hi.end());
+      return out;
+    }
+    case Op::kExtract: {
+      const Word a = in(0);
+      return Word(a.begin() + node->attr1(), a.begin() + node->attr0() + 1);
+    }
+    case Op::kZExt: {
+      Word out = in(0);
+      out.resize(node->attr0(), kFalse);
+      return out;
+    }
+    case Op::kSExt: {
+      Word out = in(0);
+      const Lit sign = out.back();
+      out.resize(node->attr0(), sign);
+      return out;
+    }
+    case Op::kRedAnd: return Word{andReduce(in(0))};
+    case Op::kRedOr: return Word{orReduce(in(0))};
+    case Op::kRedXor: return Word{xorReduce(in(0))};
+    case Op::kArrayRead: {
+      const ArrayWord arr = blastArray(node->operand(0));
+      const Word idx = blast(node->operand(1));
+      // Mux chain keyed by index equality; out-of-range reads element 0 to
+      // match the evaluator's convention.
+      Word out = arr.elems[0];
+      for (std::size_t i = 1; i < arr.elems.size(); ++i) {
+        const Lit hit = eqGate(
+            idx, constWord(bv::BitVector::fromUint(
+                     static_cast<unsigned>(idx.size()), i)));
+        out = muxWord(hit, arr.elems[i], out);
+      }
+      return out;
+    }
+    case Op::kArrayWrite:
+      DFV_UNREACHABLE("kArrayWrite is array-sorted");
+  }
+  DFV_UNREACHABLE("unhandled op");
+}
+
+}  // namespace dfv::aig

@@ -1,0 +1,79 @@
+// Word-level IR -> AIG bit-blasting.
+//
+// Each ir::Node is lowered to a little-endian vector of AIG literals
+// ("Word"); array-sorted nodes lower to vectors of Words.  Adders are
+// ripple-carry, multipliers shift-and-add, shifters barrel, dividers
+// restoring, array reads binary mux trees — the standard circuits, shared
+// through the AIG's structural hashing.
+//
+// One BitBlaster frame carries one binding of IR leaves to Words: the BMC
+// engine instantiates one frame per unrolled step over a shared Aig.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.h"
+#include "bitvec/bitvector.h"
+#include "ir/expr.h"
+
+namespace dfv::aig {
+
+/// A bit-vector of AIG literals, LSB first.
+using Word = std::vector<Lit>;
+
+/// An array value: one Word per element.
+struct ArrayWord {
+  std::vector<Word> elems;
+};
+
+/// Lowers IR expressions into an Aig under one leaf binding.
+class BitBlaster {
+ public:
+  explicit BitBlaster(Aig& aig) : aig_(aig) {}
+
+  Aig& aig() { return aig_; }
+
+  /// Fresh unconstrained inputs forming a width-bit word.
+  Word freshWord(unsigned width, const std::string& name);
+  /// The constant word for `v`.
+  Word constWord(const bv::BitVector& v);
+
+  /// Binds an IR leaf (kInput/kState) for this frame.
+  void bindScalar(ir::NodeRef leaf, Word w);
+  void bindArray(ir::NodeRef leaf, ArrayWord a);
+
+  /// Blasts a scalar-sorted node (memoized within this frame).
+  Word blast(ir::NodeRef node);
+  /// Blasts an array-sorted node.
+  ArrayWord blastArray(ir::NodeRef node);
+
+  // ----- circuit primitives (exposed for reuse and direct testing) -------
+  Word adder(const Word& a, const Word& b, Lit carryIn = kFalse);
+  Word subtractor(const Word& a, const Word& b);
+  Word negator(const Word& a);
+  Word multiplier(const Word& a, const Word& b);
+  /// Restoring divider; quotient/remainder with the SMT-LIB conventions
+  /// used by bv::BitVector (udiv by 0 = all-ones, urem by 0 = dividend).
+  void divider(const Word& a, const Word& b, Word* quotient, Word* remainder);
+  Lit ultGate(const Word& a, const Word& b);
+  Lit uleGate(const Word& a, const Word& b);
+  Lit sltGate(const Word& a, const Word& b);
+  Lit sleGate(const Word& a, const Word& b);
+  Lit eqGate(const Word& a, const Word& b);
+  Word muxWord(Lit sel, const Word& t, const Word& e);
+  Word shifter(ir::Op op, const Word& a, const Word& amount);
+  Lit orReduce(const Word& a);
+  Lit andReduce(const Word& a);
+  Lit xorReduce(const Word& a);
+
+ private:
+  Word blastOp(ir::NodeRef node);
+
+  Aig& aig_;
+  std::unordered_map<ir::NodeRef, Word> scalarCache_;
+  std::unordered_map<ir::NodeRef, ArrayWord> arrayCache_;
+};
+
+}  // namespace dfv::aig

@@ -1,0 +1,60 @@
+#include "aig/cnf.h"
+
+#include <vector>
+
+namespace dfv::aig {
+
+sat::Var CnfEncoder::varForNode(std::uint32_t node) {
+  auto it = nodeVar_.find(node);
+  if (it != nodeVar_.end()) return it->second;
+
+  // Encode the whole cone iteratively (explicit stack: cones can be deep).
+  std::vector<std::uint32_t> stack{node};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (nodeVar_.count(n)) {
+      stack.pop_back();
+      continue;
+    }
+    if (n == 0) {  // constant-false node
+      const sat::Var v = solver_.newVar();
+      solver_.addClause(sat::Lit(v, true));
+      nodeVar_.emplace(n, v);
+      stack.pop_back();
+      continue;
+    }
+    if (aig_.isInputNode(n)) {
+      nodeVar_.emplace(n, solver_.newVar());
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t f0 = nodeOf(aig_.fanin0(n));
+    const std::uint32_t f1 = nodeOf(aig_.fanin1(n));
+    const bool ready0 = nodeVar_.count(f0) != 0;
+    const bool ready1 = nodeVar_.count(f1) != 0;
+    if (!ready0) stack.push_back(f0);
+    if (!ready1) stack.push_back(f1);
+    if (ready0 && ready1) {
+      const sat::Var v = solver_.newVar();
+      const sat::Lit lv(v, false);
+      const Lit a = aig_.fanin0(n);
+      const Lit b = aig_.fanin1(n);
+      const sat::Lit la(nodeVar_.at(nodeOf(a)), isComplemented(a));
+      const sat::Lit lb(nodeVar_.at(nodeOf(b)), isComplemented(b));
+      // v <-> la & lb
+      solver_.addClause(~lv, la);
+      solver_.addClause(~lv, lb);
+      solver_.addClause(lv, ~la, ~lb);
+      nodeVar_.emplace(n, v);
+      stack.pop_back();
+    }
+  }
+  return nodeVar_.at(node);
+}
+
+sat::Lit CnfEncoder::satLit(Lit l) {
+  const sat::Var v = varForNode(nodeOf(l));
+  return sat::Lit(v, isComplemented(l));
+}
+
+}  // namespace dfv::aig

@@ -1,0 +1,39 @@
+// Tseitin encoding of AIG cones into a SAT solver.
+//
+// Encoding is lazy and incremental: only the cone of influence of the
+// literals you ask about is clausified, and repeated calls share variables,
+// so a BMC loop can keep one solver and grow the formula frame by frame
+// (this sharing is what makes the paper's incremental SEC runs cheap).
+#pragma once
+
+#include <unordered_map>
+
+#include "aig/aig.h"
+#include "sat/solver.h"
+
+namespace dfv::aig {
+
+/// Clausifies AIG literals into a sat::Solver on demand.
+class CnfEncoder {
+ public:
+  CnfEncoder(const Aig& aig, sat::Solver& solver)
+      : aig_(aig), solver_(solver) {}
+
+  /// SAT literal equisatisfiably representing AIG literal `l` (encodes the
+  /// cone of `l` on first use).
+  sat::Lit satLit(Lit l);
+
+  /// Asserts that `l` is true.
+  void assertTrue(Lit l) { solver_.addClause(satLit(l)); }
+
+  sat::Solver& solver() { return solver_; }
+
+ private:
+  sat::Var varForNode(std::uint32_t node);
+
+  const Aig& aig_;
+  sat::Solver& solver_;
+  std::unordered_map<std::uint32_t, sat::Var> nodeVar_;
+};
+
+}  // namespace dfv::aig

@@ -1,0 +1,470 @@
+#include "bitvec/bitvector.h"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+namespace dfv::bv {
+
+namespace {
+constexpr std::uint64_t kAll = ~std::uint64_t{0};
+}  // namespace
+
+void BitVector::normalize() {
+  const unsigned rem = width_ % 64;
+  if (rem != 0) words_.back() &= kAll >> (64 - rem);
+}
+
+void BitVector::checkSameWidth(const BitVector& a, const BitVector& b) {
+  DFV_CHECK_MSG(a.width_ == b.width_, "width mismatch: " << a.width_ << " vs "
+                                                         << b.width_);
+}
+
+BitVector BitVector::fromUint(unsigned width, std::uint64_t v) {
+  BitVector r(width);
+  r.words_[0] = v;
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::fromInt(unsigned width, std::int64_t v) {
+  BitVector r(width);
+  const auto uv = static_cast<std::uint64_t>(v);
+  for (unsigned w = 0; w < r.numWords(); ++w)
+    r.words_[w] = (w == 0) ? uv : (v < 0 ? kAll : 0);
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::allOnes(unsigned width) {
+  BitVector r(width);
+  for (auto& w : r.words_) w = kAll;
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::fromString(std::string_view text) {
+  // Forms: <width>'<base><digits> with base in {b,d,h}, or plain decimal.
+  const auto tick = text.find('\'');
+  unsigned width = 32;
+  unsigned base = 10;
+  std::string_view digits = text;
+  if (tick != std::string_view::npos) {
+    DFV_CHECK_MSG(tick > 0 && tick + 1 < text.size(),
+                  "malformed literal '" << std::string(text) << "'");
+    width = 0;
+    for (char c : text.substr(0, tick)) {
+      DFV_CHECK_MSG(c >= '0' && c <= '9',
+                    "bad width in literal '" << std::string(text) << "'");
+      width = width * 10 + static_cast<unsigned>(c - '0');
+    }
+    DFV_CHECK_MSG(width >= 1, "zero width literal '" << std::string(text) << "'");
+    const char bc = text[tick + 1];
+    switch (bc) {
+      case 'b': case 'B': base = 2; break;
+      case 'd': case 'D': base = 10; break;
+      case 'h': case 'H': base = 16; break;
+      default:
+        DFV_UNREACHABLE("bad base char '" << bc << "' in literal");
+    }
+    digits = text.substr(tick + 2);
+  }
+  DFV_CHECK_MSG(!digits.empty(), "empty digits in literal '"
+                                     << std::string(text) << "'");
+  BitVector r(width);
+  const BitVector baseBv = BitVector::fromUint(width, base);
+  for (char c : digits) {
+    if (c == '_') continue;
+    unsigned d;
+    if (c >= '0' && c <= '9')
+      d = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      d = static_cast<unsigned>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F')
+      d = static_cast<unsigned>(c - 'A') + 10;
+    else
+      DFV_UNREACHABLE("bad digit '" << c << "' in literal");
+    DFV_CHECK_MSG(d < base, "digit '" << c << "' out of range for base "
+                                      << base);
+    r = r * baseBv + BitVector::fromUint(width, d);
+  }
+  return r;
+}
+
+bool BitVector::isZero() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+bool BitVector::isAllOnes() const {
+  const unsigned rem = width_ % 64;
+  for (unsigned i = 0; i + 1 < numWords(); ++i)
+    if (words_[i] != kAll) return false;
+  const std::uint64_t topMask = rem == 0 ? kAll : (kAll >> (64 - rem));
+  return words_.back() == topMask;
+}
+
+std::int64_t BitVector::toInt64() const {
+  DFV_CHECK_MSG(width_ <= 64, "toInt64 on width " << width_);
+  std::uint64_t v = words_[0];
+  if (width_ < 64 && msb()) v |= kAll << width_;
+  return static_cast<std::int64_t>(v);
+}
+
+unsigned BitVector::popcount() const {
+  unsigned n = 0;
+  for (auto w : words_) n += static_cast<unsigned>(std::popcount(w));
+  return n;
+}
+
+unsigned BitVector::countLeadingZeros() const {
+  for (unsigned i = width_; i-- > 0;)
+    if (bit(i)) return width_ - 1 - i;
+  return width_;
+}
+
+BitVector BitVector::zext(unsigned newWidth) const {
+  DFV_CHECK_MSG(newWidth >= width_, "zext to narrower width");
+  BitVector r(newWidth);
+  std::copy(words_.begin(), words_.end(), r.words_.begin());
+  return r;
+}
+
+BitVector BitVector::sext(unsigned newWidth) const {
+  DFV_CHECK_MSG(newWidth >= width_, "sext to narrower width");
+  if (!msb()) return zext(newWidth);
+  BitVector r = zext(newWidth);
+  for (unsigned i = width_; i < newWidth; ++i) r.setBit(i, true);
+  return r;
+}
+
+BitVector BitVector::trunc(unsigned newWidth) const {
+  DFV_CHECK_MSG(newWidth <= width_ && newWidth >= 1,
+                "trunc " << width_ << " -> " << newWidth);
+  BitVector r(newWidth);
+  std::copy(words_.begin(), words_.begin() + r.numWords(), r.words_.begin());
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::resize(unsigned newWidth, bool asSigned) const {
+  if (newWidth <= width_) return trunc(newWidth);
+  return asSigned ? sext(newWidth) : zext(newWidth);
+}
+
+BitVector BitVector::extract(unsigned hi, unsigned lo) const {
+  DFV_CHECK_MSG(hi < width_ && lo <= hi,
+                "extract [" << hi << ':' << lo << "] of width " << width_);
+  return lshr(lo).trunc(hi - lo + 1);
+}
+
+BitVector BitVector::concat(const BitVector& hi, const BitVector& lo) {
+  BitVector r = lo.zext(lo.width_ + hi.width_);
+  const BitVector hiShifted = hi.zext(lo.width_ + hi.width_).shl(lo.width_);
+  return r | hiShifted;
+}
+
+BitVector BitVector::operator~() const {
+  BitVector r(width_);
+  for (unsigned i = 0; i < numWords(); ++i) r.words_[i] = ~words_[i];
+  r.normalize();
+  return r;
+}
+
+BitVector operator&(const BitVector& a, const BitVector& b) {
+  BitVector::checkSameWidth(a, b);
+  BitVector r(a.width_);
+  for (unsigned i = 0; i < r.numWords(); ++i)
+    r.words_[i] = a.words_[i] & b.words_[i];
+  return r;
+}
+
+BitVector operator|(const BitVector& a, const BitVector& b) {
+  BitVector::checkSameWidth(a, b);
+  BitVector r(a.width_);
+  for (unsigned i = 0; i < r.numWords(); ++i)
+    r.words_[i] = a.words_[i] | b.words_[i];
+  return r;
+}
+
+BitVector operator^(const BitVector& a, const BitVector& b) {
+  BitVector::checkSameWidth(a, b);
+  BitVector r(a.width_);
+  for (unsigned i = 0; i < r.numWords(); ++i)
+    r.words_[i] = a.words_[i] ^ b.words_[i];
+  return r;
+}
+
+BitVector operator+(const BitVector& a, const BitVector& b) {
+  BitVector::checkSameWidth(a, b);
+  BitVector r(a.width_);
+  std::uint64_t carry = 0;
+  for (unsigned i = 0; i < r.numWords(); ++i) {
+    const std::uint64_t s1 = a.words_[i] + carry;
+    const std::uint64_t c1 = s1 < carry ? 1u : 0u;
+    const std::uint64_t s2 = s1 + b.words_[i];
+    const std::uint64_t c2 = s2 < s1 ? 1u : 0u;
+    r.words_[i] = s2;
+    carry = c1 | c2;
+  }
+  r.normalize();
+  return r;
+}
+
+BitVector operator-(const BitVector& a, const BitVector& b) {
+  return a + b.neg();
+}
+
+BitVector BitVector::neg() const { return ~*this + BitVector::fromUint(width_, 1); }
+
+BitVector operator*(const BitVector& a, const BitVector& b) {
+  BitVector::checkSameWidth(a, b);
+  // Schoolbook multiply over 32-bit half-limbs, truncated to operand width.
+  const unsigned nw = a.numWords();
+  std::vector<std::uint64_t> acc(nw, 0);
+  auto addWordAt = [&](unsigned wordIdx, std::uint64_t v) {
+    while (wordIdx < nw && v != 0) {
+      acc[wordIdx] += v;
+      v = acc[wordIdx] < v ? 1u : 0u;  // carry out
+      ++wordIdx;
+    }
+  };
+  for (unsigned i = 0; i < nw; ++i) {
+    for (unsigned j = 0; i + j < nw; ++j) {
+      const std::uint64_t x0 = a.words_[i] & 0xffffffffu;
+      const std::uint64_t x1 = a.words_[i] >> 32;
+      const std::uint64_t y0 = b.words_[j] & 0xffffffffu;
+      const std::uint64_t y1 = b.words_[j] >> 32;
+      const std::uint64_t p00 = x0 * y0;
+      const std::uint64_t p01 = x0 * y1;
+      const std::uint64_t p10 = x1 * y0;
+      const std::uint64_t p11 = x1 * y1;
+      addWordAt(i + j, p00);
+      addWordAt(i + j, (p01 & 0xffffffffu) << 32);
+      addWordAt(i + j, (p10 & 0xffffffffu) << 32);
+      if (i + j + 1 < nw) {
+        addWordAt(i + j + 1, p01 >> 32);
+        addWordAt(i + j + 1, p10 >> 32);
+        addWordAt(i + j + 1, p11);
+      }
+    }
+  }
+  BitVector r(a.width_);
+  r.words_ = std::move(acc);
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::addFull(const BitVector& b) const {
+  const unsigned w = std::max(width_, b.width_) + 1;
+  return zext(w) + b.zext(w);
+}
+
+BitVector BitVector::mulFull(const BitVector& b) const {
+  const unsigned w = width_ + b.width_;
+  return zext(w) * b.zext(w);
+}
+
+BitVector BitVector::smulFull(const BitVector& b) const {
+  const unsigned w = width_ + b.width_;
+  return sext(w) * b.sext(w);
+}
+
+BitVector BitVector::udiv(const BitVector& b) const {
+  checkSameWidth(*this, b);
+  if (b.isZero()) return allOnes(width_);
+  // Restoring long division, bit-serial MSB-first.
+  BitVector q(width_);
+  BitVector rem(width_);
+  for (unsigned i = width_; i-- > 0;) {
+    rem = rem.shl(1);
+    rem.setBit(0, bit(i));
+    if (!rem.ult(b)) {
+      rem = rem - b;
+      q.setBit(i, true);
+    }
+  }
+  return q;
+}
+
+BitVector BitVector::urem(const BitVector& b) const {
+  checkSameWidth(*this, b);
+  if (b.isZero()) return *this;
+  return *this - udiv(b) * b;
+}
+
+BitVector BitVector::sdiv(const BitVector& b) const {
+  checkSameWidth(*this, b);
+  const bool na = msb(), nb = b.msb();
+  const BitVector ua = na ? neg() : *this;
+  const BitVector ub = nb ? b.neg() : b;
+  const BitVector uq = ua.udiv(ub);
+  return (na != nb) ? uq.neg() : uq;
+}
+
+BitVector BitVector::srem(const BitVector& b) const {
+  checkSameWidth(*this, b);
+  const bool na = msb();
+  const BitVector ua = na ? neg() : *this;
+  const BitVector ub = b.msb() ? b.neg() : b;
+  const BitVector ur = ua.urem(ub);
+  return na ? ur.neg() : ur;
+}
+
+BitVector BitVector::shl(unsigned amount) const {
+  BitVector r(width_);
+  if (amount >= width_) return r;
+  const unsigned wordShift = amount / 64, bitShift = amount % 64;
+  for (unsigned i = numWords(); i-- > 0;) {
+    std::uint64_t v = 0;
+    if (i >= wordShift) {
+      v = words_[i - wordShift] << bitShift;
+      if (bitShift != 0 && i > wordShift)
+        v |= words_[i - wordShift - 1] >> (64 - bitShift);
+    }
+    r.words_[i] = v;
+  }
+  r.normalize();
+  return r;
+}
+
+BitVector BitVector::lshr(unsigned amount) const {
+  BitVector r(width_);
+  if (amount >= width_) return r;
+  const unsigned wordShift = amount / 64, bitShift = amount % 64;
+  const unsigned nw = numWords();
+  for (unsigned i = 0; i < nw; ++i) {
+    std::uint64_t v = 0;
+    if (i + wordShift < nw) {
+      v = words_[i + wordShift] >> bitShift;
+      if (bitShift != 0 && i + wordShift + 1 < nw)
+        v |= words_[i + wordShift + 1] << (64 - bitShift);
+    }
+    r.words_[i] = v;
+  }
+  return r;
+}
+
+BitVector BitVector::ashr(unsigned amount) const {
+  const bool sign = msb();
+  if (amount >= width_)
+    return sign ? allOnes(width_) : BitVector(width_);
+  BitVector r = lshr(amount);
+  if (sign)
+    for (unsigned i = width_ - amount; i < width_; ++i) r.setBit(i, true);
+  return r;
+}
+
+namespace {
+// Shift amount as a clamped unsigned; anything >= width saturates.
+unsigned clampShift(const BitVector& amount, unsigned width) {
+  for (unsigned i = 64; i < amount.width(); ++i)
+    if (amount.bit(i)) return width;
+  const std::uint64_t v = amount.toUint64();
+  return v >= width ? width : static_cast<unsigned>(v);
+}
+}  // namespace
+
+BitVector BitVector::shl(const BitVector& amount) const {
+  return shl(clampShift(amount, width_));
+}
+BitVector BitVector::lshr(const BitVector& amount) const {
+  return lshr(clampShift(amount, width_));
+}
+BitVector BitVector::ashr(const BitVector& amount) const {
+  return ashr(clampShift(amount, width_));
+}
+
+bool BitVector::ult(const BitVector& b) const {
+  checkSameWidth(*this, b);
+  for (unsigned i = numWords(); i-- > 0;) {
+    if (words_[i] != b.words_[i]) return words_[i] < b.words_[i];
+  }
+  return false;
+}
+
+bool BitVector::ule(const BitVector& b) const { return !b.ult(*this); }
+
+bool BitVector::slt(const BitVector& b) const {
+  checkSameWidth(*this, b);
+  if (msb() != b.msb()) return msb();
+  return ult(b);
+}
+
+bool BitVector::sle(const BitVector& b) const { return !b.slt(*this); }
+
+std::string BitVector::toString(unsigned base) const {
+  std::string out = std::to_string(width_) + "'";
+  switch (base) {
+    case 2: {
+      out += 'b';
+      for (unsigned i = width_; i-- > 0;) out += bit(i) ? '1' : '0';
+      return out;
+    }
+    case 16: {
+      out += 'h';
+      const unsigned digits = (width_ + 3) / 4;
+      for (unsigned d = digits; d-- > 0;) {
+        unsigned nib = 0;
+        for (unsigned b2 = 0; b2 < 4; ++b2) {
+          const unsigned i = d * 4 + b2;
+          if (i < width_ && bit(i)) nib |= 1u << b2;
+        }
+        out += "0123456789abcdef"[nib];
+      }
+      return out;
+    }
+    case 10: {
+      out += 'd';
+      if (width_ < 4) {  // value fits trivially; 10 is not representable
+        out += std::to_string(toUint64());
+        return out;
+      }
+      // Repeated division by 10.
+      BitVector v = *this;
+      const BitVector ten = BitVector::fromUint(width_, 10);
+      std::string rev;
+      if (v.isZero()) rev = "0";
+      while (!v.isZero()) {
+        const BitVector q = v.udiv(ten);
+        const BitVector r = v - q * ten;
+        rev += static_cast<char>('0' + r.toUint64());
+        v = q;
+      }
+      out.append(rev.rbegin(), rev.rend());
+      return out;
+    }
+    default:
+      DFV_UNREACHABLE("unsupported base " << base);
+  }
+}
+
+std::string BitVector::toSignedDecimalString() const {
+  if (!msb()) {
+    BitVector v = zext(width_ + 1);
+    std::string s = v.toString(10);
+    return s.substr(s.find('d') + 1);
+  }
+  BitVector mag = neg().zext(width_ + 1);
+  std::string s = mag.toString(10);
+  return "-" + s.substr(s.find('d') + 1);
+}
+
+std::size_t BitVector::hash() const {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(width_);
+  for (auto w : words_) mix(w);
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const BitVector& v) {
+  return os << v.toString(16);
+}
+
+}  // namespace dfv::bv

@@ -1,0 +1,157 @@
+// Width-parameterized integer types with hardware (wire) semantics.
+//
+// These are the reproduction of the sc_int/sc_uint datatypes Section 3.1.1
+// recommends: a C++ system-level model that uses HdlInt<8,true> for a
+// `wire signed [7:0]` computes exactly what the RTL computes, including the
+// overflow that makes addition non-associative (Fig 1).  A model using plain
+// `int` instead silently widens every intermediate to 32 bits and masks the
+// overflow — the exact divergence mechanism the paper warns about.
+//
+// Semantics: every operation wraps to W bits immediately (wire assignment
+// context), so `tmp = a + b` on HdlInt<8> overflows exactly like the RTL
+// assign in Fig 1.  Widths up to 64 bits; wider values use bv::BitVector.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <type_traits>
+
+#include "bitvec/bitvector.h"
+#include "common/check.h"
+
+namespace dfv::bv {
+
+template <unsigned W, bool Signed>
+class HdlInt {
+  static_assert(W >= 1 && W <= 64, "HdlInt supports 1..64 bits; use BitVector beyond");
+
+ public:
+  using NativeType = std::conditional_t<Signed, std::int64_t, std::uint64_t>;
+
+  constexpr HdlInt() : bits_(0) {}
+
+  /// Wraps `v` to W bits (two's complement).
+  constexpr HdlInt(std::int64_t v)  // NOLINT(google-explicit-constructor)
+      : bits_(static_cast<std::uint64_t>(v) & mask()) {}
+
+  static HdlInt fromBits(std::uint64_t raw) {
+    HdlInt r;
+    r.bits_ = raw & mask();
+    return r;
+  }
+
+  static HdlInt fromBitVector(const BitVector& v) {
+    DFV_CHECK_MSG(v.width() == W, "BitVector width " << v.width()
+                                                     << " != HdlInt width " << W);
+    return fromBits(v.toUint64());
+  }
+
+  /// Raw W bits, zero-extended into 64.
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  /// Numeric value: sign-extended if Signed, else zero-extended.
+  constexpr NativeType value() const {
+    if constexpr (Signed) {
+      const std::uint64_t signBit = std::uint64_t{1} << (W - 1);
+      const std::uint64_t v = bits_;
+      if (W < 64 && (v & signBit))
+        return static_cast<std::int64_t>(v | (~std::uint64_t{0} << W));
+      return static_cast<std::int64_t>(v);
+    } else {
+      return bits_;
+    }
+  }
+
+  BitVector toBitVector() const { return BitVector::fromUint(W, bits_); }
+
+  // Arithmetic: wraps to W bits immediately (hardware wire semantics).
+  friend constexpr HdlInt operator+(HdlInt a, HdlInt b) {
+    return fromBitsWrapped(a.bits_ + b.bits_);
+  }
+  friend constexpr HdlInt operator-(HdlInt a, HdlInt b) {
+    return fromBitsWrapped(a.bits_ - b.bits_);
+  }
+  friend constexpr HdlInt operator*(HdlInt a, HdlInt b) {
+    return fromBitsWrapped(static_cast<std::uint64_t>(a.value()) *
+                           static_cast<std::uint64_t>(b.value()));
+  }
+  friend constexpr HdlInt operator&(HdlInt a, HdlInt b) {
+    return fromBitsWrapped(a.bits_ & b.bits_);
+  }
+  friend constexpr HdlInt operator|(HdlInt a, HdlInt b) {
+    return fromBitsWrapped(a.bits_ | b.bits_);
+  }
+  friend constexpr HdlInt operator^(HdlInt a, HdlInt b) {
+    return fromBitsWrapped(a.bits_ ^ b.bits_);
+  }
+  constexpr HdlInt operator~() const { return fromBitsWrapped(~bits_); }
+  constexpr HdlInt operator-() const { return fromBitsWrapped(0 - bits_); }
+
+  /// Logical shift left (bits above W fall off).
+  friend constexpr HdlInt operator<<(HdlInt a, unsigned sh) {
+    return sh >= W ? HdlInt() : fromBitsWrapped(a.bits_ << sh);
+  }
+  /// Shift right: arithmetic if Signed (HDL >>> on signed), else logical.
+  friend constexpr HdlInt operator>>(HdlInt a, unsigned sh) {
+    if (sh >= W) return HdlInt(Signed && a.value() < 0 ? -1 : 0);
+    if constexpr (Signed)
+      return HdlInt(a.value() >> sh);
+    else
+      return fromBitsWrapped(a.bits_ >> sh);
+  }
+
+  friend constexpr bool operator==(HdlInt a, HdlInt b) { return a.bits_ == b.bits_; }
+  friend constexpr bool operator!=(HdlInt a, HdlInt b) { return a.bits_ != b.bits_; }
+  friend constexpr bool operator<(HdlInt a, HdlInt b) { return a.value() < b.value(); }
+  friend constexpr bool operator<=(HdlInt a, HdlInt b) { return a.value() <= b.value(); }
+  friend constexpr bool operator>(HdlInt a, HdlInt b) { return a.value() > b.value(); }
+  friend constexpr bool operator>=(HdlInt a, HdlInt b) { return a.value() >= b.value(); }
+
+  HdlInt& operator+=(HdlInt b) { return *this = *this + b; }
+  HdlInt& operator-=(HdlInt b) { return *this = *this - b; }
+  HdlInt& operator*=(HdlInt b) { return *this = *this * b; }
+
+  /// Verilog part-select [hi:lo] as an unsigned value.
+  template <unsigned Hi, unsigned Lo>
+  HdlInt<Hi - Lo + 1, false> range() const {
+    static_assert(Hi < W && Lo <= Hi, "part-select out of range");
+    return HdlInt<Hi - Lo + 1, false>::fromBits(bits_ >> Lo);
+  }
+
+  /// Bit i as bool.
+  constexpr bool bit(unsigned i) const {
+    DFV_CHECK_MSG(i < W, "bit index " << i << " out of width " << W);
+    return (bits_ >> i) & 1u;
+  }
+
+ private:
+  static constexpr std::uint64_t mask() {
+    return W == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << W) - 1);
+  }
+  static constexpr HdlInt fromBitsWrapped(std::uint64_t raw) {
+    HdlInt r;
+    r.bits_ = raw & mask();
+    return r;
+  }
+
+  std::uint64_t bits_;
+};
+
+template <unsigned W>
+using Int = HdlInt<W, true>;
+template <unsigned W>
+using UInt = HdlInt<W, false>;
+
+/// Verilog {hi, lo} concatenation.
+template <unsigned WH, bool SH, unsigned WL, bool SL>
+HdlInt<WH + WL, false> concat(HdlInt<WH, SH> hi, HdlInt<WL, SL> lo) {
+  static_assert(WH + WL <= 64, "concat result exceeds 64 bits; use BitVector");
+  return HdlInt<WH + WL, false>::fromBits((hi.bits() << WL) | lo.bits());
+}
+
+template <unsigned W, bool S>
+std::ostream& operator<<(std::ostream& os, HdlInt<W, S> v) {
+  return os << v.value();
+}
+
+}  // namespace dfv::bv

@@ -1,0 +1,57 @@
+// Contract checking for the DFV libraries.
+//
+// Violations of preconditions/invariants throw dfv::CheckError so that unit
+// tests can assert on misuse and long-running harnesses can report the
+// offending call instead of dying silently.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dfv {
+
+/// Thrown when a DFV_CHECK precondition or internal invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dfv
+
+/// Precondition / invariant check; throws dfv::CheckError on violation.
+#define DFV_CHECK(cond)                                             \
+  do {                                                              \
+    if (!(cond)) ::dfv::detail::checkFailed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Check with a streamed message: DFV_CHECK_MSG(w > 0, "width was " << w).
+#define DFV_CHECK_MSG(cond, msgexpr)                                   \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream dfv_check_os_;                                \
+      dfv_check_os_ << msgexpr;                                        \
+      ::dfv::detail::checkFailed(#cond, __FILE__, __LINE__,            \
+                                 dfv_check_os_.str());                 \
+    }                                                                  \
+  } while (false)
+
+/// Marks unreachable code paths (unconditional, so the compiler sees the
+/// enclosing path as terminated).
+#define DFV_UNREACHABLE(msgexpr)                                      \
+  do {                                                                \
+    std::ostringstream dfv_check_os_;                                 \
+    dfv_check_os_ << msgexpr;                                         \
+    ::dfv::detail::checkFailed("unreachable", __FILE__, __LINE__,     \
+                               dfv_check_os_.str());                  \
+  } while (false)

@@ -1,0 +1,124 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace dfv::core {
+
+std::vector<std::string> PlanReport::failingBlocks() const {
+  std::vector<std::string> out;
+  for (const auto& b : blocks)
+    if (!b.passed && !b.skippedUnchanged) out.push_back(b.block);
+  return out;
+}
+
+std::string PlanReport::summary() const {
+  std::ostringstream os;
+  os << verified << " verified, " << skipped << " skipped, " << failed
+     << " failed in " << totalSeconds << "s";
+  return os.str();
+}
+
+void VerificationPlan::addSecBlock(const std::string& block,
+                                   std::uint64_t digest,
+                                   std::function<sec::SecResult()> runner) {
+  DFV_CHECK_MSG(runner != nullptr, "null runner");
+  for (const auto& e : blocks_)
+    DFV_CHECK_MSG(e.block != block, "duplicate block '" << block << "'");
+  Entry e;
+  e.block = block;
+  e.method = Method::kSec;
+  e.digest = digest;
+  e.secRunner = std::move(runner);
+  blocks_.push_back(std::move(e));
+}
+
+void VerificationPlan::addCosimBlock(const std::string& block,
+                                     std::uint64_t digest,
+                                     std::function<CosimOutcome()> runner) {
+  DFV_CHECK_MSG(runner != nullptr, "null runner");
+  for (const auto& e : blocks_)
+    DFV_CHECK_MSG(e.block != block, "duplicate block '" << block << "'");
+  Entry e;
+  e.block = block;
+  e.method = Method::kCosim;
+  e.digest = digest;
+  e.cosimRunner = std::move(runner);
+  blocks_.push_back(std::move(e));
+}
+
+VerificationPlan::Entry& VerificationPlan::find(const std::string& block) {
+  auto it = std::find_if(blocks_.begin(), blocks_.end(),
+                         [&](const Entry& e) { return e.block == block; });
+  DFV_CHECK_MSG(it != blocks_.end(), "no block named '" << block << "'");
+  return *it;
+}
+
+void VerificationPlan::touch(const std::string& block,
+                             std::uint64_t newDigest) {
+  find(block).digest = newDigest;
+}
+
+BlockResult VerificationPlan::runEntry(Entry& e) {
+  BlockResult r;
+  r.block = e.block;
+  r.method = e.method;
+  const auto start = std::chrono::steady_clock::now();
+  if (e.method == Method::kSec) {
+    const sec::SecResult sr = e.secRunner();
+    r.passed = sr.verdict != sec::Verdict::kNotEquivalent;
+    r.detail = sec::verdictName(sr.verdict);
+    if (sr.cex.has_value()) r.detail += ": " + sr.cex->summary();
+  } else {
+    const CosimOutcome out = e.cosimRunner();
+    r.passed = out.passed;
+    r.detail = out.detail;
+  }
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  if (r.passed) {
+    e.lastCleanDigest = e.digest;
+    e.lastDetail = r.detail;
+    e.lastSeconds = r.seconds;
+  } else {
+    e.lastCleanDigest.reset();
+  }
+  return r;
+}
+
+PlanReport VerificationPlan::runAll() {
+  PlanReport report;
+  for (Entry& e : blocks_) {
+    BlockResult r = runEntry(e);
+    report.totalSeconds += r.seconds;
+    ++(r.passed ? report.verified : report.failed);
+    report.blocks.push_back(std::move(r));
+  }
+  return report;
+}
+
+PlanReport VerificationPlan::runIncremental() {
+  PlanReport report;
+  for (Entry& e : blocks_) {
+    if (e.lastCleanDigest.has_value() && *e.lastCleanDigest == e.digest) {
+      BlockResult r;
+      r.block = e.block;
+      r.method = e.method;
+      r.passed = true;
+      r.skippedUnchanged = true;
+      r.detail = "unchanged (" + e.lastDetail + ")";
+      ++report.skipped;
+      report.blocks.push_back(std::move(r));
+      continue;
+    }
+    BlockResult r = runEntry(e);
+    report.totalSeconds += r.seconds;
+    ++(r.passed ? report.verified : report.failed);
+    report.blocks.push_back(std::move(r));
+  }
+  return report;
+}
+
+}  // namespace dfv::core

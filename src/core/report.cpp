@@ -1,0 +1,53 @@
+#include "core/report.h"
+
+#include <sstream>
+
+namespace dfv::core {
+
+namespace {
+/// Escapes a string for a JSON value (the characters our details can hold).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string toJson(const std::string& planName, const PlanReport& report) {
+  std::ostringstream os;
+  os << "{\"plan\":\"" << jsonEscape(planName) << "\",";
+  os << "\"summary\":{\"verified\":" << report.verified
+     << ",\"skipped\":" << report.skipped << ",\"failed\":" << report.failed
+     << ",\"total_seconds\":" << report.totalSeconds
+     << ",\"all_passed\":" << (report.allPassed() ? "true" : "false") << "},";
+  os << "\"blocks\":[";
+  for (std::size_t i = 0; i < report.blocks.size(); ++i) {
+    const BlockResult& b = report.blocks[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << jsonEscape(b.block) << "\",\"method\":\""
+       << (b.method == Method::kSec ? "sec" : "cosim") << "\",\"status\":\""
+       << (b.skippedUnchanged ? "skipped" : (b.passed ? "pass" : "fail"))
+       << "\",\"seconds\":" << b.seconds << ",\"detail\":\""
+       << jsonEscape(b.detail) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dfv::core

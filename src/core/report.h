@@ -1,0 +1,18 @@
+// Machine-readable reports for verification plans.
+//
+// CI systems track SLM/RTL consistency over time; PlanReport serializes to
+// a small JSON document (no external dependencies — the schema is flat and
+// the values are controlled).
+#pragma once
+
+#include <string>
+
+#include "core/plan.h"
+
+namespace dfv::core {
+
+/// Serializes a PlanReport as a JSON object:
+/// {"plan": ..., "summary": {...}, "blocks": [{...}, ...]}.
+std::string toJson(const std::string& planName, const PlanReport& report);
+
+}  // namespace dfv::core

@@ -1,0 +1,140 @@
+#include "cosim/scoreboard.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace dfv::cosim {
+
+std::string Mismatch::describe() const {
+  std::ostringstream os;
+  os << "item " << index << ": expected " << expected.toString(16) << " (@"
+     << refTime << "), got " << actual.toString(16) << " (@" << dutTime
+     << ")";
+  return os.str();
+}
+
+namespace {
+void recordSkew(ScoreboardStats& stats, std::int64_t skew,
+                std::uint64_t matchedSoFar) {
+  const std::int64_t absSkew = skew < 0 ? -skew : skew;
+  stats.maxSkew = std::max(stats.maxSkew, absSkew);
+  // Running mean over matches.
+  stats.meanSkew += (static_cast<double>(absSkew) - stats.meanSkew) /
+                    static_cast<double>(matchedSoFar);
+}
+}  // namespace
+
+// ----- CycleExactScoreboard -------------------------------------------------
+
+void CycleExactScoreboard::expect(std::uint64_t cycle, bv::BitVector value) {
+  DFV_CHECK_MSG(expected_.emplace(cycle, std::move(value)).second,
+                "duplicate expectation for cycle " << cycle);
+}
+
+void CycleExactScoreboard::observe(std::uint64_t cycle,
+                                   const bv::BitVector& value) {
+  auto it = expected_.find(cycle);
+  if (it == expected_.end()) {
+    ++dutOnly_;
+    mismatches_.push_back(Mismatch{cycle, cycle, cycle,
+                                   bv::BitVector(value.width()), value});
+    return;
+  }
+  if (it->second == value) {
+    ++stats_.matched;
+  } else {
+    ++stats_.mismatched;
+    mismatches_.push_back(Mismatch{cycle, cycle, cycle, it->second, value});
+  }
+  expected_.erase(it);
+}
+
+ScoreboardStats CycleExactScoreboard::finish() {
+  stats_.pendingRef = expected_.size();
+  stats_.pendingDut = dutOnly_;
+  return stats_;
+}
+
+// ----- InOrderScoreboard ----------------------------------------------------
+
+void InOrderScoreboard::expect(bv::BitVector value, std::uint64_t refTime) {
+  queue_.push_back(Pending{std::move(value), refTime});
+}
+
+void InOrderScoreboard::observe(const bv::BitVector& value,
+                                std::uint64_t dutTime) {
+  if (queue_.empty()) {
+    ++dutOnly_;
+    mismatches_.push_back(Mismatch{streamIndex_++, 0, dutTime,
+                                   bv::BitVector(value.width()), value});
+    return;
+  }
+  const Pending ref = std::move(queue_.front());
+  queue_.pop_front();
+  const std::int64_t skew = static_cast<std::int64_t>(dutTime) -
+                            static_cast<std::int64_t>(ref.time);
+  skews_.push_back(skew);
+  if (ref.value == value) {
+    ++stats_.matched;
+    recordSkew(stats_, skew, stats_.matched);
+  } else {
+    ++stats_.mismatched;
+    mismatches_.push_back(
+        Mismatch{streamIndex_, ref.time, dutTime, ref.value, value});
+  }
+  ++streamIndex_;
+}
+
+ScoreboardStats InOrderScoreboard::finish() {
+  stats_.pendingRef = queue_.size();
+  stats_.pendingDut = dutOnly_;
+  return stats_;
+}
+
+// ----- OutOfOrderScoreboard --------------------------------------------------
+
+bool OutOfOrderScoreboard::expect(std::uint64_t tag, bv::BitVector value,
+                                  std::uint64_t refTime) {
+  if (window_ != 0 && pending_.size() >= window_) return false;
+  DFV_CHECK_MSG(
+      pending_.emplace(tag, Pending{std::move(value), refTime, expectSeq_})
+          .second,
+      "duplicate outstanding tag " << tag);
+  ++expectSeq_;
+  return true;
+}
+
+void OutOfOrderScoreboard::observe(std::uint64_t tag,
+                                   const bv::BitVector& value,
+                                   std::uint64_t dutTime) {
+  auto it = pending_.find(tag);
+  if (it == pending_.end()) {
+    ++dutOnly_;
+    mismatches_.push_back(
+        Mismatch{tag, 0, dutTime, bv::BitVector(value.width()), value});
+    return;
+  }
+  if (it->second.seq != nextExpectedSeq_) ++reordered_;
+  // Advance the in-order horizon past any already-retired sequence numbers.
+  nextExpectedSeq_ = std::max(nextExpectedSeq_, it->second.seq + 1);
+  const std::int64_t skew = static_cast<std::int64_t>(dutTime) -
+                            static_cast<std::int64_t>(it->second.time);
+  if (it->second.value == value) {
+    ++stats_.matched;
+    recordSkew(stats_, skew, stats_.matched);
+  } else {
+    ++stats_.mismatched;
+    mismatches_.push_back(
+        Mismatch{tag, it->second.time, dutTime, it->second.value, value});
+  }
+  pending_.erase(it);
+}
+
+ScoreboardStats OutOfOrderScoreboard::finish() {
+  stats_.pendingRef = pending_.size();
+  stats_.pendingDut = dutOnly_;
+  return stats_;
+}
+
+}  // namespace dfv::cosim

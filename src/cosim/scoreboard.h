@@ -1,0 +1,133 @@
+// Scoreboards: output comparison with timing alignment.
+//
+// The paper's §2(a): "Temporal differences between when the SLM and
+// wrapped-RTL produce outputs means that the procedure that compares the SLM
+// outputs with RTL outputs needs to account for the timing differences", and
+// §3.2: stalls cause variable latency and can even reorder outputs, which
+// "can result in complicated transactors being needed".  Three alignment
+// strategies of increasing tolerance:
+//
+//   CycleExactScoreboard — values must match at identical cycles (only
+//     usable when the SLM is fully cycle-accurate);
+//   InOrderScoreboard    — stream order must match, timing is free (the
+//     common case for untimed/loosely-timed SLMs);
+//   OutOfOrderScoreboard — matching by tag inside a bounded window (needed
+//     when the RTL completes operations out of order, §3.2).
+//
+// All scoreboards record per-item latency skew so benches can report the
+// Fig 2 timing-alignment distributions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bitvec/bitvector.h"
+#include "common/check.h"
+
+namespace dfv::cosim {
+
+/// A mismatch record.
+struct Mismatch {
+  std::uint64_t index = 0;     ///< stream index or tag
+  std::uint64_t refTime = 0;   ///< when the reference produced it
+  std::uint64_t dutTime = 0;   ///< when the DUT produced it
+  bv::BitVector expected;
+  bv::BitVector actual;
+
+  std::string describe() const;
+};
+
+/// Common result counters.
+struct ScoreboardStats {
+  std::uint64_t matched = 0;
+  std::uint64_t mismatched = 0;
+  std::uint64_t pendingRef = 0;   ///< reference values never observed
+  std::uint64_t pendingDut = 0;   ///< DUT values never expected
+  std::int64_t maxSkew = 0;       ///< max |dutTime - refTime| over matches
+  double meanSkew = 0.0;
+
+  bool clean() const {
+    return mismatched == 0 && pendingRef == 0 && pendingDut == 0;
+  }
+};
+
+/// Values must agree at the same cycle on both sides.
+class CycleExactScoreboard {
+ public:
+  void expect(std::uint64_t cycle, bv::BitVector value);
+  void observe(std::uint64_t cycle, const bv::BitVector& value);
+  /// Call when the run ends; flushes unmatched expectations into stats.
+  ScoreboardStats finish();
+  const std::vector<Mismatch>& mismatches() const { return mismatches_; }
+
+ private:
+  std::unordered_map<std::uint64_t, bv::BitVector> expected_;
+  std::vector<Mismatch> mismatches_;
+  ScoreboardStats stats_;
+  std::uint64_t dutOnly_ = 0;
+};
+
+/// Stream-order comparison; timing recorded but not enforced.
+class InOrderScoreboard {
+ public:
+  void expect(bv::BitVector value, std::uint64_t refTime = 0);
+  void observe(const bv::BitVector& value, std::uint64_t dutTime = 0);
+  ScoreboardStats finish();
+  const std::vector<Mismatch>& mismatches() const { return mismatches_; }
+  /// Per-match (dutTime - refTime), for latency-distribution reporting.
+  const std::vector<std::int64_t>& skews() const { return skews_; }
+
+ private:
+  struct Pending {
+    bv::BitVector value;
+    std::uint64_t time;
+  };
+  std::deque<Pending> queue_;
+  std::vector<Mismatch> mismatches_;
+  std::vector<std::int64_t> skews_;
+  ScoreboardStats stats_;
+  std::uint64_t streamIndex_ = 0;
+  std::uint64_t dutOnly_ = 0;
+};
+
+/// Tag-matched comparison for out-of-order completion.
+class OutOfOrderScoreboard {
+ public:
+  /// `window`: max outstanding expectations before expect() refuses (0 =
+  /// unbounded).  A small window models the transactor buffering cost the
+  /// paper warns about.
+  explicit OutOfOrderScoreboard(std::size_t window = 0) : window_(window) {}
+
+  /// Returns false if the window is full (caller must drain first).
+  bool expect(std::uint64_t tag, bv::BitVector value,
+              std::uint64_t refTime = 0);
+  void observe(std::uint64_t tag, const bv::BitVector& value,
+               std::uint64_t dutTime = 0);
+  ScoreboardStats finish();
+  const std::vector<Mismatch>& mismatches() const { return mismatches_; }
+  std::size_t outstanding() const { return pending_.size(); }
+  /// Number of observations that arrived in a different order than their
+  /// expectations (a direct measure of §3.2 out-of-orderness).
+  std::uint64_t reorderedCount() const { return reordered_; }
+
+ private:
+  struct Pending {
+    bv::BitVector value;
+    std::uint64_t time;
+    std::uint64_t seq;
+  };
+  std::size_t window_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::vector<Mismatch> mismatches_;
+  ScoreboardStats stats_;
+  std::uint64_t expectSeq_ = 0;
+  std::uint64_t nextExpectedSeq_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t dutOnly_ = 0;
+};
+
+}  // namespace dfv::cosim

@@ -1,0 +1,73 @@
+#include "cosim/wrapped_rtl.h"
+
+namespace dfv::cosim {
+
+StallPolicy randomStalls(std::uint32_t numerator, std::uint32_t denominator,
+                         std::uint64_t seed) {
+  DFV_CHECK_MSG(denominator > 0 && numerator <= denominator,
+                "stall probability must be in [0, 1]");
+  // Stateless per-cycle hash (splitmix64) so the policy is a pure function
+  // of (seed, cycle) — replayable regardless of call order.
+  return [=](std::uint64_t cycle) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (cycle + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return (z % denominator) < numerator;
+  };
+}
+
+WrappedRtl::WrappedRtl(const rtl::Module& module, StreamPorts ports)
+    : sim_(module), ports_(std::move(ports)) {
+  const rtl::NetId in = sim_.module().findInput(ports_.inData);
+  DFV_CHECK_MSG(in != rtl::kNoNet, "no input port '" << ports_.inData << "'");
+  dataWidth_ = sim_.module().netWidth(in);
+  DFV_CHECK_MSG(sim_.module().findInput(ports_.inValid) != rtl::kNoNet,
+                "no input port '" << ports_.inValid << "'");
+  DFV_CHECK_MSG(sim_.module().findOutput(ports_.outData) != rtl::kNoNet,
+                "no output port '" << ports_.outData << "'");
+  DFV_CHECK_MSG(sim_.module().findOutput(ports_.outValid) != rtl::kNoNet,
+                "no output port '" << ports_.outValid << "'");
+  if (!ports_.stall.empty())
+    DFV_CHECK_MSG(sim_.module().findInput(ports_.stall) != rtl::kNoNet,
+                  "no stall port '" << ports_.stall << "'");
+}
+
+std::vector<StreamItem> WrappedRtl::run(
+    const std::vector<bv::BitVector>& stimulus, std::uint64_t drainCycles,
+    const StallPolicy& stall) {
+  sim_.reset();
+  std::vector<StreamItem> outputs;
+  std::size_t next = 0;
+  std::uint64_t idleBudget = drainCycles;
+  std::uint64_t cycle = 0;
+  while (next < stimulus.size() || idleBudget > 0) {
+    const bool stalled = stall(cycle);
+    const bool feeding = !stalled && next < stimulus.size();
+    if (feeding) {
+      DFV_CHECK_MSG(stimulus[next].width() == dataWidth_,
+                    "stimulus width mismatch at item " << next);
+      sim_.setInput(ports_.inData, stimulus[next]);
+      sim_.setInputUint(ports_.inValid, 1);
+      ++next;
+    } else {
+      sim_.setInput(ports_.inData, bv::BitVector(dataWidth_));
+      sim_.setInputUint(ports_.inValid, 0);
+    }
+    if (!ports_.stall.empty())
+      sim_.setInputUint(ports_.stall, stalled ? 1 : 0);
+    sim_.evalCombinational();
+    // A stalled cycle freezes the whole interface: the DUT holds its
+    // pipeline and the downstream side does not sample (otherwise a held
+    // out_valid would be observed repeatedly).
+    if (!stalled && !sim_.outputValue(ports_.outValid).isZero())
+      outputs.push_back(StreamItem{cycle, sim_.outputValue(ports_.outData)});
+    sim_.clockEdge();
+    if (next >= stimulus.size()) --idleBudget;
+    ++cycle;
+  }
+  cyclesRun_ = cycle;
+  return outputs;
+}
+
+}  // namespace dfv::cosim

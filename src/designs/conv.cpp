@@ -1,0 +1,153 @@
+#include "designs/conv.h"
+
+#include <algorithm>
+
+namespace dfv::designs {
+
+namespace {
+/// Accumulator width: |sum| <= 255 * (|k| summed) < 255*48 < 2^14; 20 bits
+/// leaves generous headroom and matches the RTL datapath.
+constexpr unsigned kConvAccW = 20;
+}  // namespace
+
+std::uint8_t convWindow(const std::array<std::uint8_t, 9>& window,
+                        const ConvKernel& kernel) {
+  std::int32_t acc = 0;
+  for (unsigned i = 0; i < 9; ++i)
+    acc += kernel.k[i] * static_cast<std::int32_t>(window[i]);
+  acc >>= kernel.shift;  // arithmetic shift (acc may be negative)
+  return static_cast<std::uint8_t>(std::clamp(acc, 0, 255));
+}
+
+std::vector<std::uint8_t> convGolden(const workload::Image& img,
+                                     const ConvKernel& kernel) {
+  DFV_CHECK_MSG(img.width >= 3 && img.height >= 3, "image too small");
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(img.width - 2) * (img.height - 2));
+  for (unsigned y = 1; y + 1 < img.height; ++y) {
+    for (unsigned x = 1; x + 1 < img.width; ++x) {
+      std::array<std::uint8_t, 9> window;
+      for (unsigned wy = 0; wy < 3; ++wy)
+        for (unsigned wx = 0; wx < 3; ++wx)
+          window[wy * 3 + wx] = img.at(x - 1 + wx, y - 1 + wy);
+      out.push_back(convWindow(window, kernel));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Emits the shared window datapath into `m`: 9 pixel nets -> result net.
+/// Window layout: w[0..2] oldest row, w[6..8] newest row, matching
+/// convWindow's row-major order.
+rtl::NetId buildWindowDatapath(rtl::Module& m,
+                               const std::vector<rtl::NetId>& window,
+                               const ConvKernel& kernel) {
+  rtl::NetId acc = rtl::kNoNet;
+  for (unsigned i = 0; i < 9; ++i) {
+    rtl::NetId px = m.opZExt(window[i], kConvAccW);
+    rtl::NetId coeff =
+        m.constant(bv::BitVector::fromInt(kConvAccW, kernel.k[i]));
+    rtl::NetId prod = m.opMul(px, coeff);
+    acc = acc == rtl::kNoNet ? prod : m.opAdd(acc, prod);
+  }
+  rtl::NetId shifted =
+      m.opAShr(acc, m.constantUint(kConvAccW, kernel.shift));
+  // clamp(acc, 0, 255)
+  rtl::NetId zero = m.constantUint(kConvAccW, 0);
+  rtl::NetId maxv = m.constantUint(kConvAccW, 255);
+  rtl::NetId isNeg = m.opSLt(shifted, zero);
+  rtl::NetId isBig = m.opSLt(maxv, shifted);
+  rtl::NetId clamped = m.opMux(isNeg, zero, m.opMux(isBig, maxv, shifted));
+  return m.opExtract(clamped, 7, 0);
+}
+
+}  // namespace
+
+rtl::Module makeConvWindowRtl(const ConvKernel& kernel) {
+  rtl::Module m("conv_window");
+  std::vector<rtl::NetId> window;
+  for (unsigned i = 0; i < 9; ++i)
+    window.push_back(m.addInput("p" + std::to_string(i), 8));
+  m.addOutput("pix", buildWindowDatapath(m, window, kernel));
+  return m;
+}
+
+rtl::Module makeConvRtl(unsigned imageWidth, const ConvKernel& kernel) {
+  DFV_CHECK_MSG(imageWidth >= 4 && imageWidth <= 256, "unsupported width");
+  rtl::Module m("conv3x3");
+  rtl::NetId in = m.addInput("in_data", 8);
+  rtl::NetId valid = m.addInput("in_valid", 1);
+
+  // One long shift chain covering two full rows plus three pixels; the 3x3
+  // window is tapped at offsets {0,1,2, W,W+1,W+2, 2W,2W+1,2W+2} where
+  // offset 0 is the incoming pixel (newest, bottom-right of the window).
+  const unsigned chainLen = 2 * imageWidth + 2;
+  std::vector<rtl::NetId> chain(chainLen + 1);
+  chain[0] = in;
+  for (unsigned i = 1; i <= chainLen; ++i) {
+    chain[i] = m.addDff("lb" + std::to_string(i), 8, 0);
+    m.connectDff(chain[i], chain[i - 1], valid);
+  }
+  // Window in convWindow's row-major order: oldest row first.
+  std::vector<rtl::NetId> window = {
+      chain[2 * imageWidth + 2], chain[2 * imageWidth + 1],
+      chain[2 * imageWidth],     chain[imageWidth + 2],
+      chain[imageWidth + 1],     chain[imageWidth],
+      chain[2],                  chain[1],
+      chain[0]};
+  rtl::NetId pix = buildWindowDatapath(m, window, kernel);
+
+  // Raster counters: current input coordinate (x, y).
+  rtl::NetId x = m.addDff("x", 9, 0);
+  rtl::NetId y = m.addDff("y", 9, 0);
+  rtl::NetId lastCol =
+      m.opEq(x, m.constantUint(9, imageWidth - 1));
+  rtl::NetId xNext =
+      m.opMux(lastCol, m.constantUint(9, 0),
+              m.opAdd(x, m.constantUint(9, 1)));
+  rtl::NetId yNext = m.opMux(lastCol, m.opAdd(y, m.constantUint(9, 1)), y);
+  m.connectDff(x, xNext, valid);
+  m.connectDff(y, yNext, valid);
+
+  // The window is valid when the current pixel is at x>=2, y>=2.
+  rtl::NetId xOk = m.opULe(m.constantUint(9, 2), x);
+  rtl::NetId yOk = m.opULe(m.constantUint(9, 2), y);
+  m.addOutput("out_data", pix);
+  m.addOutput("out_valid", m.opAnd(valid, m.opAnd(xOk, yOk)));
+  return m;
+}
+
+slmc::Function makeConvWindowSlm(const ConvKernel& kernel) {
+  using namespace slmc;
+  Function f;
+  f.name = "conv_window";
+  for (unsigned i = 0; i < 9; ++i)
+    f.params.push_back(Param{"p" + std::to_string(i), 8, false});
+  f.returnWidth = 8;
+  f.returnSigned = false;
+  Block body;
+  body.push_back(declVar("acc", kConvAccW, true));
+  for (unsigned i = 0; i < 9; ++i) {
+    body.push_back(assign(
+        "acc", binary(BinOp::kAdd, var("acc"),
+                      binary(BinOp::kMul,
+                             cast(var("p" + std::to_string(i)), kConvAccW,
+                                  true),
+                             constant(kConvAccW, kernel.k[i])))));
+  }
+  body.push_back(assign(
+      "acc", binary(BinOp::kShr, var("acc"),
+                    constantU(kConvAccW, kernel.shift))));
+  body.push_back(ifElse(binary(BinOp::kLt, var("acc"), constant(kConvAccW, 0)),
+                        {assign("acc", constant(kConvAccW, 0))}, {}));
+  body.push_back(
+      ifElse(binary(BinOp::kGt, var("acc"), constant(kConvAccW, 255)),
+             {assign("acc", constant(kConvAccW, 255))}, {}));
+  body.push_back(returnStmt(cast(var("acc"), 8, false)));
+  f.body = std::move(body);
+  return f;
+}
+
+}  // namespace dfv::designs

@@ -1,0 +1,60 @@
+// The 3x3 image-convolution design pair: the paper's §3.2 interface story.
+//
+// "The SLM of an image processing block may read in the entire image as a
+// single array of pixels while the RTL reads it as a stream of pixels."
+// Here the SLM is a whole-image function (parallel interface) and the RTL is
+// a raster-order pixel stream with shift-register line buffers (serial
+// interface); transactors bridge the two for co-simulation, and SEC runs at
+// the window level where the interfaces coincide.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.h"
+#include "slmc/ast.h"
+#include "workload/workload.h"
+
+namespace dfv::designs {
+
+/// 3x3 kernel of small signed coefficients, row-major, plus a right-shift
+/// normalizer.  Result per pixel: clamp((sum * ) >> shift, 0, 255).
+struct ConvKernel {
+  std::array<int, 9> k;
+  unsigned shift;
+
+  /// A mild sharpen kernel (sum 16, shift 4 -> unity gain).
+  static ConvKernel sharpen() {
+    return ConvKernel{{0, -2, 0, -2, 24, -2, 0, -2, 0}, 4};
+  }
+  /// Box blur (sum 16 with the center 8).
+  static ConvKernel blur() {
+    return ConvKernel{{1, 1, 1, 1, 8, 1, 1, 1, 1}, 4};
+  }
+};
+
+/// Whole-image SLM (parallel interface): returns the interior
+/// (width-2)x(height-2) result in raster order.  Bit-exact with the RTL.
+std::vector<std::uint8_t> convGolden(const workload::Image& img,
+                                     const ConvKernel& kernel);
+
+/// Exact per-window arithmetic shared by all models (20-bit accumulate,
+/// arithmetic shift, clamp to [0,255]).
+std::uint8_t convWindow(const std::array<std::uint8_t, 9>& window,
+                        const ConvKernel& kernel);
+
+/// Streaming RTL: in_data[8]/in_valid -> out_data[8]/out_valid, raster scan
+/// of a fixed `imageWidth`; emits interior pixels in raster order.
+/// `imageWidth` must be >= 4 and <= 256.
+rtl::Module makeConvRtl(unsigned imageWidth, const ConvKernel& kernel);
+
+/// The window datapath alone (combinational): inputs p0..p8, output "pix".
+/// This is the block SEC compares against the SLM-C window function.
+rtl::Module makeConvWindowRtl(const ConvKernel& kernel);
+
+/// The window function as a conditioned SLM-C model (params p0..p8), for
+/// lint + elaboration + SEC.
+slmc::Function makeConvWindowSlm(const ConvKernel& kernel);
+
+}  // namespace dfv::designs

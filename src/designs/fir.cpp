@@ -1,0 +1,146 @@
+#include "designs/fir.h"
+
+#include "rtl/lower.h"
+
+namespace dfv::designs {
+
+std::vector<std::int32_t> firGoldenInt(const std::vector<std::int8_t>& x) {
+  std::vector<std::int32_t> out;
+  if (x.size() < kFirTaps) return out;
+  out.reserve(x.size() - kFirTaps + 1);
+  for (std::size_t k = kFirTaps - 1; k < x.size(); ++k) {
+    std::int32_t acc = 0;  // plain int: never wraps for this filter
+    for (unsigned i = 0; i < kFirTaps; ++i)
+      acc += kFirCoeffs[i] * static_cast<std::int32_t>(x[k - i]);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+void FirKernel::reset() {
+  for (auto& d : delay_) d = 0;
+  seen_ = 0;
+}
+
+std::optional<bv::Int<kFirAccWidth>> FirKernel::push(std::int8_t sample) {
+  using Acc = bv::Int<kFirAccWidth>;
+  for (unsigned i = kFirTaps - 1; i > 0; --i) delay_[i] = delay_[i - 1];
+  delay_[0] = sample;
+  if (++seen_ < kFirTaps) return std::nullopt;
+  Acc acc = 0;
+  for (unsigned i = 0; i < kFirTaps; ++i) {
+    const Acc s = static_cast<std::int64_t>(delay_[i]);
+    const Acc coeff = kFirCoeffs[i];
+    acc += s * coeff;  // wraps at kFirAccWidth — like the RTL wires
+  }
+  return acc;
+}
+
+std::vector<bv::Int<kFirAccWidth>> firGoldenBitAccurate(
+    const std::vector<std::int8_t>& x) {
+  // Untimed communication around the shared computational kernel.
+  std::vector<bv::Int<kFirAccWidth>> out;
+  FirKernel kernel;
+  for (std::int8_t sample : x) {
+    if (auto y = kernel.push(sample)) out.push_back(*y);
+  }
+  return out;
+}
+
+rtl::Module makeFirRtl(FirBug bug) {
+  const bool narrowAccumulator = bug == FirBug::kNarrowAccumulator;
+  const unsigned accW = narrowAccumulator ? kFirNarrowAccWidth : kFirAccWidth;
+  rtl::Module m(narrowAccumulator ? "fir_narrow" : "fir");
+  rtl::NetId in = m.addInput("in_data", 8);
+  rtl::NetId valid = m.addInput("in_valid", 1);
+
+  // Delay line: tap[0] is the incoming sample, tap[i>0] are registers.
+  std::vector<rtl::NetId> taps(kFirTaps);
+  taps[0] = in;
+  for (unsigned i = 1; i < kFirTaps; ++i) {
+    taps[i] = m.addDff("x" + std::to_string(i), 8, 0);
+    m.connectDff(taps[i], taps[i - 1], valid);
+  }
+  // Valid shift chain: output meaningful once kFirTaps samples accepted.
+  std::vector<rtl::NetId> vchain(kFirTaps);
+  vchain[0] = valid;
+  for (unsigned i = 1; i < kFirTaps; ++i) {
+    vchain[i] = m.addDff("v" + std::to_string(i), 1, 0);
+    m.connectDff(vchain[i], vchain[i - 1], valid);
+  }
+
+  // MAC tree at the (possibly narrowed) accumulator width.
+  rtl::NetId acc = rtl::kNoNet;
+  for (unsigned i = 0; i < kFirTaps; ++i) {
+    if (bug == FirBug::kDroppedTap && i == kFirTaps - 1) continue;
+    int c = kFirCoeffs[i];
+    if (bug == FirBug::kWrongCoefficient && i == 2) c = -c;
+    rtl::NetId sample = m.opSExt(taps[i], accW);
+    rtl::NetId coeff = m.constant(bv::BitVector::fromInt(accW, c));
+    rtl::NetId prod = m.opMul(sample, coeff);
+    acc = (acc == rtl::kNoNet) ? prod : m.opAdd(acc, prod);
+  }
+  rtl::NetId out = narrowAccumulator ? m.opSExt(acc, kFirAccWidth) : acc;
+
+  m.addOutput("out_data", out);
+  m.addOutput("out_valid", m.opAnd(valid, vchain[kFirTaps - 1]));
+  return m;
+}
+
+ir::TransitionSystem makeFirSlmTs(ir::Context& ctx) {
+  ir::TransitionSystem ts(ctx, "fir_slm");
+  ir::NodeRef in = ts.addInput("s.in", 8);
+  std::vector<ir::NodeRef> taps(kFirTaps);
+  taps[0] = in;
+  for (unsigned i = 1; i < kFirTaps; ++i)
+    taps[i] = ts.addState("s.x" + std::to_string(i), 8, 0);
+  for (unsigned i = 1; i < kFirTaps; ++i)
+    ts.setNext(taps[i], taps[i - 1]);
+  ir::NodeRef acc = nullptr;
+  for (unsigned i = 0; i < kFirTaps; ++i) {
+    ir::NodeRef prod = ctx.mul(ctx.sext(taps[i], kFirAccWidth),
+                               ctx.constantInt(kFirAccWidth, kFirCoeffs[i]));
+    acc = acc == nullptr ? prod : ctx.add(acc, prod);
+  }
+  ts.addOutput("out", acc);
+  // Warm-up counter: the SLM's abstraction of the RTL's valid chain, so
+  // the SEC spec can cover the output handshake, not only the data (the
+  // mutation study in bench_sec_ablation is what exposed the need).
+  ir::NodeRef warm = ts.addState("s.warm", 3, 0);
+  ir::NodeRef full = ctx.constantUint(3, kFirTaps - 1);
+  ts.setNext(warm, ctx.mux(ctx.eq(warm, full), full,
+                           ctx.add(warm, ctx.one(3))));
+  ts.addOutput("valid", ctx.eq(warm, full));
+  return ts;
+}
+
+FirSecSetup makeFirSecProblem(ir::Context& ctx, FirBug bug) {
+  FirSecSetup setup;
+  setup.slm =
+      std::make_unique<ir::TransitionSystem>(makeFirSlmTs(ctx));
+  setup.rtl = std::make_unique<ir::TransitionSystem>(
+      rtl::lowerToTransitionSystem(makeFirRtl(bug), ctx, "r."));
+  setup.problem = std::make_unique<sec::SecProblem>(ctx, *setup.slm, 1,
+                                                    *setup.rtl, 1);
+  sec::SecProblem& p = *setup.problem;
+  ir::NodeRef sample = p.declareTxnVar("sample", 8);
+  p.bindInput(sec::Side::kSlm, "s.in", 0, sample);
+  p.bindInput(sec::Side::kRtl, "r.in_data", 0, sample);
+  p.bindInput(sec::Side::kRtl, "r.in_valid", 0, ctx.one(1));
+  p.checkOutputs("out", 0, "out_data", 0);
+  p.checkOutputs("valid", 0, "out_valid", 0);
+  // Coupling invariants: the delay lines agree register-for-register, and
+  // the SLM's warm-up counter abstracts the RTL's valid chain.
+  ir::NodeRef warm = setup.slm->findState("s.warm")->current;
+  for (unsigned i = 1; i < kFirTaps; ++i) {
+    p.addCouplingInvariant(
+        ctx.eq(setup.slm->findState("s.x" + std::to_string(i))->current,
+               setup.rtl->findState("r.x" + std::to_string(i))->current));
+    p.addCouplingInvariant(
+        ctx.eq(setup.rtl->findState("r.v" + std::to_string(i))->current,
+               ctx.uge(warm, ctx.constantUint(3, i))));
+  }
+  return setup;
+}
+
+}  // namespace dfv::designs

@@ -1,0 +1,97 @@
+// The FIR filter design pair: signal-processing block with SLM models at
+// three abstraction levels plus streaming RTL.
+//
+// This design carries the paper's §3.1.1 story: the architecture-phase C
+// model computes in plain `int` (32-bit everywhere), the RTL computes in
+// sized bit-vectors.  With a correctly sized accumulator the two agree; the
+// classic RTL bug — an accumulator narrowed to save area — wraps exactly
+// where the int model silently doesn't (Fig 1's masked-overflow mechanism).
+// Both co-simulation and SEC must find that bug; the bit-accurate SLM
+// (written with bv::Int, the sc_int discipline) matches the RTL by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitvec/hdl_int.h"
+#include "ir/transition_system.h"
+#include "rtl/netlist.h"
+#include "sec/transaction.h"
+
+namespace dfv::designs {
+
+/// Tap count and the fixed symmetric low-pass coefficients (8-bit signed).
+inline constexpr unsigned kFirTaps = 8;
+inline constexpr int kFirCoeffs[kFirTaps] = {4, -3, 10, 21, 21, 10, -3, 4};
+/// Full-precision accumulator width: |sum| <= 127 * 76 < 2^14.
+inline constexpr unsigned kFirAccWidth = 18;
+/// The buggy narrowed accumulator width (wraps on loud input).
+inline constexpr unsigned kFirNarrowAccWidth = 12;
+
+/// Architecture-phase C model: plain int arithmetic (width-oblivious).
+/// Output k corresponds to input window ending at sample k (k >= taps-1).
+std::vector<std::int32_t> firGoldenInt(const std::vector<std::int8_t>& x);
+
+/// The computational kernel shared by every functionally accurate FIR model
+/// (§4.4: keep computation orthogonal to communication so the kernel is
+/// reused across abstraction levels).  A bit-accurate delay-line stepper:
+/// the untimed golden model calls it in a loop; the kernel-based SLM module
+/// calls it once per clock edge.
+class FirKernel {
+ public:
+  /// Pushes one sample; returns the filter output once the window is full.
+  std::optional<bv::Int<kFirAccWidth>> push(std::int8_t sample);
+  void reset();
+
+ private:
+  std::int8_t delay_[kFirTaps] = {};
+  unsigned seen_ = 0;
+};
+
+/// Bit-accurate SLM: same function computed with sized HdlInt datatypes
+/// exactly as the (correct) RTL computes it.
+std::vector<bv::Int<kFirAccWidth>> firGoldenBitAccurate(
+    const std::vector<std::int8_t>& x);
+
+/// Injectable RTL bugs (the CLM-SECFIND experiment's bug set).
+enum class FirBug {
+  kNone,
+  kNarrowAccumulator,  ///< accumulator narrowed to 12 bits: wraps when loud
+  kWrongCoefficient,   ///< tap 2's coefficient sign flipped
+  kDroppedTap,         ///< the oldest tap is left out of the sum
+};
+
+/// Streaming RTL: ports in_data[8]/in_valid -> out_data[18]/out_valid.
+/// One output per accepted input once the window is full (latency
+/// kFirTaps-1 accepted samples).
+rtl::Module makeFirRtl(FirBug bug);
+inline rtl::Module makeFirRtl(bool narrowAccumulator = false) {
+  return makeFirRtl(narrowAccumulator ? FirBug::kNarrowAccumulator
+                                      : FirBug::kNone);
+}
+
+/// The verification SLM as a transition system: the bit-accurate model with
+/// the RTL's delay-line timing detail added (§1: verification models are
+/// functionally accurate models plus timing detail).  Input "s.in"[8];
+/// output "out"[18].
+ir::TransitionSystem makeFirSlmTs(ir::Context& ctx);
+
+/// Builds the complete SEC problem (SLM vs lowered RTL, one sample per
+/// transaction, delay-line coupling invariants).  The RTL side TS is
+/// allocated in `ctx` and owned by the returned holder.
+struct FirSecSetup {
+  std::unique_ptr<ir::TransitionSystem> slm;
+  std::unique_ptr<ir::TransitionSystem> rtl;
+  std::unique_ptr<sec::SecProblem> problem;
+};
+FirSecSetup makeFirSecProblem(ir::Context& ctx, FirBug bug);
+inline FirSecSetup makeFirSecProblem(ir::Context& ctx,
+                                     bool narrowAccumulator) {
+  return makeFirSecProblem(ctx, narrowAccumulator
+                                    ? FirBug::kNarrowAccumulator
+                                    : FirBug::kNone);
+}
+
+}  // namespace dfv::designs

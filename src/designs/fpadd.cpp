@@ -1,0 +1,41 @@
+#include "designs/fpadd.h"
+
+namespace dfv::designs {
+
+FpAddSecSetup makeFpAddSecProblem(ir::Context& ctx, fp::Format fmt,
+                                  bool constrainToSafeBand) {
+  const unsigned w = fmt.width();
+  FpAddSecSetup setup;
+  setup.slm = std::make_unique<ir::TransitionSystem>(ctx, "fp_slm");
+  {
+    ir::NodeRef a = setup.slm->addInput("s.a", w);
+    ir::NodeRef b = setup.slm->addInput("s.b", w);
+    setup.slm->addOutput("sum", fp::buildIeeeAdder(ctx, fmt, a, b));
+  }
+  setup.rtl = std::make_unique<ir::TransitionSystem>(ctx, "fp_rtl");
+  {
+    ir::NodeRef a = setup.rtl->addInput("r.a", w);
+    ir::NodeRef b = setup.rtl->addInput("r.b", w);
+    setup.rtl->addOutput("sum", fp::buildHwAdder(ctx, fmt, a, b));
+  }
+  setup.problem =
+      std::make_unique<sec::SecProblem>(ctx, *setup.slm, 1, *setup.rtl, 1);
+  sec::SecProblem& p = *setup.problem;
+  ir::NodeRef va = p.declareTxnVar("fa", w);
+  ir::NodeRef vb = p.declareTxnVar("fb", w);
+  p.bindInput(sec::Side::kSlm, "s.a", 0, va);
+  p.bindInput(sec::Side::kSlm, "s.b", 0, vb);
+  p.bindInput(sec::Side::kRtl, "r.a", 0, va);
+  p.bindInput(sec::Side::kRtl, "r.b", 0, vb);
+  p.checkOutputs("sum", 0, "sum", 0);
+  if (constrainToSafeBand) {
+    const fp::SafeBand band = fp::safeExponentBand(fmt);
+    p.addConstraint(
+        fp::buildExponentBandConstraint(ctx, fmt, va, band.lo, band.hi));
+    p.addConstraint(
+        fp::buildExponentBandConstraint(ctx, fmt, vb, band.lo, band.hi));
+  }
+  return setup;
+}
+
+}  // namespace dfv::designs

@@ -1,0 +1,29 @@
+// The floating-point adder design pair (§3.1.2).
+//
+// SLM side: the full-IEEE adder circuit (what a C model using `float`
+// computes).  RTL side: the simplified hardware adder (flush-to-zero, no
+// NaN/Inf, clamp).  Unconstrained SEC finds the corner-case divergence;
+// constraining both operands to the safe exponent band proves equivalence —
+// the exact technique §3.1.2 recommends.
+#pragma once
+
+#include <memory>
+
+#include "fp/circuits.h"
+#include "ir/transition_system.h"
+#include "sec/transaction.h"
+
+namespace dfv::designs {
+
+struct FpAddSecSetup {
+  std::unique_ptr<ir::TransitionSystem> slm;
+  std::unique_ptr<ir::TransitionSystem> rtl;
+  std::unique_ptr<sec::SecProblem> problem;
+};
+
+/// Builds the SEC problem for the given format.  When `constrainToSafeBand`
+/// both operands are constrained to fp::safeExponentBand(fmt).
+FpAddSecSetup makeFpAddSecProblem(ir::Context& ctx, fp::Format fmt,
+                                  bool constrainToSafeBand);
+
+}  // namespace dfv::designs

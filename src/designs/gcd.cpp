@@ -1,0 +1,109 @@
+#include "designs/gcd.h"
+
+#include "rtl/lower.h"
+#include "slmc/elaborate.h"
+
+namespace dfv::designs {
+
+using namespace slmc;
+
+slmc::Function makeGcdConditioned() {
+  // Static bound with a guarded body: each unrolled iteration elaborates to
+  // the same mux-and-divider structure as one FSM cycle, so the SEC miter
+  // collapses structurally.  (A breakIf-based conditional exit is equally
+  // lint-clean and interpretable — see designs_test's findfirst SEC — but
+  // accumulating break flags elaborate to guards the solver must prove
+  // equal to the FSM's y==0 tests across 14 chained dividers, which is the
+  // kind of structural divergence §4.1 warns grows expensive.)
+  Function f;
+  f.name = "gcd";
+  f.params = {{"a", 8, false}, {"b", 8, false}};
+  f.returnWidth = 8;
+  f.returnSigned = false;
+  Block step;
+  step.push_back(assign("t", binary(BinOp::kMod, var("x"), var("y"))));
+  step.push_back(assign("x", var("y")));
+  step.push_back(assign("y", var("t")));
+  Block loop;
+  loop.push_back(
+      ifElse(binary(BinOp::kNe, var("y"), constantU(8, 0)), step, {}));
+  f.body = {
+      declVar("x", 8, false), assign("x", var("a")),
+      declVar("y", 8, false), assign("y", var("b")),
+      declVar("t", 8, false),
+      forLoop("i", constantU(32, kGcdMaxIterations), loop),
+      returnStmt(var("x")),
+  };
+  return f;
+}
+
+slmc::Function makeGcdUnconditioned() {
+  Function f;
+  f.name = "gcd_sw";
+  f.params = {{"a", 8, false}, {"b", 8, false}};
+  f.returnWidth = 8;
+  f.returnSigned = false;
+  Block loop;
+  loop.push_back(breakIf(binary(BinOp::kEq, var("y"), constantU(8, 0))));
+  loop.push_back(assign("t", binary(BinOp::kMod, var("x"), var("y"))));
+  loop.push_back(assign("x", var("y")));
+  loop.push_back(assign("y", var("t")));
+  f.body = {
+      declVar("x", 8, false), assign("x", var("a")),
+      declVar("y", 8, false), assign("y", var("b")),
+      declVar("t", 8, false),
+      // malloc(a+1) — size depends on a runtime value
+      declArray("scratch", 8, false,
+                cast(binary(BinOp::kAdd, var("a"), constantU(8, 1)), 32,
+                     false)),
+      // while (y) — trip count depends on the data
+      forLoop("i", cast(var("b"), 32, false), loop),
+      returnStmt(var("x")),
+  };
+  return f;
+}
+
+rtl::Module makeGcdRtl() {
+  rtl::Module m("gcd_fsm");
+  rtl::NetId start = m.addInput("start", 1);
+  rtl::NetId a = m.addInput("a", 8);
+  rtl::NetId b = m.addInput("b", 8);
+  rtl::NetId x = m.addDff("x", 8, 0);
+  rtl::NetId y = m.addDff("y", 8, 0);
+  rtl::NetId yIsZero = m.opEq(y, m.constantUint(8, 0));
+  // One Euclid step per cycle: (x, y) <- (y, x mod y) while y != 0.
+  rtl::NetId xStep = m.opMux(yIsZero, x, y);
+  rtl::NetId yStep = m.opMux(yIsZero, y, m.opURem(x, y));
+  m.connectDff(x, m.opMux(start, a, xStep));
+  m.connectDff(y, m.opMux(start, b, yStep));
+  m.addOutput("out", x);
+  m.addOutput("done", yIsZero);
+  return m;
+}
+
+GcdSecSetup makeGcdSecProblem(ir::Context& ctx) {
+  GcdSecSetup setup;
+  Elaboration e = elaborate(makeGcdConditioned(), ctx, "s.");
+  DFV_CHECK_MSG(e.ok, "conditioned gcd failed to elaborate");
+  setup.slm = std::move(e.ts);
+  setup.rtl = std::make_unique<ir::TransitionSystem>(
+      rtl::lowerToTransitionSystem(makeGcdRtl(), ctx, "r."));
+  setup.problem = std::make_unique<sec::SecProblem>(
+      ctx, *setup.slm, 1, *setup.rtl, kGcdRtlCycles);
+  sec::SecProblem& p = *setup.problem;
+  ir::NodeRef va = p.declareTxnVar("a", 8);
+  ir::NodeRef vb = p.declareTxnVar("b", 8);
+  p.bindInput(sec::Side::kSlm, "s.a", 0, va);
+  p.bindInput(sec::Side::kSlm, "s.b", 0, vb);
+  for (unsigned c = 0; c < kGcdRtlCycles; ++c) {
+    p.bindInput(sec::Side::kRtl, "r.start", c,
+                ctx.constantUint(1, c == 0 ? 1 : 0));
+    p.bindInput(sec::Side::kRtl, "r.a", c, va);
+    p.bindInput(sec::Side::kRtl, "r.b", c, vb);
+  }
+  // SLM result vs RTL x register after the full iteration window.
+  p.checkOutputs("ret", 0, "out", kGcdRtlCycles - 1);
+  return setup;
+}
+
+}  // namespace dfv::designs

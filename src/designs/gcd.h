@@ -1,0 +1,49 @@
+// The GCD design: the §4.3 model-conditioning showcase.
+//
+// One algorithm, three forms:
+//   * a conditioned SLM-C model — static loop bound with a conditional
+//     exit, statically sized storage (lints clean, elaborates);
+//   * an unconditioned SLM-C model — data-dependent loop bound and a
+//     dynamically sized scratch buffer (runs fine, cannot be analyzed);
+//   * a multi-cycle RTL FSM — start/load then one Euclid step per cycle.
+// SEC proves the elaborated conditioned model equivalent to the FSM over a
+// fixed transaction window, which is exactly the §4.3 payoff: following the
+// guidelines is what makes the formal flow possible at all.
+#pragma once
+
+#include <memory>
+
+#include "ir/transition_system.h"
+#include "rtl/netlist.h"
+#include "sec/transaction.h"
+#include "slmc/ast.h"
+
+namespace dfv::designs {
+
+/// Worst-case Euclid iterations for 8-bit operands (Fibonacci bound).
+inline constexpr unsigned kGcdMaxIterations = 14;
+/// RTL transaction window: load + iterations + result sample.
+inline constexpr unsigned kGcdRtlCycles = kGcdMaxIterations + 2;
+
+/// gcd(a, b) with a static loop bound + conditional exit (conditioned).
+slmc::Function makeGcdConditioned();
+
+/// The same algorithm written the "software way": data-dependent bound and
+/// dynamic allocation (runnable, not analyzable).
+slmc::Function makeGcdUnconditioned();
+
+/// RTL FSM: inputs start/a[8]/b[8]; on start loads operands, then performs
+/// one Euclid step (x,y) <- (y, x mod y) per cycle while y != 0; outputs
+/// "out"[8] (current x) and "done"[1] (y == 0).
+rtl::Module makeGcdRtl();
+
+/// Complete SEC problem: elaborated conditioned SLM (1 step/txn) vs the
+/// RTL FSM (kGcdRtlCycles cycles/txn, start pulsed on cycle 0).
+struct GcdSecSetup {
+  std::unique_ptr<ir::TransitionSystem> slm;
+  std::unique_ptr<ir::TransitionSystem> rtl;
+  std::unique_ptr<sec::SecProblem> problem;
+};
+GcdSecSetup makeGcdSecProblem(ir::Context& ctx);
+
+}  // namespace dfv::designs

@@ -1,0 +1,127 @@
+#include "designs/macpipe.h"
+
+#include <unordered_map>
+
+#include "rtl/sim.h"
+
+namespace dfv::designs {
+
+std::uint16_t macGolden(const MacOp& op) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned>(op.a) * static_cast<unsigned>(op.b) + op.tag);
+}
+
+namespace {
+
+/// Builds one lane: `stages` pipeline registers carrying valid/tag/data.
+/// The datapath (a*b computed in stage 1, +tag at the end) is identical in
+/// both lanes; only the depth differs.
+void buildLane(rtl::Module& m, const std::string& prefix, unsigned stages,
+               rtl::NetId enable, rtl::NetId inValid, rtl::NetId tag,
+               rtl::NetId a, rtl::NetId b) {
+  // Stage 1: multiply.
+  rtl::NetId prod = m.opMul(m.opZExt(a, 16), m.opZExt(b, 16));
+  rtl::NetId v = m.addDff(prefix + "v1", 1, 0);
+  m.connectDff(v, inValid, enable);
+  rtl::NetId t = m.addDff(prefix + "t1", 4, 0);
+  m.connectDff(t, tag, enable);
+  rtl::NetId d = m.addDff(prefix + "d1", 16, 0);
+  m.connectDff(d, prod, enable);
+  // Remaining stages: plain pipeline flops.
+  for (unsigned s = 2; s <= stages; ++s) {
+    rtl::NetId vn = m.addDff(prefix + "v" + std::to_string(s), 1, 0);
+    m.connectDff(vn, v, enable);
+    rtl::NetId tn = m.addDff(prefix + "t" + std::to_string(s), 4, 0);
+    m.connectDff(tn, t, enable);
+    rtl::NetId dn = m.addDff(prefix + "d" + std::to_string(s), 16, 0);
+    m.connectDff(dn, d, enable);
+    v = vn;
+    t = tn;
+    d = dn;
+  }
+  m.addOutput(prefix + "valid", v);
+  m.addOutput(prefix + "tag", t);
+  m.addOutput(prefix + "data", m.opAdd(d, m.opZExt(t, 16)));
+}
+
+}  // namespace
+
+rtl::Module makeMacPipeRtl() {
+  rtl::Module m("macpipe");
+  rtl::NetId valid = m.addInput("in_valid", 1);
+  rtl::NetId tag = m.addInput("in_tag", 4);
+  rtl::NetId a = m.addInput("in_a", 8);
+  rtl::NetId b = m.addInput("in_b", 8);
+  rtl::NetId stall = m.addInput("stall", 1);
+  rtl::NetId enable = m.opNot(stall);
+
+  rtl::NetId laneSel = m.opExtract(tag, 0, 0);  // odd tag -> slow lane
+  rtl::NetId fastValid = m.opAnd(valid, m.opNot(laneSel));
+  rtl::NetId slowValid = m.opAnd(valid, laneSel);
+  buildLane(m, "f_", /*stages=*/2, enable, fastValid, tag, a, b);
+  buildLane(m, "s_", /*stages=*/4, enable, slowValid, tag, a, b);
+  return m;
+}
+
+MacRunResult runMacPipe(const std::vector<MacOp>& ops,
+                        const cosim::StallPolicy& stall,
+                        std::uint64_t drainCycles) {
+  rtl::Simulator sim(makeMacPipeRtl());
+  MacRunResult result;
+  result.latencies.assign(ops.size(), 0);
+  std::unordered_map<std::uint8_t, std::vector<std::size_t>> issueByTag;
+  std::unordered_map<std::uint8_t, std::vector<std::uint64_t>> issueCycle;
+
+  std::size_t next = 0;
+  std::uint64_t idle = drainCycles;
+  std::uint64_t cycle = 0;
+  while (next < ops.size() || idle > 0) {
+    const bool stalled = stall(cycle);
+    const bool feeding = !stalled && next < ops.size();
+    if (feeding) {
+      sim.setInputUint("in_valid", 1);
+      sim.setInputUint("in_tag", ops[next].tag & 0xf);
+      sim.setInputUint("in_a", ops[next].a);
+      sim.setInputUint("in_b", ops[next].b);
+      issueByTag[ops[next].tag & 0xf].push_back(next);
+      issueCycle[ops[next].tag & 0xf].push_back(cycle);
+      ++next;
+    } else {
+      sim.setInputUint("in_valid", 0);
+      sim.setInputUint("in_tag", 0);
+      sim.setInputUint("in_a", 0);
+      sim.setInputUint("in_b", 0);
+    }
+    sim.setInputUint("stall", stalled ? 1 : 0);
+    sim.evalCombinational();
+    if (!stalled) {
+      for (const char* lane : {"f_", "s_"}) {
+        const std::string p(lane);
+        if (sim.outputValue(p + "valid").isZero()) continue;
+        MacRunResult::Completion c;
+        c.cycle = cycle;
+        c.tag = static_cast<std::uint8_t>(
+            sim.outputValue(p + "tag").toUint64());
+        c.data = static_cast<std::uint16_t>(
+            sim.outputValue(p + "data").toUint64());
+        c.fastLane = p == "f_";
+        result.completions.push_back(c);
+        // Completions per tag are FIFO within a lane (ops with one tag all
+        // use one lane), so pop the oldest outstanding issue of this tag.
+        auto& issued = issueByTag[c.tag];
+        auto& cycles = issueCycle[c.tag];
+        DFV_CHECK_MSG(!issued.empty(), "completion with no issue");
+        result.latencies[issued.front()] = c.cycle - cycles.front();
+        issued.erase(issued.begin());
+        cycles.erase(cycles.begin());
+      }
+    }
+    sim.clockEdge();
+    if (next >= ops.size()) --idle;
+    ++cycle;
+  }
+  result.cyclesRun = cycle;
+  return result;
+}
+
+}  // namespace dfv::designs

@@ -1,0 +1,64 @@
+// The dual-lane MAC pipeline: the paper's Fig 2 / §3.2 timing story.
+//
+// "RTL models often have variability in input to output latency due to ...
+// stall conditions ... Sometimes the order in which the RTL produces
+// outputs may be different than the order in which the SLM produces the
+// corresponding outputs."  This block makes both effects concrete:
+//
+//   * operations with an even tag take the fast lane (2 pipeline stages),
+//     odd tags take the slow lane (4 stages) — completion order differs
+//     from issue order whenever a fast op is issued <2 cycles after a slow
+//     one;
+//   * an external stall input freezes both lanes, stretching latency.
+//
+// The untimed SLM produces results in issue order with zero latency, so the
+// cosim comparator must be the tag-matched out-of-order scoreboard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cosim/scoreboard.h"
+#include "cosim/wrapped_rtl.h"
+#include "rtl/netlist.h"
+
+namespace dfv::designs {
+
+/// One MAC operation.
+struct MacOp {
+  std::uint8_t tag;  ///< 4-bit; LSB selects the lane
+  std::uint8_t a;
+  std::uint8_t b;
+};
+
+/// The function both lanes implement: a*b + tag (16-bit).
+std::uint16_t macGolden(const MacOp& op);
+
+/// RTL: inputs in_valid, in_tag[4], in_a[8], in_b[8], stall; two output
+/// ports (fast lane: f_valid/f_tag/f_data; slow lane: s_valid/s_tag/s_data).
+rtl::Module makeMacPipeRtl();
+
+/// Result of driving the pipe with a stall policy.
+struct MacRunResult {
+  /// Completion records in the order the RTL produced them.
+  struct Completion {
+    std::uint64_t cycle;
+    std::uint8_t tag;
+    std::uint16_t data;
+    bool fastLane;
+  };
+  std::vector<Completion> completions;
+  std::uint64_t cyclesRun = 0;
+  /// Per-op latency (completion cycle - issue cycle), indexed by issue
+  /// order.
+  std::vector<std::uint64_t> latencies;
+};
+
+/// Drives the RTL with one op per un-stalled cycle and collects both output
+/// ports.  Deterministic in the stall policy.
+MacRunResult runMacPipe(const std::vector<MacOp>& ops,
+                        const cosim::StallPolicy& stall,
+                        std::uint64_t drainCycles = 32);
+
+}  // namespace dfv::designs

@@ -1,0 +1,44 @@
+// The memory-subsystem design pair: the paper's §3.2 latency-abstraction
+// story.
+//
+// "The SLM may model a memory simply as a static array in C (accessed and
+// written without any delay), while the RTL implements a real memory that
+// has a delay of one clock cycle for memory reads. The RTL may even have a
+// hierarchical memory with a cache, where the latency of a memory read is a
+// function of the state of the cache."
+//
+// SLM: a flat 256-byte array, zero-latency.  RTL: a direct-mapped 8-line
+// write-through cache in front of a synchronous-read backing memory; read
+// hits respond in the request cycle, misses take a 4-cycle penalty.  Values
+// always agree (in-order scoreboard), timing never does — the comparator
+// has to absorb a state-dependent latency distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.h"
+#include "workload/workload.h"
+
+namespace dfv::designs {
+
+/// Zero-latency SLM: replays the trace against a flat array; returns the
+/// response data stream (one entry per request: write echoes the data).
+std::vector<std::uint8_t> memGolden(
+    const std::vector<workload::MemRequest>& trace);
+
+/// The cache RTL: req_valid/req_write/req_addr[8]/req_wdata[8] in,
+/// req_ready/resp_valid/resp_data[8] out.
+rtl::Module makeCacheRtl();
+
+/// Drives the RTL through a request trace (issuing when req_ready).
+struct MemRunResult {
+  std::vector<std::uint8_t> responses;      ///< in request order
+  std::vector<std::uint64_t> latencies;     ///< cycles from issue to resp
+  std::uint64_t readHits = 0;
+  std::uint64_t readMisses = 0;
+  std::uint64_t cyclesRun = 0;
+};
+MemRunResult runCache(const std::vector<workload::MemRequest>& trace);
+
+}  // namespace dfv::designs

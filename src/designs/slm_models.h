@@ -1,0 +1,108 @@
+// Kernel-based (cycle-approximate) SLM modules for the reference designs.
+//
+// These are the "software prototyping / verification" abstraction level of
+// §1: the same computational kernels as the untimed golden models
+// (FirKernel, convWindow), wrapped in the §4.4 communication style — FIFO
+// channels and a clock on the coroutine kernel.  Because computation and
+// communication are orthogonal, each module is a drop-in peer of the
+// corresponding RTL block behind cosim::RtlBlockInSlm: a system can swap
+// the SLM module for the wrapped RTL (or back) without touching its
+// neighbors — the §4.2 plug-and-play property.
+#pragma once
+
+#include "designs/conv.h"
+#include "designs/fir.h"
+#include "slm/channels.h"
+#include "slm/kernel.h"
+
+namespace dfv::designs {
+
+/// FIR as an SLM kernel module: one sample consumed per clock edge (when
+/// available), outputs pushed to the result FIFO.
+class FirSlmModule : public slm::Module {
+ public:
+  FirSlmModule(slm::Kernel& kernel, std::string name, slm::Clock& clock,
+               slm::Fifo<bv::BitVector>& input,
+               slm::Fifo<bv::BitVector>& output)
+      : slm::Module(kernel, std::move(name)),
+        clock_(clock),
+        input_(input),
+        output_(output) {
+    kernel.spawn(run(), this->name() + ".run");
+  }
+
+ private:
+  slm::Process run() {
+    for (;;) {
+      co_await clock_.rising();
+      auto sample = input_.tryGet();
+      if (!sample.has_value()) continue;
+      auto y = kernel_.push(static_cast<std::int8_t>(sample->toInt64()));
+      if (y.has_value()) {
+        const bool pushed = output_.tryPut(y->toBitVector());
+        DFV_CHECK_MSG(pushed, "fir output fifo overflow");
+      }
+    }
+  }
+
+  FirKernel kernel_;
+  slm::Clock& clock_;
+  slm::Fifo<bv::BitVector>& input_;
+  slm::Fifo<bv::BitVector>& output_;
+};
+
+/// conv3x3 as an SLM kernel module: raster pixel stream in, interior
+/// pixels out, built on the same convWindow() the golden model uses.
+class ConvSlmModule : public slm::Module {
+ public:
+  ConvSlmModule(slm::Kernel& kernel, std::string name, unsigned imageWidth,
+                ConvKernel convKernel, slm::Clock& clock,
+                slm::Fifo<bv::BitVector>& input,
+                slm::Fifo<bv::BitVector>& output)
+      : slm::Module(kernel, std::move(name)),
+        width_(imageWidth),
+        convKernel_(convKernel),
+        clock_(clock),
+        input_(input),
+        output_(output),
+        history_(2 * imageWidth + 3, 0) {
+    DFV_CHECK_MSG(imageWidth >= 4, "image too narrow");
+    kernel.spawn(run(), this->name() + ".run");
+  }
+
+ private:
+  slm::Process run() {
+    unsigned x = 0, y = 0;
+    for (;;) {
+      co_await clock_.rising();
+      auto px = input_.tryGet();
+      if (!px.has_value()) continue;
+      for (std::size_t i = history_.size() - 1; i > 0; --i)
+        history_[i] = history_[i - 1];
+      history_[0] = static_cast<std::uint8_t>(px->toUint64());
+      if (x >= 2 && y >= 2) {
+        const unsigned W = width_;
+        const std::array<std::uint8_t, 9> window = {
+            history_[2 * W + 2], history_[2 * W + 1], history_[2 * W],
+            history_[W + 2],     history_[W + 1],     history_[W],
+            history_[2],         history_[1],         history_[0]};
+        const bool pushed = output_.tryPut(bv::BitVector::fromUint(
+            8, convWindow(window, convKernel_)));
+        DFV_CHECK_MSG(pushed, "conv output fifo overflow");
+      }
+      if (++x == width_) {
+        x = 0;
+        ++y;
+      }
+    }
+  }
+
+  unsigned width_;
+  ConvKernel convKernel_;
+  slm::Clock& clock_;
+  slm::Fifo<bv::BitVector>& input_;
+  slm::Fifo<bv::BitVector>& output_;
+  std::vector<std::uint8_t> history_;
+};
+
+}  // namespace dfv::designs

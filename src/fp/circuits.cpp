@@ -1,0 +1,379 @@
+#include "fp/circuits.h"
+
+namespace dfv::fp {
+
+namespace {
+
+using ir::Context;
+using ir::NodeRef;
+
+/// Shared machinery for the floating-point datapath builders: field
+/// unpacking, leading-zero counting, round-to-nearest-even and packing for
+/// both the IEEE and the simplified-hardware semantics.
+class FpBuilderBase {
+ protected:
+  FpBuilderBase(Context& ctx, Format fmt, bool ieee, unsigned expWorkWidth)
+      : x_(ctx), fmt_(fmt), ieee_(ieee) {
+    fmt.check();
+    W_ = fmt.width();
+    M_ = fmt.man;
+    SW_ = M_ + 4;        // significand with hidden bit + G/R/S
+    XW_ = expWorkWidth;  // exponent work width (field domain)
+  }
+
+  struct Fields {
+    NodeRef sign;     // 1
+    NodeRef expField; // fmt.exp
+    NodeRef frac;     // M
+    NodeRef eIsZero;  // 1
+    NodeRef eIsMax;   // 1
+    NodeRef isNaN;    // 1 (kFalse when !ieee)
+    NodeRef isInf;    // 1 (kFalse when !ieee)
+  };
+
+  Fields fields(NodeRef v) {
+    DFV_CHECK_MSG(v->width() == W_, "operand width mismatch for format");
+    Fields f;
+    f.sign = x_.extract(v, W_ - 1, W_ - 1);
+    f.expField = x_.extract(v, W_ - 2, M_);
+    f.frac = x_.extract(v, M_ - 1, 0);
+    f.eIsZero = x_.eq(f.expField, x_.zero(fmt_.exp));
+    f.eIsMax =
+        x_.eq(f.expField, x_.constantUint(fmt_.exp, fmt_.maxExpField()));
+    if (ieee_) {
+      f.isNaN = x_.bitAnd(f.eIsMax, x_.ne(f.frac, x_.zero(M_)));
+      f.isInf = x_.bitAnd(f.eIsMax, x_.eq(f.frac, x_.zero(M_)));
+    } else {
+      f.isNaN = x_.boolConst(false);
+      f.isInf = x_.boolConst(false);
+    }
+    return f;
+  }
+
+  /// CLZ over `sig`'s bits, priority to the MSB; result width XW_.
+  NodeRef countLeadingZeros(NodeRef sig) {
+    const unsigned w = sig->width();
+    NodeRef acc = x_.constantUint(XW_, w);
+    for (unsigned i = 0; i < w; ++i) {
+      NodeRef bit = x_.extract(sig, i, i);
+      acc = x_.mux(bit, x_.constantUint(XW_, w - 1 - i), acc);
+    }
+    return acc;
+  }
+
+  NodeRef packZero(NodeRef sign) { return x_.concat(sign, x_.zero(W_ - 1)); }
+
+  NodeRef qNaN() {
+    return x_.constantUint(
+        W_, (fmt_.maxExpField() << M_) | (std::uint64_t{1} << (M_ - 1)));
+  }
+
+  /// Variable shift-right-jam: lshr with all shifted-out bits ORed into the
+  /// LSB.  `amount` is XW_-wide.
+  NodeRef shiftRightJam(NodeRef sig, NodeRef amount) {
+    const unsigned w = sig->width();
+    NodeRef amt = x_.resize(amount, w, false);
+    NodeRef shifted = x_.lshr(sig, amt);
+    // mask = (1 << amount) - 1; shl clamps to 0 at amount >= w, making the
+    // mask all-ones — exactly the full-sticky case.
+    NodeRef mask = x_.sub(x_.shl(x_.one(w), amt), x_.one(w));
+    NodeRef sticky = x_.redOr(x_.bitAnd(sig, mask));
+    return x_.bitOr(shifted, x_.zext(sticky, w));
+  }
+
+  /// Rounds (RNE) and packs a finite value: `exp` is the biased exponent in
+  /// field domain (>= 1), XW_-wide; `sig` is SW_-wide with G/R/S.
+  /// IEEE packs subnormals and overflows to Inf; hardware flushes and
+  /// clamps.
+  NodeRef roundAndPack(NodeRef sign, NodeRef exp, NodeRef sig) {
+    NodeRef g = x_.extract(sig, 2, 2);
+    NodeRef r = x_.extract(sig, 1, 1);
+    NodeRef s = x_.extract(sig, 0, 0);
+    NodeRef lsb = x_.extract(sig, 3, 3);
+    NodeRef roundUp = x_.bitAnd(g, x_.bitOr(r, x_.bitOr(s, lsb)));
+    NodeRef sigQ = x_.extract(sig, SW_ - 1, 3);  // M+1 bits
+    NodeRef sigRnd =
+        x_.add(x_.zext(sigQ, M_ + 2), x_.zext(roundUp, M_ + 2));
+    NodeRef rndOvf = x_.extract(sigRnd, M_ + 1, M_ + 1);
+    NodeRef sigF = x_.mux(rndOvf,
+                          x_.constantUint(M_ + 1, std::uint64_t{1} << M_),
+                          x_.extract(sigRnd, M_, 0));
+    NodeRef expF = x_.mux(rndOvf, x_.add(exp, x_.one(XW_)), exp);
+
+    NodeRef frac = x_.extract(sigF, M_ - 1, 0);
+    NodeRef isSubnormal = x_.eq(x_.extract(sigF, M_, M_), x_.zero(1));
+    NodeRef normal = x_.concat(
+        x_.concat(sign, x_.extract(expF, fmt_.exp - 1, 0)), frac);
+    const std::uint64_t maxF = fmt_.maxExpField();
+    if (ieee_) {
+      NodeRef subnormal =
+          x_.concat(x_.concat(sign, x_.zero(fmt_.exp)), frac);
+      NodeRef inf = x_.concat(
+          x_.concat(sign, x_.constantUint(fmt_.exp, maxF)), x_.zero(M_));
+      NodeRef overflow = x_.uge(expF, x_.constantUint(XW_, maxF));
+      return x_.mux(isSubnormal, subnormal, x_.mux(overflow, inf, normal));
+    }
+    NodeRef zero = packZero(sign);
+    NodeRef clamp = x_.concat(
+        x_.concat(sign, x_.constantUint(fmt_.exp, maxF)),
+        x_.constant(bv::BitVector::allOnes(M_)));
+    NodeRef overflow = x_.ugt(expF, x_.constantUint(XW_, maxF));
+    return x_.mux(isSubnormal, zero, x_.mux(overflow, clamp, normal));
+  }
+
+  Context& x_;
+  Format fmt_;
+  bool ieee_;
+  unsigned W_, M_, SW_, XW_;
+};
+
+/// The adder datapath (IEEE and hardware variants).
+class AdderBuilder : private FpBuilderBase {
+ public:
+  AdderBuilder(Context& ctx, Format fmt, bool ieee)
+      : FpBuilderBase(ctx, fmt, ieee, fmt.exp + 2) {}
+
+  NodeRef build(NodeRef a, NodeRef b) {
+    const Operand oa = unpack(a);
+    const Operand ob = unpack(b);
+
+    // ---- magnitude ordering -------------------------------------------
+    NodeRef aBigger = x_.bitOr(
+        x_.ugt(oa.exp, ob.exp),
+        x_.bitAnd(x_.eq(oa.exp, ob.exp), x_.uge(oa.sig, ob.sig)));
+    NodeRef expBig = x_.mux(aBigger, oa.exp, ob.exp);
+    NodeRef expSml = x_.mux(aBigger, ob.exp, oa.exp);
+    NodeRef sigBig = x_.mux(aBigger, oa.sig, ob.sig);
+    NodeRef sigSml = x_.mux(aBigger, ob.sig, oa.sig);
+    NodeRef signBig = x_.mux(aBigger, oa.sign, ob.sign);
+
+    // ---- align with sticky (shift-right-jam) --------------------------
+    NodeRef d = x_.sub(expBig, expSml);
+    NodeRef jammed = shiftRightJam(sigSml, d);
+
+    // ---- add or subtract magnitudes ------------------------------------
+    NodeRef sameSign = x_.eq(oa.sign, ob.sign);
+    NodeRef bigW = x_.zext(sigBig, SW_ + 1);
+    NodeRef smlW = x_.zext(jammed, SW_ + 1);
+    NodeRef sum = x_.mux(sameSign, x_.add(bigW, smlW), x_.sub(bigW, smlW));
+    NodeRef sumIsZero = x_.eq(sum, x_.zero(SW_ + 1));
+    // Exact-cancellation sign: -0 only when both operands are negative.
+    NodeRef zeroSign = x_.bitAnd(oa.sign, ob.sign);
+
+    // ---- normalize right on carry-out ----------------------------------
+    NodeRef carry = x_.extract(sum, SW_, SW_);
+    NodeRef sumLow = x_.extract(sum, SW_ - 1, 0);
+    NodeRef srj = x_.bitOr(
+        x_.extract(x_.lshr(sum, x_.one(SW_ + 1)), SW_ - 1, 0),
+        x_.zext(x_.extract(sum, 0, 0), SW_));
+    NodeRef sigR = x_.mux(carry, srj, sumLow);
+    NodeRef expR = x_.mux(carry, x_.add(expBig, x_.one(XW_)), expBig);
+
+    // ---- normalize left (bounded by exp = 1) ---------------------------
+    NodeRef lz = countLeadingZeros(sigR);
+    NodeRef expM1 = x_.sub(expR, x_.one(XW_));
+    NodeRef shift = x_.mux(x_.ult(lz, expM1), lz, expM1);
+    NodeRef sigN = x_.shl(sigR, x_.resize(shift, SW_, false));
+    NodeRef expN = x_.sub(expR, shift);
+
+    NodeRef finite = roundAndPack(signBig, expN, sigN);
+    NodeRef result = x_.mux(sumIsZero, packZero(zeroSign), finite);
+
+    if (ieee_) {
+      const Fields fa = fields(a);
+      const Fields fb = fields(b);
+      NodeRef anyNaN = x_.bitOr(
+          x_.bitOr(fa.isNaN, fb.isNaN),
+          x_.bitAnd(x_.bitAnd(fa.isInf, fb.isInf),
+                    x_.bitXor(fa.sign, fb.sign)));
+      result = x_.mux(anyNaN, qNaN(),
+                      x_.mux(fa.isInf, a, x_.mux(fb.isInf, b, result)));
+    }
+    return result;
+  }
+
+ private:
+  struct Operand {
+    NodeRef sign;  // 1
+    NodeRef exp;   // XW (field domain, subnormals use 1)
+    NodeRef sig;   // SW (hidden bit + frac + 3 zero GRS bits)
+  };
+
+  Operand unpack(NodeRef v) {
+    const Fields f = fields(v);
+    Operand o;
+    o.sign = f.sign;
+    o.exp = x_.mux(f.eIsZero, x_.one(XW_), x_.zext(f.expField, XW_));
+    if (ieee_) {
+      NodeRef hidden = x_.bitNot(f.eIsZero);
+      o.sig = x_.concat(x_.concat(hidden, f.frac), x_.zero(3));
+    } else {
+      NodeRef normalSig =
+          x_.concat(x_.concat(x_.one(1), f.frac), x_.zero(3));
+      o.sig = x_.mux(f.eIsZero, x_.zero(SW_), normalSig);
+    }
+    return o;
+  }
+};
+
+/// The multiplier datapath (IEEE and hardware variants).
+///
+/// Exponents are tracked with an offset of kOff so subnormal-input
+/// normalization (which drives the mathematical exponent below zero) stays
+/// in unsigned arithmetic: eOff = expVal + kOff, with expVal the biased
+/// field-domain exponent.
+class MulBuilder : private FpBuilderBase {
+ public:
+  MulBuilder(Context& ctx, Format fmt, bool ieee)
+      : FpBuilderBase(ctx, fmt, ieee, fmt.exp + 6) {
+    DFV_CHECK_MSG(fmt.man >= 3, "multiplier circuits need man >= 3");
+  }
+
+  NodeRef build(NodeRef a, NodeRef b) {
+    const Operand oa = unpack(a);
+    const Operand ob = unpack(b);
+    NodeRef sign = x_.bitXor(oa.sign, ob.sign);
+    NodeRef anyZero = x_.bitOr(oa.isZero, ob.isZero);
+
+    // ---- multiply significands -----------------------------------------
+    const unsigned PW = 2 * M_ + 2;
+    NodeRef prod = x_.mul(x_.zext(oa.sig, PW), x_.zext(ob.sig, PW));
+    NodeRef top = x_.extract(prod, PW - 1, PW - 1);
+
+    // eOffRes = eOffA + eOffB - kOff - bias (+1 when the product carried).
+    NodeRef eSum = x_.add(oa.eOff, ob.eOff);
+    NodeRef eOffRes = x_.sub(
+        eSum, x_.constantUint(XW_, kOff() + fmt_.bias()));
+    eOffRes = x_.mux(top, x_.add(eOffRes, x_.one(XW_)), eOffRes);
+
+    // Normalize the product into SW_ bits with G/R/S (constant shifts,
+    // selected by the carry bit).
+    NodeRef sigHi = constJam(prod, M_ - 2);  // top set
+    NodeRef sigLo = constJam(prod, M_ - 3);  // top clear
+    NodeRef sig = x_.mux(top, sigHi, sigLo);
+
+    // ---- underflow: bring exp up to field value 1 -----------------------
+    const std::uint64_t offPlus1 = kOff() + 1;
+    NodeRef limit = x_.constantUint(XW_, offPlus1);
+    NodeRef isUnder = x_.ult(eOffRes, limit);
+    if (ieee_) {
+      NodeRef shiftAmt = x_.mux(isUnder, x_.sub(limit, eOffRes), x_.zero(XW_));
+      sig = shiftRightJam(sig, shiftAmt);
+    }
+    NodeRef expField =
+        x_.mux(isUnder, x_.one(XW_),
+               x_.sub(eOffRes, x_.constantUint(XW_, kOff())));
+
+    NodeRef finite = roundAndPack(sign, expField, sig);
+    if (!ieee_) {
+      // Hardware: subnormal results flush; an underflowed exponent is zero.
+      finite = x_.mux(isUnder, packZero(sign), finite);
+    }
+    NodeRef result = x_.mux(anyZero, packZero(sign), finite);
+
+    if (ieee_) {
+      const Fields fa = fields(a);
+      const Fields fb = fields(b);
+      NodeRef anyInf = x_.bitOr(fa.isInf, fb.isInf);
+      NodeRef anyNaN = x_.bitOr(x_.bitOr(fa.isNaN, fb.isNaN),
+                                x_.bitAnd(anyInf, anyZero));
+      NodeRef inf = x_.concat(
+          x_.concat(sign, x_.constantUint(fmt_.exp, fmt_.maxExpField())),
+          x_.zero(M_));
+      result = x_.mux(anyNaN, qNaN(), x_.mux(anyInf, inf, result));
+    }
+    return result;
+  }
+
+ private:
+  struct Operand {
+    NodeRef sign;    // 1
+    NodeRef eOff;    // XW: biased exponent + kOff (normalized)
+    NodeRef sig;     // M+1 bits, normalized in [2^M, 2^(M+1)) unless zero
+    NodeRef isZero;  // 1
+  };
+
+  /// Exponent offset keeping eOff arithmetic unsigned: the most negative
+  /// mathematical exponent is -2(M-1) - bias + ... for a product of two
+  /// deepest subnormals, so 2M + bias covers every case with margin.
+  std::uint64_t kOff() const { return 2 * M_ + fmt_.bias(); }
+
+  /// Constant shift-right-jam of `v` by `amount` bits, extracting SW_ bits.
+  NodeRef constJam(NodeRef v, unsigned amount) {
+    NodeRef shifted =
+        x_.lshr(v, x_.constantUint(v->width(), amount));
+    NodeRef out = x_.extract(shifted, SW_ - 1, 0);
+    if (amount == 0) return out;
+    NodeRef lost = x_.extract(v, amount - 1, 0);
+    NodeRef sticky = x_.ne(lost, x_.zero(amount));
+    return x_.bitOr(out, x_.zext(sticky, SW_));
+  }
+
+  Operand unpack(NodeRef v) {
+    const Fields f = fields(v);
+    Operand o;
+    o.sign = f.sign;
+    if (ieee_) {
+      o.isZero = x_.bitAnd(f.eIsZero, x_.eq(f.frac, x_.zero(M_)));
+      // Subnormal input: normalize with CLZ so the hidden bit is set.
+      NodeRef lz = countLeadingZeros(f.frac);  // XW wide, over M bits
+      NodeRef subSig = x_.shl(
+          x_.zext(f.frac, M_ + 1),
+          x_.resize(x_.add(lz, x_.one(XW_)), M_ + 1, false));
+      NodeRef normSig = x_.concat(x_.one(1), f.frac);
+      o.sig = x_.mux(f.eIsZero, subSig, normSig);
+      // eOff: normal -> eF + kOff; subnormal -> kOff - lz.
+      NodeRef eOffNorm =
+          x_.add(x_.zext(f.expField, XW_), x_.constantUint(XW_, kOff()));
+      NodeRef eOffSub = x_.sub(x_.constantUint(XW_, kOff()), lz);
+      o.eOff = x_.mux(f.eIsZero, eOffSub, eOffNorm);
+    } else {
+      // Hardware: subnormal inputs flush to zero; top encoding is normal.
+      o.isZero = f.eIsZero;
+      o.sig = x_.concat(x_.one(1), f.frac);
+      o.eOff =
+          x_.add(x_.zext(f.expField, XW_), x_.constantUint(XW_, kOff()));
+    }
+    return o;
+  }
+};
+
+}  // namespace
+
+ir::NodeRef buildIeeeAdder(ir::Context& ctx, Format fmt, ir::NodeRef a,
+                           ir::NodeRef b) {
+  return AdderBuilder(ctx, fmt, /*ieee=*/true).build(a, b);
+}
+
+ir::NodeRef buildHwAdder(ir::Context& ctx, Format fmt, ir::NodeRef a,
+                         ir::NodeRef b) {
+  return AdderBuilder(ctx, fmt, /*ieee=*/false).build(a, b);
+}
+
+ir::NodeRef buildIeeeMultiplier(ir::Context& ctx, Format fmt, ir::NodeRef a,
+                                ir::NodeRef b) {
+  return MulBuilder(ctx, fmt, /*ieee=*/true).build(a, b);
+}
+
+ir::NodeRef buildHwMultiplier(ir::Context& ctx, Format fmt, ir::NodeRef a,
+                              ir::NodeRef b) {
+  return MulBuilder(ctx, fmt, /*ieee=*/false).build(a, b);
+}
+
+ir::NodeRef buildExponentBandConstraint(ir::Context& ctx, Format fmt,
+                                        ir::NodeRef x, std::uint64_t lo,
+                                        std::uint64_t hi) {
+  ir::NodeRef eF = ctx.extract(x, fmt.width() - 2, fmt.man);
+  return ctx.bitAnd(ctx.uge(eF, ctx.constantUint(fmt.exp, lo)),
+                    ctx.ule(eF, ctx.constantUint(fmt.exp, hi)));
+}
+
+SafeBand safeExponentBand(Format fmt) {
+  // lo: deep cancellation of in-band operands still lands at a normal
+  // exponent (worst case needs man+2 headroom above the minimum exponent).
+  // hi: a carry-out of the top in-band exponent stays below the IEEE
+  // Inf/NaN encoding.
+  return SafeBand{fmt.man + 2, fmt.maxExpField() - 2};
+}
+
+}  // namespace dfv::fp

@@ -1,0 +1,56 @@
+// Word-level circuits for floating-point adders and multipliers, for use in
+// equivalence checking.
+//
+// buildIeeeAdder/buildIeeeMultiplier emit the full IEEE-754
+// round-to-nearest-even datapaths (subnormals, signed zero, NaN, infinity)
+// as ir expressions; buildHwAdder/buildHwMultiplier emit the simplified
+// hardware variants (flush-to-zero, no NaN/Inf, clamp on overflow) matching
+// fp::hwAdd/fp::hwMul bit-for-bit.  All four are validated exhaustively
+// against the software implementations for the 8-bit minifloat format
+// (65,536 input pairs each) in tests/fp_test.cpp.
+//
+// These two circuits are the §3.1.2 experiment: SEC on (IEEE SLM, hardware
+// RTL) finds the corner-case divergence, and the recommended input
+// constraint (exponents inside a safe band) turns the pair provably
+// equivalent.
+#pragma once
+
+#include "fp/softfloat.h"
+#include "ir/expr.h"
+
+namespace dfv::fp {
+
+/// IEEE-754 adder circuit: result = a + b (RNE).  a/b must be fmt.width()
+/// wide scalars.
+ir::NodeRef buildIeeeAdder(ir::Context& ctx, Format fmt, ir::NodeRef a,
+                           ir::NodeRef b);
+
+/// Simplified hardware adder circuit (bit-exact with fp::hwAdd).
+ir::NodeRef buildHwAdder(ir::Context& ctx, Format fmt, ir::NodeRef a,
+                         ir::NodeRef b);
+
+/// IEEE-754 multiplier circuit: result = a * b (RNE).  Requires man >= 3.
+ir::NodeRef buildIeeeMultiplier(ir::Context& ctx, Format fmt, ir::NodeRef a,
+                                ir::NodeRef b);
+
+/// Simplified hardware multiplier circuit (bit-exact with fp::hwMul).
+ir::NodeRef buildHwMultiplier(ir::Context& ctx, Format fmt, ir::NodeRef a,
+                              ir::NodeRef b);
+
+/// The §3.1.2 input constraint: `x`'s exponent field lies in [lo, hi].
+/// With lo >= man+1 and hi <= maxExpField()-2 the IEEE and hardware adders
+/// agree on all inputs satisfying the constraint for both operands.
+ir::NodeRef buildExponentBandConstraint(ir::Context& ctx, Format fmt,
+                                        ir::NodeRef x, std::uint64_t lo,
+                                        std::uint64_t hi);
+
+/// A safe band such that adds of in-band operands are bit-exact between
+/// IEEE and hardware semantics (no subnormal, overflow, NaN or Inf can
+/// arise).
+struct SafeBand {
+  std::uint64_t lo;
+  std::uint64_t hi;
+};
+SafeBand safeExponentBand(Format fmt);
+
+}  // namespace dfv::fp

@@ -1,0 +1,260 @@
+#include "fp/softfloat.h"
+
+#include <bit>
+#include <sstream>
+
+namespace dfv::fp {
+
+namespace {
+
+/// Shift right by `amount`, ORing all shifted-out bits into the LSB
+/// ("jamming" — Berkeley-softfloat style sticky preservation).
+std::uint64_t shiftRightJam(std::uint64_t v, std::uint64_t amount) {
+  if (amount == 0) return v;
+  if (amount >= 64) return v != 0 ? 1 : 0;
+  const std::uint64_t shifted = v >> amount;
+  const std::uint64_t lost = v & ((std::uint64_t{1} << amount) - 1);
+  return shifted | (lost != 0 ? 1 : 0);
+}
+
+struct Unpacked {
+  bool sign;
+  std::int64_t exp;       // biased exponent, >= 1 (subnormals use 1)
+  std::uint64_t sig;      // significand with hidden bit, << 3 (G/R/S space)
+};
+
+/// Rounds (round-to-nearest-even) and packs a finite result.
+/// `sig` has the binary point such that a normalized value is in
+/// [2^(man+3), 2^(man+4)); exp is the biased exponent.
+/// ieee: subnormal underflow + Inf overflow; !ieee: flush + clamp.
+std::uint64_t roundPack(Format fmt, bool sign, std::int64_t exp,
+                        std::uint64_t sig, bool ieee) {
+  const unsigned man = fmt.man;
+  const std::uint64_t signBit = std::uint64_t{sign ? 1u : 0u}
+                                << (fmt.width() - 1);
+  if (exp < 1) {
+    if (!ieee) return signBit;  // hardware: flush to zero
+    sig = shiftRightJam(sig, static_cast<std::uint64_t>(1 - exp));
+    exp = 1;
+  }
+  // Round to nearest even on the 3 extra bits.
+  const std::uint64_t roundBits = sig & 7;
+  sig >>= 3;
+  if (roundBits > 4 || (roundBits == 4 && (sig & 1))) sig += 1;
+  if (sig >= (std::uint64_t{1} << (man + 1))) {
+    sig >>= 1;
+    ++exp;
+  }
+  if (sig < (std::uint64_t{1} << man)) {
+    // Subnormal (exp was clamped to 1) or exact zero.
+    if (!ieee) return signBit;  // flush
+    return signBit | sig;       // expField 0
+  }
+  const std::int64_t maxField = static_cast<std::int64_t>(fmt.maxExpField());
+  if (ieee ? (exp >= maxField) : (exp > maxField)) {
+    if (ieee)  // overflow rounds to infinity under RNE
+      return signBit | (fmt.maxExpField() << man);
+    return signBit | (fmt.maxExpField() << man) | fmt.manMask();  // clamp
+  }
+  return signBit | (static_cast<std::uint64_t>(exp) << man) |
+         (sig & fmt.manMask());
+}
+
+Unpacked unpackIeee(Format fmt, std::uint64_t bits) {
+  Unpacked u;
+  u.sign = (bits >> (fmt.width() - 1)) & 1;
+  const std::uint64_t e = (bits >> fmt.man) & fmt.maxExpField();
+  const std::uint64_t f = bits & fmt.manMask();
+  if (e == 0) {
+    u.exp = 1;  // subnormal: no hidden bit
+    u.sig = f << 3;
+  } else {
+    u.exp = static_cast<std::int64_t>(e);
+    u.sig = ((std::uint64_t{1} << fmt.man) | f) << 3;
+  }
+  return u;
+}
+
+Unpacked unpackHw(Format fmt, std::uint64_t bits) {
+  Unpacked u;
+  u.sign = (bits >> (fmt.width() - 1)) & 1;
+  const std::uint64_t e = (bits >> fmt.man) & fmt.maxExpField();
+  const std::uint64_t f = bits & fmt.manMask();
+  if (e == 0) {
+    u.exp = 1;
+    u.sig = 0;  // flush-to-zero: subnormal inputs are zero
+  } else {
+    u.exp = static_cast<std::int64_t>(e);  // top encoding is a normal number
+    u.sig = ((std::uint64_t{1} << fmt.man) | f) << 3;
+  }
+  return u;
+}
+
+/// Core magnitude add/sub shared by IEEE and hardware semantics.
+std::uint64_t addCore(Format fmt, Unpacked a, Unpacked b, bool ieee) {
+  // Order so |a| >= |b|.
+  if (a.exp < b.exp || (a.exp == b.exp && a.sig < b.sig)) std::swap(a, b);
+  const std::uint64_t d = static_cast<std::uint64_t>(a.exp - b.exp);
+  const std::uint64_t bSig = shiftRightJam(b.sig, d);
+  std::uint64_t sig;
+  if (a.sign == b.sign) {
+    sig = a.sig + bSig;
+  } else {
+    sig = a.sig - bSig;
+  }
+  if (sig == 0) {
+    // Exact cancellation: +0 under RNE unless both inputs were negative
+    // (that only happens for -0 + -0, since equal-sign operands add).
+    const bool zSign = a.sign && b.sign;
+    return zSign ? (std::uint64_t{1} << (fmt.width() - 1)) : 0;
+  }
+  std::int64_t exp = a.exp;
+  // Normalize into [2^(man+3), 2^(man+4)).
+  const std::uint64_t hi = std::uint64_t{1} << (fmt.man + 4);
+  while (sig >= hi) {
+    sig = shiftRightJam(sig, 1);
+    ++exp;
+  }
+  while (sig < (hi >> 1)) {
+    // Left-normalization stops at exponent 1 for both semantics; IEEE packs
+    // what remains as a subnormal, hardware flushes it to zero.
+    if (exp <= 1) break;
+    sig <<= 1;
+    --exp;
+  }
+  return roundPack(fmt, a.sign, exp, sig, ieee);
+}
+
+std::uint64_t mulCore(Format fmt, const Unpacked& a, const Unpacked& b,
+                      bool ieee) {
+  const bool sign = a.sign != b.sign;
+  if (a.sig == 0 || b.sig == 0)
+    return sign ? (std::uint64_t{1} << (fmt.width() - 1)) : 0;
+  // Normalize subnormal inputs (IEEE path; hw flushed them already).
+  Unpacked na = a, nb = b;
+  const std::uint64_t normTop = std::uint64_t{1} << (fmt.man + 3);
+  while (na.sig < normTop) {
+    na.sig <<= 1;
+    --na.exp;
+  }
+  while (nb.sig < normTop) {
+    nb.sig <<= 1;
+    --nb.exp;
+  }
+  // Drop the GRS padding for the multiply, reapply after.
+  const std::uint64_t sa = na.sig >> 3;  // man+1 bits
+  const std::uint64_t sb = nb.sig >> 3;
+  const std::uint64_t prod = sa * sb;  // in [2^(2man), 2^(2man+2))
+  std::int64_t exp =
+      na.exp + nb.exp - static_cast<std::int64_t>(fmt.bias());
+  // Normalize prod into [2^(man+3), 2^(man+4)): its MSB sits at bit 2man
+  // or 2man+1.
+  int shift = static_cast<int>(fmt.man) - 3;
+  if (prod >= (std::uint64_t{1} << (2 * fmt.man + 1))) {
+    ++exp;
+    ++shift;
+  }
+  const std::uint64_t sig =
+      shift >= 0 ? shiftRightJam(prod, static_cast<std::uint64_t>(shift))
+                 : (prod << -shift);
+  return roundPack(fmt, sign, exp, sig, ieee);
+}
+
+}  // namespace
+
+SoftFloat SoftFloat::infinity(Format fmt, bool negative) {
+  return fromFields(fmt, negative, fmt.maxExpField(), 0);
+}
+
+SoftFloat SoftFloat::quietNaN(Format fmt) {
+  return fromFields(fmt, false, fmt.maxExpField(),
+                    std::uint64_t{1} << (fmt.man - 1));
+}
+
+SoftFloat SoftFloat::fromFields(Format fmt, bool sign, std::uint64_t expField,
+                                std::uint64_t frac) {
+  DFV_CHECK_MSG(expField <= fmt.maxExpField() && frac <= fmt.manMask(),
+                "field out of range");
+  const std::uint64_t bits =
+      (std::uint64_t{sign ? 1u : 0u} << (fmt.width() - 1)) |
+      (expField << fmt.man) | frac;
+  return SoftFloat(fmt, bits);
+}
+
+SoftFloat SoftFloat::fromFloat(float f) {
+  return SoftFloat(Format::binary32(), std::bit_cast<std::uint32_t>(f));
+}
+
+float SoftFloat::toFloat() const {
+  DFV_CHECK_MSG(fmt_.exp == 8 && fmt_.man == 23, "toFloat needs binary32");
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits_));
+}
+
+SoftFloat SoftFloat::operator-() const {
+  return SoftFloat(fmt_, bits_ ^ (std::uint64_t{1} << (fmt_.width() - 1)));
+}
+
+SoftFloat operator+(const SoftFloat& a, const SoftFloat& b) {
+  const Format fmt = a.format();
+  DFV_CHECK_MSG(b.format().exp == fmt.exp && b.format().man == fmt.man,
+                "format mismatch");
+  if (a.isNaN() || b.isNaN()) return SoftFloat::quietNaN(fmt);
+  if (a.isInf()) {
+    if (b.isInf() && a.sign() != b.sign()) return SoftFloat::quietNaN(fmt);
+    return a;
+  }
+  if (b.isInf()) return b;
+  return SoftFloat(fmt, addCore(fmt, unpackIeee(fmt, a.bits()),
+                                unpackIeee(fmt, b.bits()), /*ieee=*/true));
+}
+
+SoftFloat operator*(const SoftFloat& a, const SoftFloat& b) {
+  const Format fmt = a.format();
+  DFV_CHECK_MSG(b.format().exp == fmt.exp && b.format().man == fmt.man,
+                "format mismatch");
+  if (a.isNaN() || b.isNaN()) return SoftFloat::quietNaN(fmt);
+  const bool sign = a.sign() != b.sign();
+  if (a.isInf() || b.isInf()) {
+    if (a.isZero() || b.isZero()) return SoftFloat::quietNaN(fmt);
+    return SoftFloat::infinity(fmt, sign);
+  }
+  return SoftFloat(fmt, mulCore(fmt, unpackIeee(fmt, a.bits()),
+                                unpackIeee(fmt, b.bits()), /*ieee=*/true));
+}
+
+std::string SoftFloat::describe() const {
+  std::ostringstream os;
+  os << (sign() ? "-" : "+");
+  if (isNaN())
+    os << "nan";
+  else if (isInf())
+    os << "inf";
+  else if (isZero())
+    os << "0";
+  else
+    os << (isSubnormal() ? "sub(" : "norm(") << "e=" << expField()
+       << ",f=" << fracField() << ")";
+  return os.str();
+}
+
+std::uint64_t hwAdd(Format fmt, std::uint64_t aBits, std::uint64_t bBits) {
+  fmt.check();
+  const Unpacked a = unpackHw(fmt, aBits);
+  const Unpacked b = unpackHw(fmt, bBits);
+  if (a.sig == 0 && b.sig == 0) {
+    const bool zSign = a.sign && b.sign;
+    return zSign ? (std::uint64_t{1} << (fmt.width() - 1)) : 0;
+  }
+  if (a.sig == 0) return roundPack(fmt, b.sign, b.exp, b.sig, false);
+  if (b.sig == 0) return roundPack(fmt, a.sign, a.exp, a.sig, false);
+  return addCore(fmt, a, b, /*ieee=*/false);
+}
+
+std::uint64_t hwMul(Format fmt, std::uint64_t aBits, std::uint64_t bBits) {
+  fmt.check();
+  const Unpacked a = unpackHw(fmt, aBits);
+  const Unpacked b = unpackHw(fmt, bBits);
+  return mulCore(fmt, a, b, /*ieee=*/false);
+}
+
+}  // namespace dfv::fp

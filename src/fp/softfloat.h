@@ -1,0 +1,123 @@
+// Software floating point: full IEEE-754 and the simplified "hardware"
+// variant RTL designers actually build.
+//
+// The paper's §3.1.2: system-level models use the language's IEEE float
+// datatypes, while "RTL designers often do not implement the full IEEE
+// standard" because handling normalized/denormalized numbers, NaN and
+// infinity "can be prohibitively costly in hardware".  This module provides
+// both semantics over one parametric format so the divergence — and the
+// constrained-SEC technique that masks it — can be reproduced exactly:
+//
+//   * SoftFloat: IEEE-754 binary interchange semantics with round-to-
+//     nearest-even, subnormals, signed zero, NaN and infinity.
+//   * hwAdd/hwMul: same datapath but subnormal inputs/results flush to
+//     zero, the top exponent encoding is an ordinary normal number (there
+//     is no NaN/Inf), and overflow clamps to the largest finite value.
+//
+// The two agree bit-exactly whenever inputs and results stay strictly
+// normal — which is precisely the input constraint §3.1.2 recommends
+// feeding the sequential equivalence checker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bitvec/bitvector.h"
+#include "common/check.h"
+
+namespace dfv::fp {
+
+/// A binary floating-point format: 1 sign + exp + man bits.
+/// Supported range: exp in [2, 11], man in [1, 25] (covers binary32 8/23
+/// and the 8-bit "minifloat" 4/3 used in the SEC experiments).
+struct Format {
+  unsigned exp = 8;
+  unsigned man = 23;
+
+  unsigned width() const { return 1 + exp + man; }
+  std::uint64_t bias() const { return (1ull << (exp - 1)) - 1; }
+  std::uint64_t maxExpField() const { return (1ull << exp) - 1; }
+  std::uint64_t manMask() const { return (1ull << man) - 1; }
+
+  static Format binary32() { return Format{8, 23}; }
+  static Format binary16() { return Format{5, 10}; }
+  /// The 8-bit 1/4/3 minifloat used by the FP SEC experiments.
+  static Format minifloat() { return Format{4, 3}; }
+
+  void check() const {
+    DFV_CHECK_MSG(exp >= 2 && exp <= 11 && man >= 1 && man <= 25,
+                  "unsupported float format " << exp << "/" << man);
+  }
+};
+
+/// An IEEE-754 value of some Format, stored as raw bits.
+class SoftFloat {
+ public:
+  SoftFloat(Format fmt, std::uint64_t bits) : fmt_(fmt), bits_(bits) {
+    fmt.check();
+    DFV_CHECK_MSG((bits >> fmt.width()) == 0, "bits exceed format width");
+  }
+
+  static SoftFloat zero(Format fmt, bool negative = false) {
+    return SoftFloat(fmt, negative ? (1ull << (fmt.width() - 1)) : 0);
+  }
+  static SoftFloat infinity(Format fmt, bool negative);
+  static SoftFloat quietNaN(Format fmt);
+  /// Packs fields (frac must fit man bits, expField must fit exp bits).
+  static SoftFloat fromFields(Format fmt, bool sign, std::uint64_t expField,
+                              std::uint64_t frac);
+  /// Reinterprets a host float's bits (binary32 only).
+  static SoftFloat fromFloat(float f);
+
+  Format format() const { return fmt_; }
+  std::uint64_t bits() const { return bits_; }
+  bv::BitVector toBitVector() const {
+    return bv::BitVector::fromUint(fmt_.width(), bits_);
+  }
+
+  bool sign() const { return (bits_ >> (fmt_.width() - 1)) & 1; }
+  std::uint64_t expField() const { return (bits_ >> fmt_.man) & fmt_.maxExpField(); }
+  std::uint64_t fracField() const { return bits_ & fmt_.manMask(); }
+
+  bool isZero() const { return expField() == 0 && fracField() == 0; }
+  bool isSubnormal() const { return expField() == 0 && fracField() != 0; }
+  bool isInf() const {
+    return expField() == fmt_.maxExpField() && fracField() == 0;
+  }
+  bool isNaN() const {
+    return expField() == fmt_.maxExpField() && fracField() != 0;
+  }
+  bool isNormal() const {
+    return expField() != 0 && expField() != fmt_.maxExpField();
+  }
+
+  /// Host-float value (binary32 only; for differential testing).
+  float toFloat() const;
+
+  /// IEEE-754 addition with round-to-nearest-even.
+  friend SoftFloat operator+(const SoftFloat& a, const SoftFloat& b);
+  /// IEEE-754 multiplication with round-to-nearest-even.
+  friend SoftFloat operator*(const SoftFloat& a, const SoftFloat& b);
+  SoftFloat operator-() const;
+
+  /// Bit equality (distinguishes -0/+0 and NaN payloads).
+  friend bool operator==(const SoftFloat& a, const SoftFloat& b) {
+    return a.fmt_.exp == b.fmt_.exp && a.fmt_.man == b.fmt_.man &&
+           a.bits_ == b.bits_;
+  }
+
+  std::string describe() const;
+
+ private:
+  Format fmt_;
+  std::uint64_t bits_;
+};
+
+/// The simplified hardware adder: flush-to-zero, no NaN/Inf encodings (the
+/// top exponent is an ordinary value), overflow clamps to the largest
+/// finite number.  Bit-exact with IEEE when everything stays normal.
+std::uint64_t hwAdd(Format fmt, std::uint64_t aBits, std::uint64_t bBits);
+/// The simplified hardware multiplier (same conventions as hwAdd).
+std::uint64_t hwMul(Format fmt, std::uint64_t aBits, std::uint64_t bBits);
+
+}  // namespace dfv::fp

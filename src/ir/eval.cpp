@@ -1,0 +1,103 @@
+#include "ir/eval.h"
+
+namespace dfv::ir {
+
+bool Value::matches(const Type& t) const {
+  if (t.isArray()) {
+    if (!isArray || array.size() != t.depth) return false;
+    for (const auto& e : array)
+      if (e.width() != t.width) return false;
+    return true;
+  }
+  return !isArray && scalar.width() == t.width;
+}
+
+const Value& Evaluator::eval(NodeRef node) {
+  auto cached = cache_.find(node);
+  if (cached != cache_.end()) return cached->second;
+
+  using bv::BitVector;
+  Value result;
+  auto b2v = [](bool b) { return Value(BitVector::fromUint(1, b)); };
+
+  switch (node->op()) {
+    case Op::kConst:
+      result = Value(node->constValue());
+      break;
+    case Op::kInput:
+    case Op::kState: {
+      auto it = env_.find(node);
+      DFV_CHECK_MSG(it != env_.end(), "unbound leaf '" << node->name() << "'");
+      DFV_CHECK_MSG(it->second.matches(node->type()),
+                    "bound value for '" << node->name()
+                                        << "' has the wrong sort");
+      result = it->second;
+      break;
+    }
+    default: {
+      // Evaluate operands first (recursion depth is bounded by expression
+      // height, which our builders keep modest).
+      std::vector<const Value*> xs;
+      xs.reserve(node->operands().size());
+      for (NodeRef opnd : node->operands()) xs.push_back(&eval(opnd));
+      auto s = [&](unsigned i) -> const BitVector& { return xs[i]->scalar; };
+      switch (node->op()) {
+        case Op::kAdd: result = s(0) + s(1); break;
+        case Op::kSub: result = s(0) - s(1); break;
+        case Op::kMul: result = s(0) * s(1); break;
+        case Op::kUDiv: result = s(0).udiv(s(1)); break;
+        case Op::kURem: result = s(0).urem(s(1)); break;
+        case Op::kSDiv: result = s(0).sdiv(s(1)); break;
+        case Op::kSRem: result = s(0).srem(s(1)); break;
+        case Op::kNeg: result = s(0).neg(); break;
+        case Op::kAnd: result = s(0) & s(1); break;
+        case Op::kOr: result = s(0) | s(1); break;
+        case Op::kXor: result = s(0) ^ s(1); break;
+        case Op::kNot: result = ~s(0); break;
+        case Op::kShl: result = s(0).shl(s(1)); break;
+        case Op::kLShr: result = s(0).lshr(s(1)); break;
+        case Op::kAShr: result = s(0).ashr(s(1)); break;
+        case Op::kEq: result = b2v(s(0) == s(1)); break;
+        case Op::kNe: result = b2v(s(0) != s(1)); break;
+        case Op::kULt: result = b2v(s(0).ult(s(1))); break;
+        case Op::kULe: result = b2v(s(0).ule(s(1))); break;
+        case Op::kSLt: result = b2v(s(0).slt(s(1))); break;
+        case Op::kSLe: result = b2v(s(0).sle(s(1))); break;
+        case Op::kMux:
+          result = s(0).isZero() ? *xs[2] : *xs[1];
+          break;
+        case Op::kConcat: result = BitVector::concat(s(0), s(1)); break;
+        case Op::kExtract:
+          result = s(0).extract(node->attr0(), node->attr1());
+          break;
+        case Op::kZExt: result = s(0).zext(node->attr0()); break;
+        case Op::kSExt: result = s(0).sext(node->attr0()); break;
+        case Op::kRedAnd: result = b2v(s(0).reduceAnd()); break;
+        case Op::kRedOr: result = b2v(s(0).reduceOr()); break;
+        case Op::kRedXor: result = b2v(s(0).reduceXor()); break;
+        case Op::kArrayRead: {
+          const auto& arr = xs[0]->array;
+          const std::uint64_t idx = s(1).toUint64();
+          // Out-of-range index (possible when depth is not a power of two)
+          // reads element 0, matching the bit-blasted mux tree's default.
+          result = idx < arr.size() ? arr[idx] : arr[0];
+          break;
+        }
+        case Op::kArrayWrite: {
+          Value arr = *xs[0];
+          const std::uint64_t idx = s(1).toUint64();
+          if (idx < arr.array.size()) arr.array[idx] = xs[2]->scalar;
+          result = std::move(arr);
+          break;
+        }
+        default:
+          DFV_UNREACHABLE("unhandled op " << opName(node->op()));
+      }
+    }
+  }
+  DFV_CHECK_MSG(result.matches(node->type()),
+                "evaluator produced wrong sort for " << opName(node->op()));
+  return cache_.emplace(node, std::move(result)).first->second;
+}
+
+}  // namespace dfv::ir

@@ -1,0 +1,103 @@
+#include "ir/print.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dfv::ir {
+
+namespace {
+
+void printRec(std::ostringstream& os, NodeRef n, unsigned depthLeft) {
+  switch (n->op()) {
+    case Op::kConst:
+      os << "(const " << n->constValue().toString(16) << ')';
+      return;
+    case Op::kInput:
+      os << "(input " << n->name() << ':' << n->width() << ')';
+      return;
+    case Op::kState:
+      os << "(state " << n->name() << ':' << n->width();
+      if (n->type().isArray()) os << 'x' << n->type().depth;
+      os << ')';
+      return;
+    default:
+      break;
+  }
+  if (depthLeft == 0) {
+    os << "...";
+    return;
+  }
+  os << '(' << opName(n->op());
+  if (n->op() == Op::kExtract)
+    os << '[' << n->attr0() << ':' << n->attr1() << ']';
+  if (n->op() == Op::kZExt || n->op() == Op::kSExt) os << '>' << n->attr0();
+  for (NodeRef operand : n->operands()) {
+    os << ' ';
+    printRec(os, operand, depthLeft - 1);
+  }
+  os << ')';
+}
+
+void statsRec(NodeRef n, std::unordered_map<NodeRef, unsigned>& depths,
+              ExprStats& stats) {
+  if (depths.count(n)) return;
+  unsigned d = 0;
+  for (NodeRef operand : n->operands()) {
+    statsRec(operand, depths, stats);
+    d = std::max(d, depths.at(operand) + 1);
+  }
+  depths.emplace(n, d);
+  ++stats.nodes;
+  if (n->op() == Op::kInput || n->op() == Op::kState) ++stats.leaves;
+  stats.depth = std::max(stats.depth, d);
+}
+
+}  // namespace
+
+std::string printExpr(NodeRef node, unsigned maxDepth) {
+  DFV_CHECK(node != nullptr);
+  std::ostringstream os;
+  printRec(os, node, maxDepth);
+  return os.str();
+}
+
+ExprStats exprStats(NodeRef node) {
+  DFV_CHECK(node != nullptr);
+  ExprStats stats;
+  std::unordered_map<NodeRef, unsigned> depths;
+  statsRec(node, depths, stats);
+  return stats;
+}
+
+std::string printTransitionSystem(const TransitionSystem& ts) {
+  std::ostringstream os;
+  os << "system " << ts.name() << " {\n";
+  for (NodeRef in : ts.inputs()) {
+    os << "  input " << in->name() << " : " << in->width();
+    if (in->type().isArray()) os << " x " << in->type().depth;
+    os << '\n';
+  }
+  for (const auto& s : ts.states()) {
+    os << "  state " << s.name() << " : " << s.current->width();
+    if (s.current->type().isArray()) os << " x " << s.current->type().depth;
+    if (s.next != nullptr) {
+      const ExprStats st = exprStats(s.next);
+      os << "  (next: " << st.nodes << " nodes, depth " << st.depth << ')';
+    }
+    os << '\n';
+  }
+  for (const auto& o : ts.outputs()) {
+    const ExprStats st = exprStats(o.expr);
+    os << "  output " << o.name << " : " << o.expr->width() << "  (cone: "
+       << st.nodes << " nodes, depth " << st.depth << ')';
+    if (o.valid != nullptr) os << "  [valid-qualified]";
+    os << '\n';
+  }
+  for (std::size_t i = 0; i < ts.constraints().size(); ++i)
+    os << "  constraint #" << i << '\n';
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dfv::ir

@@ -1,0 +1,31 @@
+// Printing IR expressions and transition systems for debugging.
+//
+// Expressions render as S-expressions with shared subgraphs expanded (use
+// stats() when size matters); transition systems render as a readable
+// declaration list.  Output is for humans and tests, not for parsing back.
+#pragma once
+
+#include <string>
+
+#include "ir/expr.h"
+#include "ir/transition_system.h"
+
+namespace dfv::ir {
+
+/// Renders `node` as an S-expression, e.g. "(add (input a:8) (const 8'h01))".
+/// `maxDepth` truncates deep graphs with "...".
+std::string printExpr(NodeRef node, unsigned maxDepth = 32);
+
+/// Summary counts over the node's cone.
+struct ExprStats {
+  std::size_t nodes = 0;      ///< distinct nodes in the cone
+  std::size_t leaves = 0;     ///< inputs + states referenced
+  unsigned depth = 0;         ///< longest operand chain
+};
+ExprStats exprStats(NodeRef node);
+
+/// Renders the system's interface and state declarations plus per-output
+/// cone sizes.
+std::string printTransitionSystem(const TransitionSystem& ts);
+
+}  // namespace dfv::ir

@@ -1,0 +1,131 @@
+#include "ir/transition_system.h"
+
+#include <algorithm>
+
+namespace dfv::ir {
+
+NodeRef TransitionSystem::addInput(const std::string& name, Type type) {
+  DFV_CHECK_MSG(findInput(name) == nullptr,
+                "input '" << name << "' already declared");
+  NodeRef leaf = ctx_->input(name, type);
+  inputs_.push_back(leaf);
+  return leaf;
+}
+
+NodeRef TransitionSystem::addState(const std::string& name, Type type,
+                                   Value init) {
+  DFV_CHECK_MSG(findState(name) == nullptr,
+                "state '" << name << "' already declared");
+  DFV_CHECK_MSG(init.matches(type), "init value sort mismatch for '" << name
+                                                                     << "'");
+  NodeRef leaf = ctx_->state(name, type);
+  states_.push_back(StateVar{leaf, std::move(init), nullptr});
+  return leaf;
+}
+
+void TransitionSystem::setNext(NodeRef stateLeaf, NodeRef next) {
+  auto it = std::find_if(states_.begin(), states_.end(),
+                         [&](const StateVar& s) { return s.current == stateLeaf; });
+  DFV_CHECK_MSG(it != states_.end(), "setNext on undeclared state");
+  DFV_CHECK_MSG(next->type() == stateLeaf->type(),
+                "next-state sort mismatch for '" << stateLeaf->name() << "'");
+  it->next = next;
+}
+
+void TransitionSystem::addOutput(const std::string& name, NodeRef expr,
+                                 NodeRef valid) {
+  DFV_CHECK_MSG(findOutput(name) == nullptr,
+                "output '" << name << "' already declared");
+  if (valid != nullptr)
+    DFV_CHECK_MSG(valid->width() == 1 && !valid->type().isArray(),
+                  "output valid qualifier must be 1 bit");
+  outputs_.push_back(OutputPort{name, expr, valid});
+}
+
+void TransitionSystem::addConstraint(NodeRef c) {
+  DFV_CHECK_MSG(c->width() == 1 && !c->type().isArray(),
+                "constraint must be 1 bit");
+  constraints_.push_back(c);
+}
+
+NodeRef TransitionSystem::findInput(const std::string& name) const {
+  for (NodeRef i : inputs_)
+    if (i->name() == name) return i;
+  return nullptr;
+}
+
+const StateVar* TransitionSystem::findState(const std::string& name) const {
+  for (const auto& s : states_)
+    if (s.name() == name) return &s;
+  return nullptr;
+}
+
+const OutputPort* TransitionSystem::findOutput(const std::string& name) const {
+  for (const auto& o : outputs_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+void TransitionSystem::validate() const {
+  for (const auto& s : states_) {
+    DFV_CHECK_MSG(s.next != nullptr,
+                  "state '" << s.name() << "' has no next function");
+    DFV_CHECK_MSG(s.init.matches(s.current->type()),
+                  "state '" << s.name() << "' init sort mismatch");
+  }
+  for (const auto& o : outputs_)
+    DFV_CHECK_MSG(o.expr != nullptr, "output '" << o.name << "' undefined");
+}
+
+TsSimulator::TsSimulator(const TransitionSystem& ts) : ts_(ts) {
+  ts.validate();
+  reset();
+}
+
+void TsSimulator::reset() {
+  state_.clear();
+  state_.reserve(ts_.states().size());
+  for (const auto& s : ts_.states()) state_.push_back(s.init);
+}
+
+void TsSimulator::overrideState(std::size_t idx, Value v) {
+  DFV_CHECK(idx < state_.size());
+  DFV_CHECK_MSG(v.matches(ts_.states()[idx].current->type()),
+                "override sort mismatch");
+  state_[idx] = std::move(v);
+}
+
+TsSimulator::StepResult TsSimulator::step(
+    const std::vector<Value>& inputValues) {
+  DFV_CHECK_MSG(inputValues.size() == ts_.inputs().size(),
+                "expected " << ts_.inputs().size() << " inputs, got "
+                            << inputValues.size());
+  Env env;
+  for (std::size_t i = 0; i < inputValues.size(); ++i) {
+    DFV_CHECK_MSG(inputValues[i].matches(ts_.inputs()[i]->type()),
+                  "input '" << ts_.inputs()[i]->name() << "' sort mismatch");
+    env.emplace(ts_.inputs()[i], inputValues[i]);
+  }
+  for (std::size_t i = 0; i < state_.size(); ++i)
+    env.emplace(ts_.states()[i].current, state_[i]);
+
+  Evaluator eval(env);
+  StepResult result;
+  result.outputs.reserve(ts_.outputs().size());
+  for (const auto& o : ts_.outputs()) {
+    result.outputs.push_back(eval.eval(o.expr));
+    result.outputValid.push_back(
+        o.valid == nullptr || !eval.eval(o.valid).scalar.isZero());
+  }
+  for (NodeRef c : ts_.constraints())
+    if (eval.eval(c).scalar.isZero()) result.constraintsHeld = false;
+
+  // Simultaneous state update.
+  std::vector<Value> nextState;
+  nextState.reserve(state_.size());
+  for (const auto& s : ts_.states()) nextState.push_back(eval.eval(s.next));
+  state_ = std::move(nextState);
+  return result;
+}
+
+}  // namespace dfv::ir

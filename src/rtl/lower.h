@@ -1,0 +1,26 @@
+// Lowering an RTL netlist to a word-level transition system.
+//
+// This is the RTL front-end of the sequential equivalence checker: a
+// flattened Module becomes an ir::TransitionSystem whose states are the DFFs
+// plus one array state and one registered-read-data state per memory port.
+// The TsSimulator over the lowered system is differentially tested against
+// the cycle-accurate rtl::Simulator (same netlist, same stimulus, same
+// outputs) — that agreement is what lets SEC verdicts transfer to the
+// simulated RTL.
+#pragma once
+
+#include <string>
+
+#include "ir/transition_system.h"
+#include "rtl/netlist.h"
+
+namespace dfv::rtl {
+
+/// Lowers `m` (flattened automatically) into a TransitionSystem allocated in
+/// `ctx`.  All input/state names are prefixed with `prefix` so two designs
+/// can share one Context (as the SEC product machine requires).
+ir::TransitionSystem lowerToTransitionSystem(const Module& m,
+                                             ir::Context& ctx,
+                                             const std::string& prefix = "");
+
+}  // namespace dfv::rtl

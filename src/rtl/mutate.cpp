@@ -1,0 +1,94 @@
+#include "rtl/mutate.h"
+
+#include <sstream>
+
+namespace dfv::rtl {
+
+namespace {
+
+/// An applicable mutation site: cell index + which edit to apply there.
+struct Site {
+  std::size_t cell;
+  enum class Kind {
+    kSwapOp,        ///< add<->sub, and<->or, ult<->ule, slt<->sle, eq<->ne
+    kFlipConstBit,  ///< invert bit 0 of a constant
+    kInvertMuxSel,  ///< swap the mux branches
+    kShiftKind,     ///< lshr <-> ashr
+  } kind;
+};
+
+std::optional<ir::Op> swappedOp(ir::Op op) {
+  switch (op) {
+    case ir::Op::kAdd: return ir::Op::kSub;
+    case ir::Op::kSub: return ir::Op::kAdd;
+    case ir::Op::kAnd: return ir::Op::kOr;
+    case ir::Op::kOr: return ir::Op::kAnd;
+    case ir::Op::kXor: return ir::Op::kOr;
+    case ir::Op::kULt: return ir::Op::kULe;
+    case ir::Op::kULe: return ir::Op::kULt;
+    case ir::Op::kSLt: return ir::Op::kSLe;
+    case ir::Op::kSLe: return ir::Op::kSLt;
+    case ir::Op::kEq: return ir::Op::kNe;
+    case ir::Op::kNe: return ir::Op::kEq;
+    default: return std::nullopt;
+  }
+}
+
+std::vector<Site> enumerateSites(const Module& m) {
+  std::vector<Site> sites;
+  for (std::size_t i = 0; i < m.cells().size(); ++i) {
+    const Cell& c = m.cells()[i];
+    if (swappedOp(c.op).has_value())
+      sites.push_back(Site{i, Site::Kind::kSwapOp});
+    if (c.op == ir::Op::kConst)
+      sites.push_back(Site{i, Site::Kind::kFlipConstBit});
+    if (c.op == ir::Op::kMux)
+      sites.push_back(Site{i, Site::Kind::kInvertMuxSel});
+    if (c.op == ir::Op::kLShr || c.op == ir::Op::kAShr)
+      sites.push_back(Site{i, Site::Kind::kShiftKind});
+  }
+  return sites;
+}
+
+}  // namespace
+
+std::size_t countMutationSites(const Module& m) {
+  return enumerateSites(m).size();
+}
+
+std::optional<Mutation> mutate(const Module& m, std::size_t index) {
+  const std::vector<Site> sites = enumerateSites(m);
+  if (index >= sites.size()) return std::nullopt;
+  const Site& site = sites[index];
+  Mutation result{m, ""};
+  Cell c = m.cells()[site.cell];
+  std::ostringstream desc;
+  desc << "cell#" << site.cell << " (" << ir::opName(c.op) << " -> ";
+  switch (site.kind) {
+    case Site::Kind::kSwapOp:
+      c.op = *swappedOp(c.op);
+      desc << ir::opName(c.op) << ")";
+      break;
+    case Site::Kind::kFlipConstBit: {
+      bv::BitVector v = c.constVal;
+      v.setBit(0, !v.bit(0));
+      desc << "const bit0 flipped: " << c.constVal.toString(16) << " -> "
+           << v.toString(16) << ")";
+      c.constVal = std::move(v);
+      break;
+    }
+    case Site::Kind::kInvertMuxSel:
+      std::swap(c.inputs[1], c.inputs[2]);
+      desc << "mux branches swapped)";
+      break;
+    case Site::Kind::kShiftKind:
+      c.op = c.op == ir::Op::kLShr ? ir::Op::kAShr : ir::Op::kLShr;
+      desc << ir::opName(c.op) << ")";
+      break;
+  }
+  result.module.replaceCell(site.cell, std::move(c));
+  result.description = desc.str();
+  return result;
+}
+
+}  // namespace dfv::rtl

@@ -1,0 +1,35 @@
+// Netlist mutation for verification-flow qualification.
+//
+// A verification methodology is only as good as its ability to catch real
+// bugs; mutation testing measures that directly.  mutate() applies one
+// random, semantics-changing-in-general edit to a copy of a module (operator
+// swap, constant bit flip, comparison off-by-one, mux polarity inversion).
+// Running the SLM-vs-RTL flow over a mutant population answers the question
+// the paper's methodology implies: does the chosen verification method
+// (cosim stimulus, SEC) kill the mutants?  (Some mutants are functionally
+// equivalent by masking; the flow must *prove* those, not merely miss them.)
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace dfv::rtl {
+
+/// A mutation applied to a module.
+struct Mutation {
+  Module module;            ///< the mutated copy
+  std::string description;  ///< human-readable edit description
+};
+
+/// Applies the `index`-th applicable mutation to a copy of `m` (cells only;
+/// structure and widths stay legal).  Returns nullopt once `index` exceeds
+/// the number of applicable mutation sites, so callers can enumerate the
+/// full mutant population with a simple loop.
+std::optional<Mutation> mutate(const Module& m, std::size_t index);
+
+/// Number of applicable mutation sites in `m`.
+std::size_t countMutationSites(const Module& m);
+
+}  // namespace dfv::rtl

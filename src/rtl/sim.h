@@ -1,0 +1,82 @@
+// Cycle-accurate RTL simulation.
+//
+// Two-phase semantics per cycle, the standard synchronous-logic contract:
+//   1. evalCombinational(): with the current inputs and register/memory
+//      outputs, every combinational cell is evaluated once in levelized
+//      (topological) order;
+//   2. clockEdge(): every DFF captures its d, every memory write commits and
+//      every memory read port registers the addressed element.
+// Memory ports are read-before-write: a read of an address written in the
+// same cycle returns the old contents.
+//
+// Combinational cycles are rejected at construction.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bitvec/bitvector.h"
+#include "rtl/netlist.h"
+
+namespace dfv::rtl {
+
+/// Levelized, cycle-accurate simulator for a (flattened) Module.
+class Simulator {
+ public:
+  /// Flattens `m` if it has instances.  Throws on combinational loops or
+  /// structural problems.
+  explicit Simulator(const Module& m);
+
+  const Module& module() const { return flat_; }
+
+  /// Registers to reset values, memories to init contents, cycle counter 0.
+  void reset();
+
+  /// Drives an input port for the current cycle.
+  void setInput(const std::string& name, const bv::BitVector& v);
+  void setInputUint(const std::string& name, std::uint64_t v);
+
+  /// Evaluates all combinational logic with the current inputs and state.
+  void evalCombinational();
+
+  /// Commits registers and memories (call after evalCombinational).
+  void clockEdge();
+
+  /// setInputs + evalCombinational + read outputs + clockEdge, in one call.
+  std::unordered_map<std::string, bv::BitVector> step(
+      const std::unordered_map<std::string, bv::BitVector>& inputs);
+
+  /// Value of any net (valid after evalCombinational in this cycle).
+  const bv::BitVector& netValue(NetId n) const {
+    DFV_CHECK(n < values_.size());
+    return values_[n];
+  }
+  const bv::BitVector& outputValue(const std::string& name) const;
+
+  /// Direct access to a memory's contents (e.g. preloading test state).
+  std::vector<bv::BitVector>& memoryContents(std::size_t memIdx);
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Records the value of `net` after every evalCombinational call.
+  void watch(NetId net) { watched_.push_back(net); }
+  const std::vector<std::vector<bv::BitVector>>& watchHistory() const {
+    return watchHistory_;
+  }
+
+ private:
+  void levelize();
+
+  Module flat_;
+  std::vector<bv::BitVector> values_;          // per net
+  std::vector<std::size_t> cellOrder_;         // levelized cell indices
+  std::vector<std::vector<bv::BitVector>> memData_;  // per memory
+  std::vector<bv::BitVector> dffNext_;         // scratch, per dff
+  std::uint64_t cycle_ = 0;
+  bool combEvaluated_ = false;
+  std::vector<NetId> watched_;
+  std::vector<std::vector<bv::BitVector>> watchHistory_;
+};
+
+}  // namespace dfv::rtl

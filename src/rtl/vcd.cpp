@@ -1,0 +1,87 @@
+#include "rtl/vcd.h"
+
+#include <algorithm>
+
+namespace dfv::rtl {
+
+VcdWriter::VcdWriter(Simulator& sim, std::ostream& out,
+                     unsigned timescalePsPerCycle)
+    : sim_(sim), out_(out), timescale_(timescalePsPerCycle) {
+  DFV_CHECK_MSG(timescalePsPerCycle >= 1, "timescale must be >= 1ps");
+}
+
+void VcdWriter::addNet(NetId net) {
+  DFV_CHECK_MSG(!headerWritten_, "addNet after the header was written");
+  DFV_CHECK_MSG(net < sim_.module().netCount(), "invalid net");
+  if (std::find(nets_.begin(), nets_.end(), net) == nets_.end())
+    nets_.push_back(net);
+}
+
+void VcdWriter::addAllNamedNets() {
+  const Module& m = sim_.module();
+  for (NetId n = 0; n < m.netCount(); ++n) {
+    const std::string& name = m.netName(n);
+    // Auto-generated names are "n<id>"; everything else was user-named.
+    if (name.size() > 1 && name[0] == 'n' &&
+        name.find_first_not_of("0123456789", 1) == std::string::npos)
+      continue;
+    addNet(n);
+  }
+}
+
+std::string VcdWriter::idCode(std::size_t index) {
+  // Printable-ASCII identifier codes, base 94 starting at '!'.
+  std::string code;
+  do {
+    code += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+void VcdWriter::writeHeader() {
+  DFV_CHECK_MSG(!headerWritten_, "header already written");
+  DFV_CHECK_MSG(!nets_.empty(), "no nets selected for tracing");
+  out_ << "$date DFV trace $end\n";
+  out_ << "$version dfv::rtl::VcdWriter $end\n";
+  out_ << "$timescale 1ps $end\n";
+  out_ << "$scope module " << sim_.module().name() << " $end\n";
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const NetId n = nets_[i];
+    std::string name = sim_.module().netName(n);
+    std::replace(name.begin(), name.end(), ' ', '_');
+    out_ << "$var wire " << sim_.module().netWidth(n) << ' ' << idCode(i)
+         << ' ' << name;
+    if (sim_.module().netWidth(n) > 1)
+      out_ << " [" << sim_.module().netWidth(n) - 1 << ":0]";
+    out_ << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  headerWritten_ = true;
+  last_.assign(nets_.size(), bv::BitVector(1));
+}
+
+void VcdWriter::sample() {
+  if (!headerWritten_) writeHeader();
+  bool timeEmitted = false;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const bv::BitVector& v = sim_.netValue(nets_[i]);
+    if (sampleIndex_ != 0 && v == last_[i]) continue;
+    if (!timeEmitted) {
+      out_ << '#' << sampleIndex_ * timescale_ << '\n';
+      timeEmitted = true;
+    }
+    if (v.width() == 1) {
+      out_ << (v.bit(0) ? '1' : '0') << idCode(i) << '\n';
+    } else {
+      out_ << 'b';
+      for (unsigned bit = v.width(); bit-- > 0;)
+        out_ << (v.bit(bit) ? '1' : '0');
+      out_ << ' ' << idCode(i) << '\n';
+    }
+    last_[i] = v;
+  }
+  ++sampleIndex_;
+}
+
+}  // namespace dfv::rtl

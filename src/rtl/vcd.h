@@ -1,0 +1,49 @@
+// VCD (Value Change Dump) waveform tracing for the RTL simulator.
+//
+// Debugging an SLM/RTL divergence ends in waveforms; this writer produces
+// standard IEEE-1364 VCD that any viewer (GTKWave etc.) opens.  Attach a
+// VcdWriter to a Simulator, choose nets (or trace everything), and call
+// sample() once per cycle after evalCombinational().
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/sim.h"
+
+namespace dfv::rtl {
+
+/// Streams value changes of selected nets to a VCD file.
+class VcdWriter {
+ public:
+  /// `timescalePsPerCycle`: VCD time units per simulated cycle.
+  VcdWriter(Simulator& sim, std::ostream& out,
+            unsigned timescalePsPerCycle = 1000);
+
+  /// Adds one net to the trace set (before the first sample()).
+  void addNet(NetId net);
+  /// Adds every named net (ports, registers, memory read data).
+  void addAllNamedNets();
+
+  /// Writes the header (automatic on first sample()).
+  void writeHeader();
+
+  /// Records the current values; call after evalCombinational().
+  void sample();
+
+  std::size_t netCount() const { return nets_.size(); }
+
+ private:
+  static std::string idCode(std::size_t index);
+
+  Simulator& sim_;
+  std::ostream& out_;
+  unsigned timescale_;
+  bool headerWritten_ = false;
+  std::vector<NetId> nets_;
+  std::vector<bv::BitVector> last_;
+  std::uint64_t sampleIndex_ = 0;
+};
+
+}  // namespace dfv::rtl

@@ -1,0 +1,25 @@
+// Verilog-2001 emission for RTL netlists.
+//
+// Makes DFV designs portable to standard EDA flows: a (flattened) Module is
+// emitted as a single synthesizable Verilog module.  The implicit clock
+// becomes an explicit `clk` input and the power-on register values become a
+// synchronous `rst` input (assert for one cycle after power-up to match the
+// DFV simulator's reset state).
+//
+// Semantic deltas (documented, inherent to 4-state Verilog):
+//   * division/remainder by zero produce X in Verilog, all-ones/dividend in
+//     DFV (SMT-LIB convention);
+//   * out-of-range memory indexing produces X in Verilog, element 0 in DFV.
+// Neither is reachable in a design that guards its divisors and indices.
+#pragma once
+
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace dfv::rtl {
+
+/// Emits `m` (flattened automatically) as a synthesizable Verilog module.
+std::string emitVerilog(const Module& m);
+
+}  // namespace dfv::rtl

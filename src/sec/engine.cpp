@@ -1,0 +1,532 @@
+#include "sec/engine.h"
+
+#include <chrono>
+#include <sstream>
+#include <unordered_map>
+
+#include "ir/eval.h"
+
+namespace dfv::sec {
+
+const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kProvenEquivalent: return "proven-equivalent";
+    case Verdict::kBoundedEquivalent: return "bounded-equivalent";
+    case Verdict::kNotEquivalent: return "NOT-equivalent";
+  }
+  DFV_UNREACHABLE("bad verdict");
+}
+
+std::string Counterexample::summary() const {
+  std::ostringstream os;
+  os << "transaction " << failingTransaction << ": SLM." << check.slmOutput
+     << "@" << check.slmCycle << " = " << slmValue.toString(16) << " vs RTL."
+     << check.rtlOutput << "@" << check.rtlCycle << " = "
+     << rtlValue.toString(16);
+  if (!txnVarValues.empty()) {
+    os << "; stimulus:";
+    for (std::size_t t = 0; t < txnVarValues.size(); ++t) {
+      os << " txn" << t << "(";
+      for (std::size_t i = 0; i < txnVarValues[t].size(); ++i) {
+        if (i > 0) os << ",";
+        os << txnVarValues[t][i].toString(16);
+      }
+      os << ")";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+/// A symbolic value: scalar word or array of words.
+struct SymVal {
+  aig::Word scalar;
+  aig::ArrayWord array;
+  bool isArray = false;
+
+  static SymVal ofScalar(aig::Word w) {
+    SymVal v;
+    v.scalar = std::move(w);
+    return v;
+  }
+  static SymVal ofArray(aig::ArrayWord a) {
+    SymVal v;
+    v.array = std::move(a);
+    v.isArray = true;
+    return v;
+  }
+};
+
+/// Records one free (unbound) input instance so the counterexample can be
+/// extracted later.
+struct FreeInput {
+  unsigned txn;
+  unsigned cycle;
+  std::size_t inputIndex;  // into ts.inputs()
+  aig::Word word;
+};
+
+/// Symbolically unrolls one side of the problem, transaction by transaction.
+class Unroller {
+ public:
+  Unroller(const SecProblem& problem, Side side, aig::Aig& g)
+      : problem_(problem),
+        side_(side),
+        ts_(problem.side(side)),
+        g_(g) {
+    ts_.validate();
+    for (ir::NodeRef in : ts_.inputs())
+      DFV_CHECK_MSG(!in->type().isArray(),
+                    "SEC requires scalar side inputs; '"
+                        << in->name() << "' is an array (map it at the "
+                        << "transactor level instead)");
+    // Index the bindings of this side by (input leaf, cycle).
+    for (const InputBinding& b : problem.bindings())
+      if (b.side == side) bindings_[{b.input, b.cycle}] = b.value;
+  }
+
+  /// Initializes the symbolic state from the reset values (BMC).
+  void initFromReset() {
+    state_.clear();
+    for (const auto& sv : ts_.states()) state_.push_back(constState(sv.init));
+  }
+
+  /// Initializes the symbolic state with fresh variables (induction step).
+  /// States present in `aliases` reuse the given symbolic value instead —
+  /// the structural form of an assumed state equality (see the coupling-
+  /// invariant handling in checkEquivalence).
+  void initSymbolic(
+      const std::string& tag,
+      const std::unordered_map<ir::NodeRef, SymVal>* aliases = nullptr) {
+    state_.clear();
+    aig::BitBlaster frame(g_);
+    for (const auto& sv : ts_.states()) {
+      if (aliases != nullptr) {
+        auto it = aliases->find(sv.current);
+        if (it != aliases->end()) {
+          state_.push_back(it->second);
+          continue;
+        }
+      }
+      const ir::Type& t = sv.current->type();
+      if (t.isArray()) {
+        aig::ArrayWord a;
+        for (unsigned i = 0; i < t.depth; ++i)
+          a.elems.push_back(frame.freshWord(
+              t.width, tag + sv.name() + "#" + std::to_string(i)));
+        state_.push_back(SymVal::ofArray(std::move(a)));
+      } else {
+        state_.push_back(
+            SymVal::ofScalar(frame.freshWord(t.width, tag + sv.name())));
+      }
+    }
+  }
+
+  /// Current symbolic value per state leaf (call right after initSymbolic).
+  std::unordered_map<ir::NodeRef, SymVal> stateBindingSnapshot() const {
+    std::unordered_map<ir::NodeRef, SymVal> snap;
+    for (std::size_t i = 0; i < ts_.states().size(); ++i)
+      snap.emplace(ts_.states()[i].current, state_[i]);
+    return snap;
+  }
+
+  /// Runs one transaction with the given transaction-variable words.
+  /// Sampled outputs land in outputsAtCycle(); free inputs are recorded.
+  void runTransaction(unsigned txnIndex,
+                      const std::vector<aig::Word>& txnVarWords) {
+    outputs_.assign(problem_.cycles(side_), {});
+    for (unsigned cycle = 0; cycle < problem_.cycles(side_); ++cycle) {
+      aig::BitBlaster frame(g_);
+      bindLeaves(frame, txnVarWords);
+      // Inputs: bound expression or fresh free word.
+      for (std::size_t i = 0; i < ts_.inputs().size(); ++i) {
+        ir::NodeRef in = ts_.inputs()[i];
+        auto it = bindings_.find({in, cycle});
+        if (it != bindings_.end()) {
+          frame.bindScalar(in, frame.blast(it->second));
+        } else {
+          aig::Word w = frame.freshWord(
+              in->width(), sideTag() + in->name() + "@t" +
+                               std::to_string(txnIndex) + "c" +
+                               std::to_string(cycle));
+          freeInputs_.push_back(FreeInput{txnIndex, cycle, i, w});
+          frame.bindScalar(in, std::move(w));
+        }
+      }
+      // Outputs sampled this cycle.
+      auto& outs = outputs_[cycle];
+      for (const auto& o : ts_.outputs())
+        outs.emplace(o.name, frame.blast(o.expr));
+      // Advance state (simultaneous).
+      std::vector<SymVal> next;
+      next.reserve(state_.size());
+      for (const auto& sv : ts_.states()) {
+        if (sv.current->type().isArray())
+          next.push_back(SymVal::ofArray(frame.blastArray(sv.next)));
+        else
+          next.push_back(SymVal::ofScalar(frame.blast(sv.next)));
+      }
+      state_ = std::move(next);
+    }
+  }
+
+  const aig::Word& outputAt(const std::string& name, unsigned cycle) const {
+    DFV_CHECK(cycle < outputs_.size());
+    auto it = outputs_[cycle].find(name);
+    DFV_CHECK_MSG(it != outputs_[cycle].end(), "no sampled output " << name);
+    return it->second;
+  }
+
+  const std::vector<FreeInput>& freeInputs() const { return freeInputs_; }
+  const std::vector<SymVal>& state() const { return state_; }
+  const ir::TransitionSystem& ts() const { return ts_; }
+
+  /// Binds this side's state leaves into `frame` from the current symbolic
+  /// state (used for invariant blasting too).
+  void bindStateLeaves(aig::BitBlaster& frame) const {
+    for (std::size_t i = 0; i < ts_.states().size(); ++i) {
+      ir::NodeRef leaf = ts_.states()[i].current;
+      if (state_[i].isArray)
+        frame.bindArray(leaf, state_[i].array);
+      else
+        frame.bindScalar(leaf, state_[i].scalar);
+    }
+  }
+
+ private:
+  std::string sideTag() const { return side_ == Side::kSlm ? "slm." : "rtl."; }
+
+  void bindLeaves(aig::BitBlaster& frame,
+                  const std::vector<aig::Word>& txnVarWords) {
+    for (std::size_t i = 0; i < problem_.txnVars().size(); ++i)
+      frame.bindScalar(problem_.txnVars()[i], txnVarWords[i]);
+    bindStateLeaves(frame);
+  }
+
+  SymVal constState(const ir::Value& init) {
+    aig::BitBlaster frame(g_);
+    if (init.isArray) {
+      aig::ArrayWord a;
+      for (const auto& e : init.array) a.elems.push_back(frame.constWord(e));
+      return SymVal::ofArray(std::move(a));
+    }
+    return SymVal::ofScalar(frame.constWord(init.scalar));
+  }
+
+  struct BindKey {
+    ir::NodeRef input;
+    unsigned cycle;
+    bool operator==(const BindKey&) const = default;
+  };
+  struct BindKeyHash {
+    std::size_t operator()(const BindKey& k) const {
+      return std::hash<const void*>()(k.input) * 31 + k.cycle;
+    }
+  };
+
+  const SecProblem& problem_;
+  Side side_;
+  const ir::TransitionSystem& ts_;
+  aig::Aig& g_;
+  std::unordered_map<BindKey, ir::NodeRef, BindKeyHash> bindings_;
+  std::vector<SymVal> state_;
+  std::vector<std::unordered_map<std::string, aig::Word>> outputs_;
+  std::vector<FreeInput> freeInputs_;
+};
+
+bv::BitVector extractWord(aig::CnfEncoder& enc, const sat::Solver& solver,
+                          const aig::Word& w) {
+  bv::BitVector v(static_cast<unsigned>(w.size()));
+  for (std::size_t i = 0; i < w.size(); ++i)
+    v.setBit(static_cast<unsigned>(i),
+             solver.modelValueOr(enc.satLit(w[i]), false));
+  return v;
+}
+
+/// Builds the complete concrete stimulus for one side from the model.
+std::vector<std::vector<std::vector<ir::Value>>> extractSideInputs(
+    const SecProblem& problem, Side side, const Unroller& unroller,
+    aig::CnfEncoder& enc, const sat::Solver& solver,
+    const std::vector<std::vector<bv::BitVector>>& txnVarValues,
+    unsigned numTxns) {
+  const ir::TransitionSystem& ts = problem.side(side);
+  const unsigned cycles = problem.cycles(side);
+  // Start with every input zero-filled, then overwrite bound + free.
+  std::vector<std::vector<std::vector<ir::Value>>> result(numTxns);
+  for (auto& txn : result) {
+    txn.assign(cycles, {});
+    for (auto& cyc : txn)
+      for (ir::NodeRef in : ts.inputs())
+        cyc.push_back(ir::Value::zeroOf(in->type()));
+  }
+  // Bound inputs: evaluate the mapping expressions concretely per txn.
+  for (unsigned t = 0; t < numTxns; ++t) {
+    ir::Env env;
+    for (std::size_t i = 0; i < problem.txnVars().size(); ++i)
+      env.emplace(problem.txnVars()[i], ir::Value(txnVarValues[t][i]));
+    ir::Evaluator ev(env);
+    for (const InputBinding& b : problem.bindings()) {
+      if (b.side != side) continue;
+      for (std::size_t i = 0; i < ts.inputs().size(); ++i)
+        if (ts.inputs()[i] == b.input)
+          result[t][b.cycle][i] = ev.eval(b.value);
+    }
+  }
+  // Free inputs: straight from the model.
+  for (const FreeInput& f : unroller.freeInputs()) {
+    if (f.txn >= numTxns) continue;
+    result[f.txn][f.cycle][f.inputIndex] =
+        ir::Value(extractWord(enc, solver, f.word));
+  }
+  return result;
+}
+
+/// Replays a counterexample on the IR interpreters and fills in the observed
+/// mismatch; throws if the replay does not reproduce a mismatch.
+void replayCounterexample(const SecProblem& problem, Counterexample& cex) {
+  ir::TsSimulator slmSim(problem.side(Side::kSlm));
+  ir::TsSimulator rtlSim(problem.side(Side::kRtl));
+  const unsigned numTxns = cex.failingTransaction + 1;
+  for (unsigned t = 0; t < numTxns; ++t) {
+    // Collect sampled outputs for this transaction.
+    std::vector<ir::TsSimulator::StepResult> slmSteps, rtlSteps;
+    for (unsigned c = 0; c < problem.cycles(Side::kSlm); ++c)
+      slmSteps.push_back(slmSim.step(cex.slmInputs[t][c]));
+    for (unsigned c = 0; c < problem.cycles(Side::kRtl); ++c)
+      rtlSteps.push_back(rtlSim.step(cex.rtlInputs[t][c]));
+    if (t != cex.failingTransaction) continue;
+    // Find the claimed failing check and record observed values.
+    const ir::TransitionSystem& slm = problem.side(Side::kSlm);
+    const ir::TransitionSystem& rtl = problem.side(Side::kRtl);
+    auto outIndex = [](const ir::TransitionSystem& ts, const std::string& n) {
+      for (std::size_t i = 0; i < ts.outputs().size(); ++i)
+        if (ts.outputs()[i].name == n) return i;
+      DFV_UNREACHABLE("output vanished");
+    };
+    const auto si = outIndex(slm, cex.check.slmOutput);
+    const auto ri = outIndex(rtl, cex.check.rtlOutput);
+    cex.slmValue = slmSteps[cex.check.slmCycle].outputs[si].scalar;
+    cex.rtlValue = rtlSteps[cex.check.rtlCycle].outputs[ri].scalar;
+    DFV_CHECK_MSG(cex.slmValue != cex.rtlValue,
+                  "SEC engine bug: counterexample did not replay — "
+                      << cex.summary());
+  }
+}
+
+}  // namespace
+
+SecResult checkEquivalence(const SecProblem& problem,
+                           const SecOptions& options) {
+  DFV_CHECK_MSG(!problem.checks().empty(), "SEC problem has no output checks");
+  const auto startTime = std::chrono::steady_clock::now();
+
+  SecResult result;
+  aig::Aig g;
+  sat::Solver solver;
+  aig::CnfEncoder enc(g, solver);
+
+  Unroller slm(problem, Side::kSlm, g);
+  Unroller rtl(problem, Side::kRtl, g);
+  slm.initFromReset();
+  rtl.initFromReset();
+
+  std::vector<std::vector<aig::Word>> txnVarWords;  // [txn][var]
+
+  auto finishStats = [&] {
+    result.stats.aigNodes = g.numNodes();
+    result.stats.satConflicts += solver.stats().conflicts;
+    result.stats.satDecisions += solver.stats().decisions;
+    result.stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startTime)
+            .count();
+  };
+
+  // ----- BMC over transactions from reset --------------------------------
+  for (unsigned t = 0; t < options.boundTransactions; ++t) {
+    // Fresh transaction variables for this transaction.
+    std::vector<aig::Word> vars;
+    {
+      aig::BitBlaster frame(g);
+      for (ir::NodeRef v : problem.txnVars())
+        vars.push_back(frame.freshWord(
+            v->width(), v->name() + "@t" + std::to_string(t)));
+    }
+    txnVarWords.push_back(vars);
+    // Constraints on this transaction's variables are hard clauses.
+    {
+      aig::BitBlaster frame(g);
+      for (std::size_t i = 0; i < problem.txnVars().size(); ++i)
+        frame.bindScalar(problem.txnVars()[i], vars[i]);
+      for (ir::NodeRef c : problem.constraints())
+        enc.assertTrue(frame.blast(c)[0]);
+    }
+    // Vacuity guard (first transaction only — constraints repeat): an
+    // unsatisfiable constraint set would make every check pass trivially,
+    // the formal counterpart of a testbench that generates no stimulus.
+    if (t == 0 && !problem.constraints().empty()) {
+      DFV_CHECK_MSG(solver.solve() == sat::Result::kSat,
+                    "SEC constraints are unsatisfiable: every property "
+                    "would hold vacuously (over-constrained input space)");
+    }
+
+    slm.runTransaction(t, vars);
+    rtl.runTransaction(t, vars);
+
+    // Any-output-differs literal for this transaction.
+    aig::Lit anyDiff = aig::kFalse;
+    std::vector<aig::Lit> checkDiffs;
+    aig::BitBlaster frame(g);
+    for (const OutputCheck& chk : problem.checks()) {
+      const aig::Word& so = slm.outputAt(chk.slmOutput, chk.slmCycle);
+      const aig::Word& ro = rtl.outputAt(chk.rtlOutput, chk.rtlCycle);
+      const aig::Lit diff = aig::negate(frame.eqGate(so, ro));
+      checkDiffs.push_back(diff);
+      anyDiff = g.makeOr(anyDiff, diff);
+    }
+    result.stats.transactionsChecked = t + 1;
+
+    if (solver.solve({enc.satLit(anyDiff)}) == sat::Result::kSat) {
+      // Counterexample: identify which check fired, extract, replay.
+      Counterexample cex;
+      cex.failingTransaction = t;
+      for (std::size_t c = 0; c < problem.checks().size(); ++c) {
+        if (solver.modelValueOr(enc.satLit(checkDiffs[c]), false)) {
+          cex.check = problem.checks()[c];
+          break;
+        }
+      }
+      for (unsigned tt = 0; tt <= t; ++tt) {
+        std::vector<bv::BitVector> vals;
+        for (const auto& w : txnVarWords[tt])
+          vals.push_back(extractWord(enc, solver, w));
+        cex.txnVarValues.push_back(std::move(vals));
+      }
+      cex.slmInputs = extractSideInputs(problem, Side::kSlm, slm, enc, solver,
+                                        cex.txnVarValues, t + 1);
+      cex.rtlInputs = extractSideInputs(problem, Side::kRtl, rtl, enc, solver,
+                                        cex.txnVarValues, t + 1);
+      replayCounterexample(problem, cex);
+      result.verdict = Verdict::kNotEquivalent;
+      result.cex = std::move(cex);
+      finishStats();
+      return result;
+    }
+    // Outputs proven equal at this depth: assert it to help deeper frames.
+    enc.assertTrue(aig::negate(anyDiff));
+  }
+
+  result.verdict = Verdict::kBoundedEquivalent;
+
+  // ----- inductive step ----------------------------------------------------
+  if (options.tryInduction) {
+    result.stats.inductionAttempted = true;
+    bool closed = true;
+    // Base: reset states must satisfy every coupling invariant.
+    {
+      ir::Env env;
+      for (const auto& sv : problem.side(Side::kSlm).states())
+        env.emplace(sv.current, sv.init);
+      for (const auto& sv : problem.side(Side::kRtl).states())
+        env.emplace(sv.current, sv.init);
+      for (ir::NodeRef inv : problem.couplingInvariants()) {
+        if (ir::Evaluator::evaluate(inv, env).scalar.isZero()) closed = false;
+      }
+    }
+    if (closed) {
+      aig::Aig gi;
+      sat::Solver solverI;
+      aig::CnfEncoder encI(gi, solverI);
+      Unroller slmI(problem, Side::kSlm, gi);
+      Unroller rtlI(problem, Side::kRtl, gi);
+      slmI.initSymbolic("ind.");
+      // Invariants of the form eq(slm-state, rtl-state) are applied
+      // *structurally*: the RTL leaf reuses the SLM leaf's symbolic words,
+      // so logic that is identical on both sides collapses in the AIG
+      // instead of being re-proven clause by clause (this is the internal-
+      // equivalence-point optimization real SEC tools rely on).  All other
+      // invariant shapes are assumed via CNF.
+      std::unordered_map<ir::NodeRef, SymVal> aliases;
+      std::vector<ir::NodeRef> cnfInvariants;
+      {
+        const auto slmSnap = slmI.stateBindingSnapshot();
+        const ir::TransitionSystem& slmTs = problem.side(Side::kSlm);
+        const ir::TransitionSystem& rtlTs = problem.side(Side::kRtl);
+        auto isStateOf = [](const ir::TransitionSystem& ts, ir::NodeRef n) {
+          if (n->op() != ir::Op::kState) return false;
+          return ts.findState(n->name()) != nullptr &&
+                 ts.findState(n->name())->current == n;
+        };
+        for (ir::NodeRef inv : problem.couplingInvariants()) {
+          if (options.structuralAliasing && inv->op() == ir::Op::kEq) {
+            ir::NodeRef a = inv->operand(0);
+            ir::NodeRef b = inv->operand(1);
+            if (isStateOf(slmTs, a) && isStateOf(rtlTs, b) &&
+                aliases.count(b) == 0) {
+              aliases.emplace(b, slmSnap.at(a));
+              continue;
+            }
+            if (isStateOf(slmTs, b) && isStateOf(rtlTs, a) &&
+                aliases.count(a) == 0) {
+              aliases.emplace(a, slmSnap.at(b));
+              continue;
+            }
+          }
+          cnfInvariants.push_back(inv);
+        }
+      }
+      rtlI.initSymbolic("ind.", &aliases);
+      // Assume the remaining invariants at transaction start.
+      {
+        aig::BitBlaster frame(gi);
+        slmI.bindStateLeaves(frame);
+        rtlI.bindStateLeaves(frame);
+        for (ir::NodeRef inv : cnfInvariants)
+          encI.assertTrue(frame.blast(inv)[0]);
+      }
+      // One symbolic transaction.
+      std::vector<aig::Word> vars;
+      {
+        aig::BitBlaster frame(gi);
+        for (ir::NodeRef v : problem.txnVars())
+          vars.push_back(frame.freshWord(v->width(), "ind." + v->name()));
+        for (std::size_t i = 0; i < problem.txnVars().size(); ++i)
+          frame.bindScalar(problem.txnVars()[i], vars[i]);
+        for (ir::NodeRef c : problem.constraints())
+          encI.assertTrue(frame.blast(c)[0]);
+      }
+      slmI.runTransaction(0, vars);
+      rtlI.runTransaction(0, vars);
+      // Violation: any output differs OR any invariant broken at the end.
+      aig::Lit violation = aig::kFalse;
+      {
+        aig::BitBlaster frame(gi);
+        for (const OutputCheck& chk : problem.checks()) {
+          const aig::Word& so = slmI.outputAt(chk.slmOutput, chk.slmCycle);
+          const aig::Word& ro = rtlI.outputAt(chk.rtlOutput, chk.rtlCycle);
+          violation = gi.makeOr(violation,
+                                aig::negate(frame.eqGate(so, ro)));
+        }
+      }
+      {
+        aig::BitBlaster frame(gi);
+        slmI.bindStateLeaves(frame);
+        rtlI.bindStateLeaves(frame);
+        for (ir::NodeRef inv : problem.couplingInvariants())
+          violation =
+              gi.makeOr(violation, aig::negate(frame.blast(inv)[0]));
+      }
+      closed = solverI.solve({encI.satLit(violation)}) == sat::Result::kUnsat;
+      result.stats.satConflicts += solverI.stats().conflicts;
+      result.stats.satDecisions += solverI.stats().decisions;
+    }
+    result.stats.inductionClosed = closed;
+    if (closed) result.verdict = Verdict::kProvenEquivalent;
+  }
+
+  finishStats();
+  return result;
+}
+
+}  // namespace dfv::sec

@@ -1,0 +1,90 @@
+// The sequential equivalence checking engine.
+//
+// Reconstructs the formal flow of the paper's §2: a bounded model check over
+// k repeated transactions from the reset states (the base verdict), plus a
+// one-transaction inductive step over symbolic start states constrained by
+// the problem's coupling invariants (the full proof when it succeeds).
+//
+// Counterexamples are extracted as complete concrete stimulus (transaction
+// variables plus every free input, per cycle), replayed against the IR
+// interpreter of both sides, and returned with the observed mismatching
+// output values — so a SEC failure arrives as a runnable test, the property
+// the paper stresses for quickly localizing SLM/RTL divergence.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aig/bitblast.h"
+#include "aig/cnf.h"
+#include "sat/solver.h"
+#include "sec/transaction.h"
+
+namespace dfv::sec {
+
+/// Outcome of a SEC run.
+enum class Verdict {
+  kProvenEquivalent,    ///< BMC clean and inductive step closed
+  kBoundedEquivalent,   ///< BMC clean for k transactions; induction failed
+  kNotEquivalent,       ///< concrete counterexample found
+};
+
+const char* verdictName(Verdict v);
+
+/// A concrete distinguishing run.
+struct Counterexample {
+  /// Transaction index (0-based) at which an output check failed.
+  unsigned failingTransaction = 0;
+  /// The check that failed.
+  OutputCheck check;
+  /// Values of each transaction variable, per transaction
+  /// ([txn][i] parallel to problem.txnVars()).
+  std::vector<std::vector<bv::BitVector>> txnVarValues;
+  /// Complete per-cycle stimulus: [txn][cycle][input] parallel to each
+  /// side's ts.inputs().
+  std::vector<std::vector<std::vector<ir::Value>>> slmInputs;
+  std::vector<std::vector<std::vector<ir::Value>>> rtlInputs;
+  /// Observed mismatching values (from interpreter replay).
+  bv::BitVector slmValue;
+  bv::BitVector rtlValue;
+
+  std::string summary() const;
+};
+
+struct SecStats {
+  unsigned transactionsChecked = 0;
+  std::size_t aigNodes = 0;
+  std::uint64_t satConflicts = 0;
+  std::uint64_t satDecisions = 0;
+  double seconds = 0.0;
+  bool inductionAttempted = false;
+  bool inductionClosed = false;
+};
+
+struct SecResult {
+  Verdict verdict = Verdict::kBoundedEquivalent;
+  std::optional<Counterexample> cex;
+  SecStats stats;
+};
+
+struct SecOptions {
+  /// Number of transactions to unroll from reset.
+  unsigned boundTransactions = 4;
+  /// Attempt the inductive step to upgrade bounded -> proven.
+  bool tryInduction = true;
+  /// Apply equality-shaped coupling invariants structurally (shared
+  /// symbolic variables) instead of as CNF constraints.  On by default;
+  /// exposed so bench_sec_ablation can quantify the optimization (see
+  /// DESIGN.md §7).  Verdicts are identical either way.
+  bool structuralAliasing = true;
+};
+
+/// Runs the equivalence check.  Throws CheckError on malformed problems
+/// (e.g. no output checks) and if a counterexample fails to replay — that
+/// would indicate an engine bug, never a model property.
+SecResult checkEquivalence(const SecProblem& problem,
+                           const SecOptions& options = {});
+
+}  // namespace dfv::sec

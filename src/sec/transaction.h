@@ -1,0 +1,155 @@
+// Transaction specifications for sequential equivalence checking.
+//
+// Following the paper's §2: "sequential equivalence checking requires the
+// specification of how the inputs map between the SLM and RTL and
+// specification of when to check the outputs. Typically, this requires
+// specifying a repeating computational transaction in the SLM and the
+// corresponding transaction in the RTL model."
+//
+// A SecProblem therefore carries:
+//   * the two transition systems (the SLM side and the RTL side),
+//   * the length of one transaction on each side, in steps — an untimed SLM
+//     is typically 1 step per transaction while the RTL takes N cycles,
+//   * *transaction variables*: the abstract stimulus of one transaction,
+//     shared by both sides,
+//   * input mappings: for each (side, input, cycle-in-transaction), an
+//     expression over the transaction variables.  Unmapped input/cycle pairs
+//     are left free (universally quantified fresh values every cycle),
+//   * output sample points: pairs of (SLM output at cycle i) == (RTL output
+//     at cycle j) — this is "when to check the outputs",
+//   * input constraints over the transaction variables (§3.1.2: constrain
+//     the input space so that intended differences do not show up).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/transition_system.h"
+
+namespace dfv::sec {
+
+/// Identifies one side of the equivalence check.
+enum class Side { kSlm, kRtl };
+
+/// Drives `input` of one side at cycle `cycle` (within each transaction)
+/// with `value`, an expression over the problem's transaction variables.
+struct InputBinding {
+  Side side;
+  ir::NodeRef input = nullptr;   ///< an input leaf of that side's TS
+  unsigned cycle = 0;            ///< 0 .. cyclesPerTransaction-1
+  ir::NodeRef value = nullptr;   ///< expr over transaction variables
+};
+
+/// Requires slmOutput sampled at slmCycle to equal rtlOutput at rtlCycle
+/// (cycles within each transaction window).
+struct OutputCheck {
+  std::string slmOutput;
+  unsigned slmCycle = 0;
+  std::string rtlOutput;
+  unsigned rtlCycle = 0;
+};
+
+/// A complete SLM-vs-RTL equivalence problem over a shared ir::Context.
+class SecProblem {
+ public:
+  SecProblem(ir::Context& ctx, const ir::TransitionSystem& slm,
+             unsigned slmCyclesPerTxn, const ir::TransitionSystem& rtl,
+             unsigned rtlCyclesPerTxn)
+      : ctx_(&ctx),
+        slm_(&slm),
+        rtl_(&rtl),
+        slmCycles_(slmCyclesPerTxn),
+        rtlCycles_(rtlCyclesPerTxn) {
+    DFV_CHECK_MSG(slmCyclesPerTxn >= 1 && rtlCyclesPerTxn >= 1,
+                  "transactions must span at least one step");
+  }
+
+  ir::Context& ctx() const { return *ctx_; }
+  const ir::TransitionSystem& side(Side s) const {
+    return s == Side::kSlm ? *slm_ : *rtl_;
+  }
+  unsigned cycles(Side s) const {
+    return s == Side::kSlm ? slmCycles_ : rtlCycles_;
+  }
+
+  /// Declares a fresh transaction variable (one abstract stimulus word per
+  /// transaction).  Returns its leaf, usable in bindings and constraints.
+  ir::NodeRef declareTxnVar(const std::string& name, unsigned width) {
+    ir::NodeRef v = ctx_->input("txn." + name, width);
+    txnVars_.push_back(v);
+    return v;
+  }
+
+  /// Binds `inputName` of `side` at in-transaction `cycle` to `value`.
+  void bindInput(Side side, const std::string& inputName, unsigned cycle,
+                 ir::NodeRef value) {
+    const ir::TransitionSystem& ts = this->side(side);
+    ir::NodeRef input = ts.findInput(inputName);
+    DFV_CHECK_MSG(input != nullptr, "no input '" << inputName << "' on side");
+    DFV_CHECK_MSG(cycle < cycles(side), "cycle " << cycle
+                                                 << " outside transaction");
+    DFV_CHECK_MSG(value->type() == input->type(),
+                  "binding sort mismatch for '" << inputName << "'");
+    bindings_.push_back(InputBinding{side, input, cycle, value});
+  }
+
+  /// Binds `inputName` at every cycle of the transaction to `value`.
+  void bindInputAllCycles(Side side, const std::string& inputName,
+                          ir::NodeRef value) {
+    for (unsigned c = 0; c < cycles(side); ++c)
+      bindInput(side, inputName, c, value);
+  }
+
+  void checkOutputs(const std::string& slmOutput, unsigned slmCycle,
+                    const std::string& rtlOutput, unsigned rtlCycle) {
+    const auto* so = slm_->findOutput(slmOutput);
+    const auto* ro = rtl_->findOutput(rtlOutput);
+    DFV_CHECK_MSG(so != nullptr, "no SLM output '" << slmOutput << "'");
+    DFV_CHECK_MSG(ro != nullptr, "no RTL output '" << rtlOutput << "'");
+    DFV_CHECK_MSG(so->expr->width() == ro->expr->width(),
+                  "output width mismatch: " << slmOutput << " vs "
+                                            << rtlOutput);
+    DFV_CHECK_MSG(slmCycle < slmCycles_ && rtlCycle < rtlCycles_,
+                  "output sample point outside transaction");
+    checks_.push_back(OutputCheck{slmOutput, slmCycle, rtlOutput, rtlCycle});
+  }
+
+  /// Adds an input-space constraint (1-bit expr over transaction variables),
+  /// assumed to hold for every transaction.
+  void addConstraint(ir::NodeRef c) {
+    DFV_CHECK_MSG(c->width() == 1 && !c->type().isArray(),
+                  "constraint must be 1 bit");
+    constraints_.push_back(c);
+  }
+
+  /// Adds a coupling invariant: a 1-bit expression over the *state leaves*
+  /// of both sides, used by the inductive step (assumed at transaction
+  /// start, proven at transaction end, checked on the reset states).
+  void addCouplingInvariant(ir::NodeRef inv) {
+    DFV_CHECK_MSG(inv->width() == 1 && !inv->type().isArray(),
+                  "invariant must be 1 bit");
+    couplingInvariants_.push_back(inv);
+  }
+
+  const std::vector<ir::NodeRef>& txnVars() const { return txnVars_; }
+  const std::vector<InputBinding>& bindings() const { return bindings_; }
+  const std::vector<OutputCheck>& checks() const { return checks_; }
+  const std::vector<ir::NodeRef>& constraints() const { return constraints_; }
+  const std::vector<ir::NodeRef>& couplingInvariants() const {
+    return couplingInvariants_;
+  }
+
+ private:
+  ir::Context* ctx_;
+  const ir::TransitionSystem* slm_;
+  const ir::TransitionSystem* rtl_;
+  unsigned slmCycles_;
+  unsigned rtlCycles_;
+  std::vector<ir::NodeRef> txnVars_;
+  std::vector<InputBinding> bindings_;
+  std::vector<OutputCheck> checks_;
+  std::vector<ir::NodeRef> constraints_;
+  std::vector<ir::NodeRef> couplingInvariants_;
+};
+
+}  // namespace dfv::sec

@@ -1,0 +1,170 @@
+// Primitive channels for the SLM kernel: signals and FIFOs.
+//
+// Signal<T> has SystemC sc_signal semantics: writes are deferred to the
+// update phase, so every reader in an evaluation phase sees the pre-write
+// value and value changes wake waiters one delta later.  Fifo<T> is the
+// sc_fifo analog: a bounded queue with suspending put/get, the natural
+// transaction-level interface between computation blocks (§4.4's orthogonal
+// communication/computation recommendation).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "slm/kernel.h"
+
+namespace dfv::slm {
+
+/// An evaluate/update signal (primitive channel).
+template <typename T>
+class Signal : public Updatable {
+ public:
+  Signal(Kernel& kernel, std::string name, T initial = T{})
+      : kernel_(kernel),
+        changed_(kernel, name + ".changed"),
+        name_(std::move(name)),
+        current_(std::move(initial)) {}
+
+  const T& read() const { return current_; }
+
+  /// Deferred write: takes effect in the update phase; wakes waiters on the
+  /// following delta iff the value actually changed.
+  void write(T v) {
+    pending_ = std::move(v);
+    kernel_.requestUpdate(this);
+  }
+
+  /// `co_await sig.change()` suspends until the value changes.
+  auto change() { return changed_.wait(); }
+
+  const std::string& name() const { return name_; }
+
+  void update() override {
+    if (!pending_.has_value()) return;
+    if (!(*pending_ == current_)) {
+      current_ = std::move(*pending_);
+      changed_.notifyDelta();
+    }
+    pending_.reset();
+  }
+
+ private:
+  Kernel& kernel_;
+  Event changed_;
+  std::string name_;
+  T current_;
+  std::optional<T> pending_;
+};
+
+/// A bounded FIFO channel with suspending put/get.
+///
+/// Designed for one producer and one consumer process (like the typical
+/// sc_fifo usage); concurrent same-side access is rejected by a CheckError
+/// when the invariant would be violated (a pop finding the queue empty).
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Kernel& kernel, std::string name, std::size_t capacity = 16)
+      : kernel_(kernel),
+        dataAvailable_(kernel, name + ".data"),
+        spaceAvailable_(kernel, name + ".space"),
+        name_(std::move(name)),
+        capacity_(capacity) {
+    DFV_CHECK_MSG(capacity >= 1, "fifo capacity must be >= 1");
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return buf_.empty(); }
+  bool full() const { return buf_.size() >= capacity_; }
+
+  /// Non-suspending operations (for use outside processes / in tests).
+  bool tryPut(T v) {
+    if (full()) return false;
+    buf_.push_back(std::move(v));
+    dataAvailable_.notifyDelta();
+    return true;
+  }
+  std::optional<T> tryGet() {
+    if (empty()) return std::nullopt;
+    T v = std::move(buf_.front());
+    buf_.pop_front();
+    spaceAvailable_.notifyDelta();
+    return v;
+  }
+
+  /// `co_await fifo.put(v)` — suspends while full.
+  auto put(T v) {
+    struct Awaiter {
+      Fifo* f;
+      T value;
+      bool await_ready() const noexcept { return !f->full(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        f->spaceAvailable_.addWaiter(h);
+      }
+      void await_resume() {
+        DFV_CHECK_MSG(!f->full(),
+                      "fifo '" << f->name_
+                               << "': resumed put found no space "
+                                  "(multiple producers?)");
+        f->buf_.push_back(std::move(value));
+        f->dataAvailable_.notifyDelta();
+      }
+    };
+    return Awaiter{this, std::move(v)};
+  }
+
+  /// `co_await fifo.get()` — suspends while empty; returns the head element.
+  auto get() {
+    struct Awaiter {
+      Fifo* f;
+      bool await_ready() const noexcept { return !f->empty(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        f->dataAvailable_.addWaiter(h);
+      }
+      T await_resume() {
+        DFV_CHECK_MSG(!f->empty(),
+                      "fifo '" << f->name_
+                               << "': resumed get found no data "
+                                  "(multiple consumers?)");
+        T v = std::move(f->buf_.front());
+        f->buf_.pop_front();
+        f->spaceAvailable_.notifyDelta();
+        return v;
+      }
+    };
+    return Awaiter{this};
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  Kernel& kernel_;
+  Event dataAvailable_;
+  Event spaceAvailable_;
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> buf_;
+};
+
+/// A named hierarchy element (the SC_MODULE analog).  Blocks of a
+/// system-level model derive from Module and spawn their processes in their
+/// constructor; consistent block boundaries against the RTL hierarchy are
+/// the paper's §4.2 partitioning recommendation.
+class Module {
+ public:
+  Module(Kernel& kernel, std::string name)
+      : kernel_(kernel), name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Kernel& kernel() const { return kernel_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+};
+
+}  // namespace dfv::slm

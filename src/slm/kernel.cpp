@@ -1,0 +1,137 @@
+#include "slm/kernel.h"
+
+#include <algorithm>
+
+namespace dfv::slm {
+
+Event::Event(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+void Event::notifyDelta() {
+  if (deltaPending_) return;  // multiple notifies in one delta collapse
+  deltaPending_ = true;
+  kernel_.scheduleDeltaEvent(this);
+}
+
+void Event::notifyAt(Time delay) {
+  if (delay == 0) {
+    notifyDelta();
+    return;
+  }
+  kernel_.scheduleTimedEvent(this, delay);
+}
+
+Clock::Clock(Kernel& kernel, std::string name, Time period)
+    : rising_(kernel, name + ".rising"), period_(period) {
+  DFV_CHECK_MSG(period >= 1, "clock period must be >= 1 tick");
+  kernel.spawn(tickLoop(), name);
+}
+
+Process Clock::tickLoop() {
+  for (;;) {
+    co_await rising_.kernel().wait(period_);
+    ++cycles_;
+    rising_.notifyDelta();
+  }
+}
+
+Kernel::~Kernel() {
+  for (auto& r : roots_)
+    if (r.handle) r.handle.destroy();
+}
+
+void Kernel::spawn(Process p, std::string name) {
+  Process::Handle h = p.release();
+  DFV_CHECK_MSG(h, "spawn of an empty (moved-from) Process");
+  roots_.push_back(RootProcess{h, std::move(name)});
+  makeRunnable(h);
+}
+
+void Kernel::scheduleDeltaEvent(Event* ev) { deltaEvents_.push_back(ev); }
+
+void Kernel::scheduleTimedEvent(Event* ev, Time delay) {
+  timedQueue_.push(TimedEntry{now_ + delay, timedSeq_++, ev, nullptr});
+}
+
+void Kernel::scheduleTimedResume(std::coroutine_handle<> h, Time delay) {
+  timedQueue_.push(TimedEntry{now_ + delay, timedSeq_++, nullptr, h});
+}
+
+void Kernel::resumeOne(std::coroutine_handle<> h) {
+  h.resume();
+  // Exceptions from root processes surface here; subroutine exceptions are
+  // re-thrown into their parent by the SubAwaiter.
+  for (auto& r : roots_) {
+    if (r.handle && std::coroutine_handle<>(r.handle) == h && h.done()) {
+      if (r.handle.promise().exception) {
+        std::exception_ptr e = r.handle.promise().exception;
+        std::rethrow_exception(e);
+      }
+    }
+  }
+}
+
+void Kernel::reapFinishedRoots() {
+  for (auto& r : roots_) {
+    if (r.handle && r.handle.done()) {
+      r.handle.destroy();
+      r.handle = nullptr;
+    }
+  }
+}
+
+bool Kernel::allProcessesDone() const {
+  return std::all_of(roots_.begin(), roots_.end(),
+                     [](const RootProcess& r) { return !r.handle; });
+}
+
+std::uint64_t Kernel::run(Time until) {
+  for (;;) {
+    // --- evaluation phase: drain runnable (processes may add more) -------
+    bool ranAnything = !runnable_.empty();
+    while (!runnable_.empty()) {
+      auto h = runnable_.front();
+      runnable_.pop_front();
+      if (!h.done()) resumeOne(h);
+    }
+    if (ranAnything) {
+      ++deltaCount_;
+      reapFinishedRoots();
+    }
+
+    // --- update phase: primitive channels commit ------------------------
+    std::vector<Updatable*> updates;
+    updates.swap(updateQueue_);
+    for (Updatable* u : updates) u->update();
+
+    // --- delta notifications wake waiters into the next evaluation ------
+    std::vector<Event*> deltas;
+    deltas.swap(deltaEvents_);
+    for (Event* ev : deltas) {
+      ev->deltaPending_ = false;
+      std::vector<std::coroutine_handle<>> waiters;
+      waiters.swap(ev->waiters_);
+      for (auto h : waiters) makeRunnable(h);
+    }
+    if (!runnable_.empty()) continue;  // next delta at the same time
+
+    // --- advance time ----------------------------------------------------
+    if (timedQueue_.empty()) return deltaCount_;
+    const Time nextTime = timedQueue_.top().time;
+    if (nextTime > until) return deltaCount_;
+    now_ = nextTime;
+    while (!timedQueue_.empty() && timedQueue_.top().time == now_) {
+      TimedEntry e = timedQueue_.top();
+      timedQueue_.pop();
+      if (e.event != nullptr) {
+        std::vector<std::coroutine_handle<>> waiters;
+        waiters.swap(e.event->waiters_);
+        for (auto h : waiters) makeRunnable(h);
+      } else {
+        makeRunnable(e.handle);
+      }
+    }
+  }
+}
+
+}  // namespace dfv::slm

@@ -1,0 +1,267 @@
+// A SystemC-like discrete-event simulation kernel on C++20 coroutines.
+//
+// This is the reproduction's substitute for the OSCI SystemC kernel: the
+// paper's system-level models need "notions like clocks, clocked threads,
+// events and hierarchy" (§3.2) plus evaluate/update signal semantics and
+// delta cycles — and nothing more — so that is exactly what this kernel
+// provides.  Processes are coroutines (`Process`), suspension points are
+// `co_await` on events, clock edges, timed waits, or channel operations
+// (src/slm/channels.h).
+//
+// Scheduling model (mirrors SystemC):
+//   evaluation phase  — all runnable processes resume, in deterministic
+//                       spawn order; they may write signals, notify events,
+//                       and spawn processes (which join this phase);
+//   update phase      — primitive channels commit pending writes;
+//   delta notification— events notified with notifyDelta() (and signals
+//                       that changed) wake their waiters into the next
+//                       evaluation phase; if any woke, repeat at same time;
+//   time advance      — otherwise the kernel advances to the earliest timed
+//                       notification.
+//
+// Determinism: all queues are FIFO and seeded in creation order, so a given
+// model produces identical traces on every run.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dfv::slm {
+
+class Kernel;
+class Event;
+
+/// Simulated time in abstract ticks (a clock period is typically 10).
+using Time = std::uint64_t;
+
+/// A simulation process / subroutine coroutine.
+///
+/// Top-level processes are handed to Kernel::spawn.  A Process can also be
+/// awaited from another Process (`co_await subroutine(...)`), which runs the
+/// child to completion (across any number of suspensions) before the parent
+/// continues.
+class [[nodiscard]] Process {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // parent awaiting us, if any
+    std::exception_ptr exception;
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    auto final_suspend() noexcept {
+      struct FinalAwaiter {
+        bool await_ready() noexcept { return false; }
+        std::coroutine_handle<> await_suspend(
+            std::coroutine_handle<promise_type> h) noexcept {
+          auto cont = h.promise().continuation;
+          return cont ? cont : std::noop_coroutine();
+        }
+        void await_resume() noexcept {}
+      };
+      return FinalAwaiter{};
+    }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process(Process&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  /// Awaiting a Process runs it as a subroutine of the awaiter.
+  auto operator co_await() && noexcept {
+    struct SubAwaiter {
+      Handle child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer: start the child now
+      }
+      void await_resume() {
+        if (child.promise().exception)
+          std::rethrow_exception(child.promise().exception);
+      }
+    };
+    return SubAwaiter{handle_};
+  }
+
+ private:
+  friend class Kernel;
+  explicit Process(Handle h) : handle_(h) {}
+  Handle release() {
+    Handle h = handle_;
+    handle_ = nullptr;
+    return h;
+  }
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+
+  Handle handle_;
+};
+
+/// Primitive channels implement this to participate in the update phase.
+class Updatable {
+ public:
+  virtual ~Updatable() = default;
+  virtual void update() = 0;
+};
+
+/// A notifiable synchronization object (the sc_event analog).
+class Event {
+ public:
+  explicit Event(Kernel& kernel, std::string name = "");
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Wakes current waiters into the *next* evaluation phase (delta notify).
+  void notifyDelta();
+  /// Wakes current waiters after `delay` ticks (0 behaves like notifyDelta).
+  void notifyAt(Time delay);
+
+  /// `co_await event.wait()` suspends until the next notification.
+  auto wait() {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { ev->addWaiter(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  const std::string& name() const { return name_; }
+  Kernel& kernel() const { return kernel_; }
+
+  /// Registers a suspended coroutine to wake on the next notification.
+  /// For use by awaiters and channel implementations.
+  void addWaiter(std::coroutine_handle<> h) { waiters_.push_back(h); }
+
+ private:
+  friend class Kernel;
+
+  Kernel& kernel_;
+  std::string name_;
+  std::vector<std::coroutine_handle<>> waiters_;
+  bool deltaPending_ = false;
+};
+
+/// A free-running clock: a timed event source with a fixed period.
+/// The first rising edge occurs at t = period (not at 0), so models can
+/// initialize before the first edge.
+class Clock {
+ public:
+  Clock(Kernel& kernel, std::string name, Time period);
+
+  /// `co_await clk.rising()` suspends until the next rising edge.
+  auto rising() { return rising_.wait(); }
+  Time period() const { return period_; }
+  /// Number of rising edges that have occurred.
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  Process tickLoop();
+
+  Event rising_;
+  Time period_;
+  std::uint64_t cycles_ = 0;
+};
+
+/// The simulation kernel: process scheduler + event queues.
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+  ~Kernel();
+
+  /// Registers a top-level process; it becomes runnable immediately.
+  void spawn(Process p, std::string name = "");
+
+  /// `co_await kernel.wait(n)` suspends the caller for n ticks.
+  auto wait(Time delay) {
+    struct Awaiter {
+      Kernel* kernel;
+      Time delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        kernel->scheduleTimedResume(h, delay);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  /// Runs until no activity remains or simulated time would exceed `until`.
+  /// Returns the number of delta cycles executed.
+  std::uint64_t run(Time until = ~Time{0});
+
+  Time now() const { return now_; }
+  std::uint64_t deltaCount() const { return deltaCount_; }
+
+  /// True if every spawned top-level process has finished.
+  bool allProcessesDone() const;
+
+  // ----- used by channels/events (not by models) -------------------------
+  void requestUpdate(Updatable* u) { updateQueue_.push_back(u); }
+  void scheduleDeltaEvent(Event* ev);
+  void scheduleTimedEvent(Event* ev, Time delay);
+  void scheduleTimedResume(std::coroutine_handle<> h, Time delay);
+
+ private:
+  void makeRunnable(std::coroutine_handle<> h) { runnable_.push_back(h); }
+  void resumeOne(std::coroutine_handle<> h);
+  void reapFinishedRoots();
+
+  struct TimedEntry {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    Event* event;                    // either an event...
+    std::coroutine_handle<> handle;  // ...or a direct resume
+    bool operator>(const TimedEntry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  struct RootProcess {
+    Process::Handle handle;
+    std::string name;
+  };
+
+  Time now_ = 0;
+  std::uint64_t deltaCount_ = 0;
+  std::uint64_t timedSeq_ = 0;
+  std::deque<std::coroutine_handle<>> runnable_;
+  std::vector<Updatable*> updateQueue_;
+  std::vector<Event*> deltaEvents_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
+                      std::greater<TimedEntry>>
+      timedQueue_;
+  std::vector<RootProcess> roots_;
+};
+
+}  // namespace dfv::slm

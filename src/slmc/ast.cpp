@@ -1,0 +1,142 @@
+#include "slmc/ast.h"
+
+namespace dfv::slmc {
+
+namespace {
+std::shared_ptr<Expr> makeExpr(Expr::Kind k) {
+  auto e = std::make_shared<Expr>();
+  e->kind = k;
+  return e;
+}
+std::shared_ptr<Stmt> makeStmt(Stmt::Kind k) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = k;
+  return s;
+}
+}  // namespace
+
+ExprP constant(unsigned width, std::int64_t v, bool isSigned) {
+  auto e = makeExpr(Expr::Kind::kConst);
+  e->value = bv::BitVector::fromInt(width, v);
+  e->constSigned = isSigned;
+  return e;
+}
+
+ExprP constantU(unsigned width, std::uint64_t v) {
+  auto e = makeExpr(Expr::Kind::kConst);
+  e->value = bv::BitVector::fromUint(width, v);
+  e->constSigned = false;
+  return e;
+}
+
+ExprP var(std::string name) {
+  auto e = makeExpr(Expr::Kind::kVar);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprP index(std::string array, ExprP idx) {
+  auto e = makeExpr(Expr::Kind::kIndex);
+  e->name = std::move(array);
+  e->index = std::move(idx);
+  return e;
+}
+
+ExprP unary(UnOp op, ExprP a) {
+  auto e = makeExpr(Expr::Kind::kUnary);
+  e->unOp = op;
+  e->lhs = std::move(a);
+  return e;
+}
+
+ExprP binary(BinOp op, ExprP a, ExprP b) {
+  auto e = makeExpr(Expr::Kind::kBinary);
+  e->binOp = op;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+ExprP cast(ExprP a, unsigned width, bool isSigned) {
+  auto e = makeExpr(Expr::Kind::kCast);
+  e->lhs = std::move(a);
+  e->castWidth = width;
+  e->castSigned = isSigned;
+  return e;
+}
+
+StmtP declVar(std::string name, unsigned width, bool isSigned) {
+  auto s = makeStmt(Stmt::Kind::kDeclVar);
+  s->name = std::move(name);
+  s->width = width;
+  s->isSigned = isSigned;
+  return s;
+}
+
+StmtP declArray(std::string name, unsigned elemWidth, bool isSigned,
+                ExprP size) {
+  auto s = makeStmt(Stmt::Kind::kDeclArray);
+  s->name = std::move(name);
+  s->width = elemWidth;
+  s->isSigned = isSigned;
+  s->size = std::move(size);
+  return s;
+}
+
+StmtP declAlias(std::string name, std::string aliasOf) {
+  auto s = makeStmt(Stmt::Kind::kDeclAlias);
+  s->name = std::move(name);
+  s->aliasOf = std::move(aliasOf);
+  return s;
+}
+
+StmtP assign(std::string name, ExprP value) {
+  auto s = makeStmt(Stmt::Kind::kAssign);
+  s->name = std::move(name);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtP assignIndex(std::string array, ExprP idx, ExprP value) {
+  auto s = makeStmt(Stmt::Kind::kAssignIndex);
+  s->name = std::move(array);
+  s->target = std::move(idx);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtP ifElse(ExprP cond, Block thenBlock, Block elseBlock) {
+  auto s = makeStmt(Stmt::Kind::kIf);
+  s->cond = std::move(cond);
+  s->thenBlock = std::move(thenBlock);
+  s->elseBlock = std::move(elseBlock);
+  return s;
+}
+
+StmtP forLoop(std::string loopVar, ExprP bound, Block body) {
+  auto s = makeStmt(Stmt::Kind::kFor);
+  s->loopVar = std::move(loopVar);
+  s->bound = std::move(bound);
+  s->body = std::move(body);
+  return s;
+}
+
+StmtP breakIf(ExprP cond) {
+  auto s = makeStmt(Stmt::Kind::kBreakIf);
+  s->cond = std::move(cond);
+  return s;
+}
+
+StmtP returnStmt(ExprP value) {
+  auto s = makeStmt(Stmt::Kind::kReturn);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtP externalCall(std::string callee) {
+  auto s = makeStmt(Stmt::Kind::kExternalCall);
+  s->name = std::move(callee);
+  return s;
+}
+
+}  // namespace dfv::slmc

@@ -1,0 +1,139 @@
+// SLM-C: a small algorithmic-model language for C/C++ model conditioning.
+//
+// §4.3 of the paper: to use an SLM for sequential equivalence checking (or
+// behavioural synthesis), "the SLM must be written such that a hardware-like
+// model can be inferred statically from the source by the tool", which
+// requires coding guidelines: statically sized arrays instead of malloc,
+// explicit memories instead of pointer aliasing, static loop bounds with
+// conditional exits, untimed single-threaded code with a single entry point.
+//
+// SLM-C makes those guidelines checkable: algorithmic SLMs are written as
+// Function ASTs that (a) execute directly through the interpreter
+// (src/slmc/interp.h — the executable model), (b) are linted against the
+// §4.3 rules (src/slmc/lint.h), and (c) statically elaborate to a word-level
+// transition system (src/slmc/elaborate.h) — the "hardware-like model" — iff
+// the lint passes.  Constructs that violate the guidelines (dynamic
+// allocation, pointer aliasing, data-dependent loop bounds, external calls)
+// are representable on purpose, so the lint has something real to reject.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitvec/bitvector.h"
+#include "common/check.h"
+
+namespace dfv::slmc {
+
+// ----- expressions -----------------------------------------------------------
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor,
+  kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+enum class UnOp { kNot, kNeg, kLogicalNot };
+
+struct Expr;
+using ExprP = std::shared_ptr<const Expr>;
+
+/// An expression node.  Widths/signedness resolve against declarations at
+/// interpretation/elaboration time.
+struct Expr {
+  enum class Kind { kConst, kVar, kIndex, kUnary, kBinary, kCast } kind;
+
+  // kConst
+  bv::BitVector value;
+  bool constSigned = false;
+  // kVar / kIndex
+  std::string name;
+  ExprP index;
+  // kUnary / kBinary
+  UnOp unOp = UnOp::kNot;
+  BinOp binOp = BinOp::kAdd;
+  ExprP lhs, rhs;
+  // kCast
+  unsigned castWidth = 0;
+  bool castSigned = false;
+};
+
+ExprP constant(unsigned width, std::int64_t v, bool isSigned = true);
+ExprP constantU(unsigned width, std::uint64_t v);
+ExprP var(std::string name);
+ExprP index(std::string array, ExprP idx);
+ExprP unary(UnOp op, ExprP a);
+ExprP binary(BinOp op, ExprP a, ExprP b);
+ExprP cast(ExprP a, unsigned width, bool isSigned);
+
+// ----- statements ------------------------------------------------------------
+
+struct Stmt;
+using StmtP = std::shared_ptr<const Stmt>;
+using Block = std::vector<StmtP>;
+
+struct Stmt {
+  enum class Kind {
+    kDeclVar,     ///< scalar local, zero-initialized
+    kDeclArray,   ///< array local; size is an Expr (static iff constant)
+    kDeclAlias,   ///< second name for an existing array (pointer aliasing)
+    kAssign,      ///< scalar = expr
+    kAssignIndex, ///< array[idx] = expr
+    kIf,          ///< if/else
+    kFor,         ///< for (i = 0; i < bound; ++i), bound evaluated at entry
+    kBreakIf,     ///< conditional exit from the innermost loop
+    kReturn,      ///< function result (must be the final statement)
+    kExternalCall ///< call outside the supplied source (not self-contained)
+  } kind;
+
+  // decls
+  std::string name;
+  unsigned width = 0;
+  bool isSigned = false;
+  ExprP size;             // kDeclArray
+  std::string aliasOf;    // kDeclAlias
+  // assigns
+  ExprP target;           // kAssignIndex index expr
+  ExprP value;
+  // control
+  ExprP cond;             // kIf / kBreakIf
+  Block thenBlock, elseBlock;
+  std::string loopVar;    // kFor (unsigned 32-bit counter)
+  ExprP bound;            // kFor
+  Block body;             // kFor
+};
+
+StmtP declVar(std::string name, unsigned width, bool isSigned);
+StmtP declArray(std::string name, unsigned elemWidth, bool isSigned,
+                ExprP size);
+StmtP declAlias(std::string name, std::string aliasOf);
+StmtP assign(std::string name, ExprP value);
+StmtP assignIndex(std::string array, ExprP idx, ExprP value);
+StmtP ifElse(ExprP cond, Block thenBlock, Block elseBlock = {});
+StmtP forLoop(std::string loopVar, ExprP bound, Block body);
+StmtP breakIf(ExprP cond);
+StmtP returnStmt(ExprP value);
+StmtP externalCall(std::string callee);
+
+// ----- functions --------------------------------------------------------------
+
+/// A scalar parameter declaration.
+struct Param {
+  std::string name;
+  unsigned width;
+  bool isSigned;
+};
+
+/// A single-entry algorithmic model: the paper's "one well defined top
+/// level function".
+struct Function {
+  std::string name;
+  std::vector<Param> params;
+  Block body;
+  unsigned returnWidth = 0;
+  bool returnSigned = false;
+};
+
+}  // namespace dfv::slmc

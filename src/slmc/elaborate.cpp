@@ -1,0 +1,328 @@
+#include "slmc/elaborate.h"
+
+#include <unordered_map>
+
+namespace dfv::slmc {
+
+namespace {
+
+using ir::NodeRef;
+
+/// Symbolic storage: a scalar expression or a scalarized array.
+struct SymVar {
+  bool isArray = false;
+  bool isSigned = false;
+  unsigned width = 0;
+  NodeRef scalar = nullptr;
+  std::vector<NodeRef> elems;
+};
+
+struct Typed {
+  NodeRef node;
+  bool isSigned;
+};
+
+class Elaborator {
+ public:
+  Elaborator(ir::Context& ctx, const ElaborateOptions& options)
+      : x_(ctx), options_(options) {}
+
+  Elaboration run(const Function& f, const std::string& prefix) {
+    Elaboration result;
+    auto ts = std::make_unique<ir::TransitionSystem>(x_, f.name);
+    for (const Param& p : f.params) {
+      NodeRef in = ts->addInput(prefix + p.name, p.width);
+      env_[p.name] = SymVar{false, p.isSigned, p.width, in, {}};
+    }
+    elabBlock(f.body, x_.boolConst(true), /*breakVar=*/nullptr,
+              /*topLevel=*/true);
+    if (returnValue_ == nullptr)
+      fail("function '" + f.name + "' has no reachable return");
+    result.errors = std::move(errors_);
+    result.unrolledIterations = unrolled_;
+    if (result.errors.empty()) {
+      NodeRef ret = x_.resize(returnValue_, f.returnWidth, returnSigned_);
+      ts->addOutput("ret", ret);
+      ts->validate();
+      result.ts = std::move(ts);
+      result.ok = true;
+    }
+    return result;
+  }
+
+ private:
+  void fail(std::string msg) { errors_.push_back(std::move(msg)); }
+
+  SymVar* lookup(const std::string& name) {
+    auto it = env_.find(name);
+    return it == env_.end() ? nullptr : &it->second;
+  }
+
+  Typed eval(const ExprP& e) {
+    DFV_CHECK(e != nullptr);
+    switch (e->kind) {
+      case Expr::Kind::kConst:
+        return Typed{x_.constant(e->value), e->constSigned};
+      case Expr::Kind::kVar: {
+        SymVar* v = lookup(e->name);
+        if (v == nullptr || v->isArray) {
+          fail("use of undeclared scalar '" + e->name + "'");
+          return Typed{x_.zero(1), false};
+        }
+        return Typed{v->scalar, v->isSigned};
+      }
+      case Expr::Kind::kIndex: {
+        SymVar* v = lookup(e->name);
+        if (v == nullptr || !v->isArray) {
+          fail("use of undeclared array '" + e->name + "'");
+          return Typed{x_.zero(1), false};
+        }
+        const Typed idx = eval(e->index);
+        // Mux chain keyed on index equality; out-of-range reads element 0.
+        NodeRef out = v->elems[0];
+        const unsigned iw = idx.node->width();
+        for (std::size_t i = 1; i < v->elems.size(); ++i) {
+          if (iw < 64 && i >= (std::uint64_t{1} << iw)) break;
+          NodeRef hit = x_.eq(idx.node, x_.constantUint(iw, i));
+          out = x_.mux(hit, v->elems[i], out);
+        }
+        return Typed{out, v->isSigned};
+      }
+      case Expr::Kind::kUnary: {
+        const Typed a = eval(e->lhs);
+        switch (e->unOp) {
+          case UnOp::kNot: return Typed{x_.bitNot(a.node), a.isSigned};
+          case UnOp::kNeg: return Typed{x_.neg(a.node), a.isSigned};
+          case UnOp::kLogicalNot:
+            return Typed{x_.eq(a.node, x_.zero(a.node->width())), false};
+        }
+        DFV_UNREACHABLE("bad unop");
+      }
+      case Expr::Kind::kBinary: {
+        const Typed a = eval(e->lhs);
+        const Typed b = eval(e->rhs);
+        const bool shift =
+            e->binOp == BinOp::kShl || e->binOp == BinOp::kShr;
+        if (!shift && (a.node->width() != b.node->width() ||
+                       a.isSigned != b.isSigned)) {
+          fail("binary operand type mismatch");
+          return Typed{x_.zero(1), false};
+        }
+        switch (e->binOp) {
+          case BinOp::kAdd: return Typed{x_.add(a.node, b.node), a.isSigned};
+          case BinOp::kSub: return Typed{x_.sub(a.node, b.node), a.isSigned};
+          case BinOp::kMul: return Typed{x_.mul(a.node, b.node), a.isSigned};
+          case BinOp::kDiv:
+            return Typed{a.isSigned ? x_.sdiv(a.node, b.node)
+                                    : x_.udiv(a.node, b.node),
+                         a.isSigned};
+          case BinOp::kMod:
+            return Typed{a.isSigned ? x_.srem(a.node, b.node)
+                                    : x_.urem(a.node, b.node),
+                         a.isSigned};
+          case BinOp::kAnd: return Typed{x_.bitAnd(a.node, b.node), a.isSigned};
+          case BinOp::kOr: return Typed{x_.bitOr(a.node, b.node), a.isSigned};
+          case BinOp::kXor: return Typed{x_.bitXor(a.node, b.node), a.isSigned};
+          case BinOp::kShl: return Typed{x_.shl(a.node, b.node), a.isSigned};
+          case BinOp::kShr:
+            return Typed{a.isSigned ? x_.ashr(a.node, b.node)
+                                    : x_.lshr(a.node, b.node),
+                         a.isSigned};
+          case BinOp::kEq: return Typed{x_.eq(a.node, b.node), false};
+          case BinOp::kNe: return Typed{x_.ne(a.node, b.node), false};
+          case BinOp::kLt:
+            return Typed{a.isSigned ? x_.slt(a.node, b.node)
+                                    : x_.ult(a.node, b.node),
+                         false};
+          case BinOp::kLe:
+            return Typed{a.isSigned ? x_.sle(a.node, b.node)
+                                    : x_.ule(a.node, b.node),
+                         false};
+          case BinOp::kGt:
+            return Typed{a.isSigned ? x_.sgt(a.node, b.node)
+                                    : x_.ugt(a.node, b.node),
+                         false};
+          case BinOp::kGe:
+            return Typed{a.isSigned ? x_.sge(a.node, b.node)
+                                    : x_.uge(a.node, b.node),
+                         false};
+        }
+        DFV_UNREACHABLE("bad binop");
+      }
+      case Expr::Kind::kCast: {
+        const Typed a = eval(e->lhs);
+        return Typed{x_.resize(a.node, e->castWidth, a.isSigned),
+                     e->castSigned};
+      }
+    }
+    DFV_UNREACHABLE("bad expr kind");
+  }
+
+  /// Effective activity of a statement: the block guard minus any break
+  /// already taken in the innermost loop.
+  NodeRef active(NodeRef guard, NodeRef* breakVar) {
+    if (breakVar == nullptr) return guard;
+    return x_.bitAnd(guard, x_.bitNot(*breakVar));
+  }
+
+  void elabBlock(const Block& block, NodeRef guard, NodeRef* breakVar,
+                 bool topLevel) {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Stmt& s = *block[i];
+      if (!errors_.empty() && errors_.size() > 32) return;  // stop the flood
+      switch (s.kind) {
+        case Stmt::Kind::kDeclVar:
+          if (lookup(s.name) != nullptr) {
+            fail("redeclaration of '" + s.name + "'");
+            break;
+          }
+          env_[s.name] = SymVar{false, s.isSigned, s.width, x_.zero(s.width), {}};
+          break;
+        case Stmt::Kind::kDeclArray: {
+          if (s.size->kind != Expr::Kind::kConst) {
+            fail("array '" + s.name +
+                 "' has a dynamic size: not statically analyzable");
+            break;
+          }
+          if (lookup(s.name) != nullptr) {
+            fail("redeclaration of '" + s.name + "'");
+            break;
+          }
+          const std::uint64_t n = s.size->value.toUint64();
+          SymVar v;
+          v.isArray = true;
+          v.isSigned = s.isSigned;
+          v.width = s.width;
+          v.elems.assign(n, x_.zero(s.width));
+          env_[s.name] = std::move(v);
+          break;
+        }
+        case Stmt::Kind::kDeclAlias:
+          fail("alias '" + s.name +
+               "' uses pointer aliasing: not statically analyzable");
+          break;
+        case Stmt::Kind::kAssign: {
+          SymVar* v = lookup(s.name);
+          if (v == nullptr || v->isArray) {
+            fail("assignment to undeclared scalar '" + s.name + "'");
+            break;
+          }
+          const Typed val = eval(s.value);
+          if (val.node->width() != v->width) {
+            fail("assignment width mismatch for '" + s.name + "'");
+            break;
+          }
+          v->scalar = x_.mux(active(guard, breakVar), val.node, v->scalar);
+          break;
+        }
+        case Stmt::Kind::kAssignIndex: {
+          SymVar* v = lookup(s.name);
+          if (v == nullptr || !v->isArray) {
+            fail("assignment to undeclared array '" + s.name + "'");
+            break;
+          }
+          const Typed idx = eval(s.target);
+          const Typed val = eval(s.value);
+          if (val.node->width() != v->width) {
+            fail("element width mismatch for '" + s.name + "'");
+            break;
+          }
+          NodeRef act = active(guard, breakVar);
+          const unsigned iw = idx.node->width();
+          for (std::size_t e = 0; e < v->elems.size(); ++e) {
+            if (iw < 64 && e >= (std::uint64_t{1} << iw)) break;
+            NodeRef hit =
+                x_.bitAnd(act, x_.eq(idx.node, x_.constantUint(iw, e)));
+            v->elems[e] = x_.mux(hit, val.node, v->elems[e]);
+          }
+          break;
+        }
+        case Stmt::Kind::kIf: {
+          const Typed c = eval(s.cond);
+          NodeRef cond = c.node->width() == 1
+                             ? c.node
+                             : x_.ne(c.node, x_.zero(c.node->width()));
+          NodeRef act = active(guard, breakVar);
+          elabBlock(s.thenBlock, x_.bitAnd(act, cond), breakVar, false);
+          elabBlock(s.elseBlock, x_.bitAnd(act, x_.bitNot(cond)), breakVar,
+                    false);
+          break;
+        }
+        case Stmt::Kind::kFor: {
+          if (s.bound->kind != Expr::Kind::kConst) {
+            fail("loop over '" + s.loopVar +
+                 "' has a data-dependent bound: not statically analyzable "
+                 "(use a static bound with a conditional exit)");
+            break;
+          }
+          const std::uint64_t n = s.bound->value.toUint64();
+          if (unrolled_ + n > options_.maxUnrollIterations) {
+            fail("loop over '" + s.loopVar + "' exceeds the unroll budget");
+            break;
+          }
+          if (lookup(s.loopVar) != nullptr) {
+            fail("loop variable '" + s.loopVar + "' shadows");
+            break;
+          }
+          env_[s.loopVar] = SymVar{false, false, 32, x_.zero(32), {}};
+          NodeRef broke = x_.boolConst(false);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            ++unrolled_;
+            env_[s.loopVar].scalar = x_.constantUint(32, i);
+            NodeRef iterGuard =
+                x_.bitAnd(active(guard, breakVar), x_.bitNot(broke));
+            elabBlock(s.body, iterGuard, &broke, false);
+            if (!errors_.empty()) break;
+          }
+          env_.erase(s.loopVar);
+          break;
+        }
+        case Stmt::Kind::kBreakIf: {
+          if (breakVar == nullptr) {
+            fail("conditional exit outside of a loop");
+            break;
+          }
+          const Typed c = eval(s.cond);
+          NodeRef cond = c.node->width() == 1
+                             ? c.node
+                             : x_.ne(c.node, x_.zero(c.node->width()));
+          *breakVar = x_.bitOr(*breakVar,
+                               x_.bitAnd(active(guard, breakVar), cond));
+          break;
+        }
+        case Stmt::Kind::kReturn: {
+          if (!topLevel || i + 1 != block.size()) {
+            fail("return must be the final top-level statement");
+            break;
+          }
+          const Typed v = eval(s.value);
+          returnValue_ = v.node;
+          returnSigned_ = v.isSigned;
+          break;
+        }
+        case Stmt::Kind::kExternalCall:
+          fail("external call to '" + s.name +
+               "': model is not self-contained");
+          break;
+      }
+    }
+  }
+
+  ir::Context& x_;
+  const ElaborateOptions& options_;
+  std::unordered_map<std::string, SymVar> env_;
+  std::vector<std::string> errors_;
+  NodeRef returnValue_ = nullptr;
+  bool returnSigned_ = false;
+  unsigned unrolled_ = 0;
+};
+
+}  // namespace
+
+Elaboration elaborate(const Function& f, ir::Context& ctx,
+                      const std::string& prefix,
+                      const ElaborateOptions& options) {
+  return Elaborator(ctx, options).run(f, prefix);
+}
+
+}  // namespace dfv::slmc

@@ -1,0 +1,45 @@
+// Static elaboration: SLM-C -> word-level transition system.
+//
+// This is the §4.3 payoff: for a conditioned model, a "hardware-like model
+// can be inferred statically from the source".  The elaborator fully
+// unrolls static-bound loops (conditional exits become guard predicates),
+// scalarizes statically sized arrays (dynamic indexing becomes mux
+// networks), and converts the imperative data flow into a pure expression
+// DAG — a combinational TransitionSystem whose inputs are the parameters
+// and whose single output "ret" is the return value.  The result feeds
+// directly into sec::SecProblem as the SLM side of an equivalence check.
+//
+// Models violating the conditioning rules do not elaborate; the failure
+// list mirrors the lint (run lint() first for the friendlier report).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/transition_system.h"
+#include "slmc/ast.h"
+
+namespace dfv::slmc {
+
+struct Elaboration {
+  bool ok = false;
+  std::vector<std::string> errors;
+  /// Combinational TS: one input per parameter (named prefix + param name),
+  /// one output "ret".  Null when !ok.
+  std::unique_ptr<ir::TransitionSystem> ts;
+  /// Total loop iterations unrolled (a size metric for reports).
+  unsigned unrolledIterations = 0;
+};
+
+struct ElaborateOptions {
+  /// Abort if total unrolled iterations exceed this (runaway protection).
+  unsigned maxUnrollIterations = 1u << 16;
+};
+
+/// Elaborates `f` into `ctx`.  Input names are prefixed with `prefix`.
+Elaboration elaborate(const Function& f, ir::Context& ctx,
+                      const std::string& prefix = "",
+                      const ElaborateOptions& options = {});
+
+}  // namespace dfv::slmc

@@ -1,0 +1,211 @@
+#include "slmc/interp.h"
+
+namespace dfv::slmc {
+
+using bv::BitVector;
+
+Interpreter::Array& Interpreter::arrayFor(const std::string& name) {
+  std::string canonical = name;
+  // Chase alias chains (pointer aliasing: several names, one storage).
+  for (int hops = 0; aliases_.count(canonical) != 0; ++hops) {
+    DFV_CHECK_MSG(hops < 16, "alias cycle at '" << name << "'");
+    canonical = aliases_.at(canonical);
+  }
+  auto it = arrays_.find(canonical);
+  DFV_CHECK_MSG(it != arrays_.end(), "no array named '" << name << "'");
+  return it->second;
+}
+
+Interpreter::Scalar Interpreter::eval(const ExprP& e) {
+  DFV_CHECK(e != nullptr);
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+      return Scalar{e->value, e->constSigned};
+    case Expr::Kind::kVar: {
+      auto it = scalars_.find(e->name);
+      DFV_CHECK_MSG(it != scalars_.end(),
+                    "no scalar named '" << e->name << "'");
+      return it->second;
+    }
+    case Expr::Kind::kIndex: {
+      const Array& arr = arrayFor(e->name);
+      const std::uint64_t idx = eval(e->index).bits.toUint64();
+      DFV_CHECK_MSG(idx < arr.elems.size(), "index " << idx
+                                                     << " out of bounds for '"
+                                                     << e->name << "'");
+      return Scalar{arr.elems[idx], arr.isSigned};
+    }
+    case Expr::Kind::kUnary: {
+      const Scalar a = eval(e->lhs);
+      switch (e->unOp) {
+        case UnOp::kNot: return Scalar{~a.bits, a.isSigned};
+        case UnOp::kNeg: return Scalar{a.bits.neg(), a.isSigned};
+        case UnOp::kLogicalNot:
+          return Scalar{BitVector::fromUint(1, a.bits.isZero()), false};
+      }
+      DFV_UNREACHABLE("bad unop");
+    }
+    case Expr::Kind::kBinary: {
+      const Scalar a = eval(e->lhs);
+      const Scalar b = eval(e->rhs);
+      const bool shift = e->binOp == BinOp::kShl || e->binOp == BinOp::kShr;
+      if (!shift) {
+        DFV_CHECK_MSG(a.bits.width() == b.bits.width(),
+                      "operand width mismatch: " << a.bits.width() << " vs "
+                                                 << b.bits.width());
+        DFV_CHECK_MSG(a.isSigned == b.isSigned,
+                      "operand signedness mismatch (insert a cast)");
+      }
+      auto flag = [](bool v) {
+        return Scalar{BitVector::fromUint(1, v), false};
+      };
+      switch (e->binOp) {
+        case BinOp::kAdd: return Scalar{a.bits + b.bits, a.isSigned};
+        case BinOp::kSub: return Scalar{a.bits - b.bits, a.isSigned};
+        case BinOp::kMul: return Scalar{a.bits * b.bits, a.isSigned};
+        case BinOp::kDiv:
+          return Scalar{a.isSigned ? a.bits.sdiv(b.bits) : a.bits.udiv(b.bits),
+                        a.isSigned};
+        case BinOp::kMod:
+          return Scalar{a.isSigned ? a.bits.srem(b.bits) : a.bits.urem(b.bits),
+                        a.isSigned};
+        case BinOp::kAnd: return Scalar{a.bits & b.bits, a.isSigned};
+        case BinOp::kOr: return Scalar{a.bits | b.bits, a.isSigned};
+        case BinOp::kXor: return Scalar{a.bits ^ b.bits, a.isSigned};
+        case BinOp::kShl: return Scalar{a.bits.shl(b.bits), a.isSigned};
+        case BinOp::kShr:
+          return Scalar{a.isSigned ? a.bits.ashr(b.bits) : a.bits.lshr(b.bits),
+                        a.isSigned};
+        case BinOp::kEq: return flag(a.bits == b.bits);
+        case BinOp::kNe: return flag(a.bits != b.bits);
+        case BinOp::kLt:
+          return flag(a.isSigned ? a.bits.slt(b.bits) : a.bits.ult(b.bits));
+        case BinOp::kLe:
+          return flag(a.isSigned ? a.bits.sle(b.bits) : a.bits.ule(b.bits));
+        case BinOp::kGt:
+          return flag(a.isSigned ? b.bits.slt(a.bits) : b.bits.ult(a.bits));
+        case BinOp::kGe:
+          return flag(a.isSigned ? b.bits.sle(a.bits) : b.bits.ule(a.bits));
+      }
+      DFV_UNREACHABLE("bad binop");
+    }
+    case Expr::Kind::kCast: {
+      const Scalar a = eval(e->lhs);
+      return Scalar{a.bits.resize(e->castWidth, a.isSigned), e->castSigned};
+    }
+  }
+  DFV_UNREACHABLE("bad expr kind");
+}
+
+bool Interpreter::exec(const Block& block, bool inLoop, bool* breakRequested) {
+  for (const StmtP& s : block) {
+    ++statements_;
+    switch (s->kind) {
+      case Stmt::Kind::kDeclVar:
+        DFV_CHECK_MSG(scalars_.count(s->name) == 0,
+                      "redeclaration of '" << s->name << "'");
+        scalars_[s->name] = Scalar{BitVector(s->width), s->isSigned};
+        break;
+      case Stmt::Kind::kDeclArray: {
+        DFV_CHECK_MSG(arrays_.count(s->name) == 0,
+                      "redeclaration of '" << s->name << "'");
+        const std::uint64_t n = eval(s->size).bits.toUint64();
+        DFV_CHECK_MSG(n >= 1, "array '" << s->name << "' has zero size");
+        arrays_[s->name] =
+            Array{std::vector<BitVector>(n, BitVector(s->width)), s->isSigned,
+                  s->width};
+        break;
+      }
+      case Stmt::Kind::kDeclAlias:
+        DFV_CHECK_MSG(aliases_.count(s->name) == 0,
+                      "redeclaration of alias '" << s->name << "'");
+        aliases_[s->name] = s->aliasOf;
+        (void)arrayFor(s->name);  // validate target exists
+        break;
+      case Stmt::Kind::kAssign: {
+        auto it = scalars_.find(s->name);
+        DFV_CHECK_MSG(it != scalars_.end(),
+                      "assignment to undeclared '" << s->name << "'");
+        const Scalar v = eval(s->value);
+        DFV_CHECK_MSG(v.bits.width() == it->second.bits.width(),
+                      "assignment width mismatch for '" << s->name << "'");
+        it->second.bits = v.bits;
+        break;
+      }
+      case Stmt::Kind::kAssignIndex: {
+        Array& arr = arrayFor(s->name);
+        const std::uint64_t idx = eval(s->target).bits.toUint64();
+        DFV_CHECK_MSG(idx < arr.elems.size(),
+                      "index " << idx << " out of bounds for '" << s->name
+                               << "'");
+        const Scalar v = eval(s->value);
+        DFV_CHECK_MSG(v.bits.width() == arr.width,
+                      "element width mismatch for '" << s->name << "'");
+        arr.elems[idx] = v.bits;
+        break;
+      }
+      case Stmt::Kind::kIf: {
+        const bool taken = !eval(s->cond).bits.isZero();
+        if (exec(taken ? s->thenBlock : s->elseBlock, inLoop, breakRequested))
+          return true;
+        if (breakRequested != nullptr && *breakRequested) return false;
+        break;
+      }
+      case Stmt::Kind::kFor: {
+        const std::uint64_t n = eval(s->bound).bits.toUint64();
+        DFV_CHECK_MSG(scalars_.count(s->loopVar) == 0,
+                      "loop variable '" << s->loopVar << "' shadows");
+        scalars_[s->loopVar] = Scalar{BitVector(32), false};
+        bool broke = false;
+        for (std::uint64_t i = 0; i < n && !broke; ++i) {
+          scalars_[s->loopVar].bits = BitVector::fromUint(32, i);
+          if (exec(s->body, /*inLoop=*/true, &broke)) {
+            scalars_.erase(s->loopVar);
+            return true;
+          }
+        }
+        scalars_.erase(s->loopVar);
+        break;
+      }
+      case Stmt::Kind::kBreakIf:
+        DFV_CHECK_MSG(inLoop, "break outside of a loop");
+        if (!eval(s->cond).bits.isZero()) {
+          DFV_CHECK(breakRequested != nullptr);
+          *breakRequested = true;
+          return false;
+        }
+        break;
+      case Stmt::Kind::kReturn: {
+        const Scalar v = eval(s->value);
+        result_ = v.bits.resize(f_.returnWidth, v.isSigned);
+        returned_ = true;
+        return true;
+      }
+      case Stmt::Kind::kExternalCall:
+        DFV_CHECK_MSG(false, "external call to '"
+                                 << s->name
+                                 << "': model is not self-contained");
+    }
+  }
+  return false;
+}
+
+BitVector Interpreter::run(const std::vector<BitVector>& args) {
+  DFV_CHECK_MSG(args.size() == f_.params.size(),
+                "expected " << f_.params.size() << " arguments");
+  scalars_.clear();
+  arrays_.clear();
+  aliases_.clear();
+  returned_ = false;
+  statements_ = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    DFV_CHECK_MSG(args[i].width() == f_.params[i].width,
+                  "argument '" << f_.params[i].name << "' width mismatch");
+    scalars_[f_.params[i].name] = Scalar{args[i], f_.params[i].isSigned};
+  }
+  exec(f_.body, /*inLoop=*/false, nullptr);
+  DFV_CHECK_MSG(returned_, "function '" << f_.name << "' did not return");
+  return result_;
+}
+
+}  // namespace dfv::slmc

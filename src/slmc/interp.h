@@ -1,0 +1,57 @@
+// The SLM-C interpreter: the executable semantics of an algorithmic model.
+//
+// This is the "fast untimed simulation" path — a pure function from argument
+// values to a result, no processes or events (§3.2: "such models are very
+// fast to simulate").  All constructs execute, including the ones the lint
+// rejects for elaboration (dynamic allocation, aliasing, data-dependent
+// bounds): a model can be *runnable* without being *statically analyzable*,
+// which is the distinction §4.3 turns on.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "slmc/ast.h"
+
+namespace dfv::slmc {
+
+/// Interprets a Function on concrete arguments.
+class Interpreter {
+ public:
+  explicit Interpreter(const Function& f) : f_(f) {}
+
+  /// Runs the function; returns the kReturn value resized to the declared
+  /// return type.  Throws CheckError on type errors, out-of-range indexing,
+  /// use of undeclared names, or a missing return.
+  bv::BitVector run(const std::vector<bv::BitVector>& args);
+
+  /// Statements executed by the last run (a crude work metric for the
+  /// conditioning benchmarks).
+  std::uint64_t statementsExecuted() const { return statements_; }
+
+ private:
+  struct Scalar {
+    bv::BitVector bits;
+    bool isSigned;
+  };
+  struct Array {
+    std::vector<bv::BitVector> elems;
+    bool isSigned;
+    unsigned width;
+  };
+
+  Scalar eval(const ExprP& e);
+  /// Executes a block; returns true if a kReturn fired.
+  bool exec(const Block& block, bool inLoop, bool* breakRequested);
+  Array& arrayFor(const std::string& name);
+
+  const Function& f_;
+  std::unordered_map<std::string, Scalar> scalars_;
+  std::unordered_map<std::string, Array> arrays_;
+  std::unordered_map<std::string, std::string> aliases_;
+  bv::BitVector result_;
+  bool returned_ = false;
+  std::uint64_t statements_ = 0;
+};
+
+}  // namespace dfv::slmc

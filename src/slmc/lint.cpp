@@ -1,0 +1,96 @@
+#include "slmc/lint.h"
+
+namespace dfv::slmc {
+
+const char* lintRuleName(LintRule rule) {
+  switch (rule) {
+    case LintRule::kDynamicAllocation: return "dynamic-allocation";
+    case LintRule::kPointerAliasing: return "pointer-aliasing";
+    case LintRule::kNonStaticLoopBound: return "non-static-loop-bound";
+    case LintRule::kExternalCall: return "external-call";
+    case LintRule::kMisplacedReturn: return "misplaced-return";
+    case LintRule::kMissingReturn: return "missing-return";
+    case LintRule::kBreakOutsideLoop: return "break-outside-loop";
+  }
+  DFV_UNREACHABLE("bad lint rule");
+}
+
+namespace {
+
+class Linter {
+ public:
+  std::vector<LintViolation> check(const Function& f) {
+    walkBlock(f.body, /*topLevel=*/true, /*inLoop=*/false, f.name);
+    // Exactly one return, as the final top-level statement.
+    if (!sawReturn_)
+      add(LintRule::kMissingReturn, "function '" + f.name + "'");
+    return std::move(violations_);
+  }
+
+ private:
+  void add(LintRule rule, std::string detail) {
+    violations_.push_back(LintViolation{rule, std::move(detail)});
+  }
+
+  void walkBlock(const Block& block, bool topLevel, bool inLoop,
+                 const std::string& where) {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Stmt& s = *block[i];
+      switch (s.kind) {
+        case Stmt::Kind::kDeclArray:
+          if (s.size->kind != Expr::Kind::kConst)
+            add(LintRule::kDynamicAllocation,
+                "array '" + s.name + "' in " + where +
+                    " has a runtime-computed size (use a statically sized "
+                    "array)");
+          break;
+        case Stmt::Kind::kDeclAlias:
+          add(LintRule::kPointerAliasing,
+              "'" + s.name + "' aliases '" + s.aliasOf + "' in " + where +
+                  " (use an explicit memory instead)");
+          break;
+        case Stmt::Kind::kFor:
+          if (s.bound->kind != Expr::Kind::kConst)
+            add(LintRule::kNonStaticLoopBound,
+                "loop over '" + s.loopVar + "' in " + where +
+                    " has a data-dependent bound (use a static upper bound "
+                    "with a conditional exit)");
+          walkBlock(s.body, false, true, where + "/for(" + s.loopVar + ")");
+          break;
+        case Stmt::Kind::kIf:
+          walkBlock(s.thenBlock, false, inLoop, where + "/if");
+          walkBlock(s.elseBlock, false, inLoop, where + "/else");
+          break;
+        case Stmt::Kind::kBreakIf:
+          if (!inLoop)
+            add(LintRule::kBreakOutsideLoop, "conditional exit in " + where);
+          break;
+        case Stmt::Kind::kReturn:
+          sawReturn_ = true;
+          if (!topLevel || i + 1 != block.size())
+            add(LintRule::kMisplacedReturn,
+                "return in " + where +
+                    " (must be the final top-level statement)");
+          break;
+        case Stmt::Kind::kExternalCall:
+          add(LintRule::kExternalCall,
+              "call to '" + s.name + "' in " + where +
+                  " (model must be self-contained)");
+          break;
+        case Stmt::Kind::kDeclVar:
+        case Stmt::Kind::kAssign:
+        case Stmt::Kind::kAssignIndex:
+          break;
+      }
+    }
+  }
+
+  std::vector<LintViolation> violations_;
+  bool sawReturn_ = false;
+};
+
+}  // namespace
+
+std::vector<LintViolation> lint(const Function& f) { return Linter().check(f); }
+
+}  // namespace dfv::slmc

@@ -1,0 +1,43 @@
+// The §4.3 model-conditioning lint.
+//
+// Checks an SLM-C function against the paper's coding guidelines for
+// statically analyzable SLMs:
+//   * statically sized arrays, not dynamically allocated memory;
+//   * explicit memories, not pointer aliasing;
+//   * static loop bounds (with conditional exits for data-dependent trip
+//     counts);
+//   * single point of entry with a single trailing return;
+//   * self-contained source (no external calls).
+// A clean lint is the precondition for static elaboration (elaborate.h);
+// every violation carries the rule and a human-readable location.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "slmc/ast.h"
+
+namespace dfv::slmc {
+
+enum class LintRule {
+  kDynamicAllocation,   ///< array size is not a compile-time constant
+  kPointerAliasing,     ///< two names share one storage
+  kNonStaticLoopBound,  ///< loop trip count is not a compile-time constant
+  kExternalCall,        ///< model is not self-contained
+  kMisplacedReturn,     ///< return is not the final top-level statement
+  kMissingReturn,       ///< no return at all
+  kBreakOutsideLoop,    ///< conditional exit with no enclosing loop
+};
+
+const char* lintRuleName(LintRule rule);
+
+struct LintViolation {
+  LintRule rule;
+  std::string detail;
+};
+
+/// Checks `f` against the conditioning guidelines.  Empty result = the
+/// model is statically analyzable (elaborate() will accept it).
+std::vector<LintViolation> lint(const Function& f);
+
+}  // namespace dfv::slmc

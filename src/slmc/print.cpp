@@ -1,0 +1,137 @@
+#include "slmc/print.h"
+
+#include <sstream>
+
+namespace dfv::slmc {
+
+namespace {
+
+const char* binOpText(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kAnd: return "&";
+    case BinOp::kOr: return "|";
+    case BinOp::kXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string typeText(unsigned width, bool isSigned) {
+  return (isSigned ? "int" : "uint") + std::to_string(width);
+}
+
+void printBlock(std::ostringstream& os, const Block& block, int indent);
+
+void printStmt(std::ostringstream& os, const Stmt& s, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case Stmt::Kind::kDeclVar:
+      os << pad << typeText(s.width, s.isSigned) << ' ' << s.name << " = 0;\n";
+      break;
+    case Stmt::Kind::kDeclArray:
+      os << pad << typeText(s.width, s.isSigned) << ' ' << s.name << '['
+         << printExpr(s.size) << "];";
+      if (s.size->kind != Expr::Kind::kConst)
+        os << "  // DYNAMIC SIZE (not analyzable)";
+      os << '\n';
+      break;
+    case Stmt::Kind::kDeclAlias:
+      os << pad << "auto* " << s.name << " = " << s.aliasOf
+         << ";  // POINTER ALIAS (not analyzable)\n";
+      break;
+    case Stmt::Kind::kAssign:
+      os << pad << s.name << " = " << printExpr(s.value) << ";\n";
+      break;
+    case Stmt::Kind::kAssignIndex:
+      os << pad << s.name << '[' << printExpr(s.target)
+         << "] = " << printExpr(s.value) << ";\n";
+      break;
+    case Stmt::Kind::kIf:
+      os << pad << "if (" << printExpr(s.cond) << ") {\n";
+      printBlock(os, s.thenBlock, indent + 1);
+      if (!s.elseBlock.empty()) {
+        os << pad << "} else {\n";
+        printBlock(os, s.elseBlock, indent + 1);
+      }
+      os << pad << "}\n";
+      break;
+    case Stmt::Kind::kFor:
+      os << pad << "for (uint32 " << s.loopVar << " = 0; " << s.loopVar
+         << " < " << printExpr(s.bound) << "; ++" << s.loopVar << ") {";
+      if (s.bound->kind != Expr::Kind::kConst)
+        os << "  // DATA-DEPENDENT BOUND (not analyzable)";
+      os << '\n';
+      printBlock(os, s.body, indent + 1);
+      os << pad << "}\n";
+      break;
+    case Stmt::Kind::kBreakIf:
+      os << pad << "if (" << printExpr(s.cond) << ") break;\n";
+      break;
+    case Stmt::Kind::kReturn:
+      os << pad << "return " << printExpr(s.value) << ";\n";
+      break;
+    case Stmt::Kind::kExternalCall:
+      os << pad << s.name << "();  // EXTERNAL CALL (not self-contained)\n";
+      break;
+  }
+}
+
+void printBlock(std::ostringstream& os, const Block& block, int indent) {
+  for (const StmtP& s : block) printStmt(os, *s, indent);
+}
+
+}  // namespace
+
+std::string printExpr(const ExprP& e) {
+  DFV_CHECK(e != nullptr);
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+      return e->constSigned ? e->value.toSignedDecimalString()
+                            : std::to_string(e->value.toUint64());
+    case Expr::Kind::kVar:
+      return e->name;
+    case Expr::Kind::kIndex:
+      return e->name + "[" + printExpr(e->index) + "]";
+    case Expr::Kind::kUnary: {
+      const char* op = e->unOp == UnOp::kNot
+                           ? "~"
+                           : (e->unOp == UnOp::kNeg ? "-" : "!");
+      return std::string(op) + "(" + printExpr(e->lhs) + ")";
+    }
+    case Expr::Kind::kBinary:
+      return "(" + printExpr(e->lhs) + " " + binOpText(e->binOp) + " " +
+             printExpr(e->rhs) + ")";
+    case Expr::Kind::kCast:
+      return "(" + typeText(e->castWidth, e->castSigned) + ")(" +
+             printExpr(e->lhs) + ")";
+  }
+  DFV_UNREACHABLE("bad expr kind");
+}
+
+std::string printFunction(const Function& f) {
+  std::ostringstream os;
+  os << typeText(f.returnWidth, f.returnSigned) << ' ' << f.name << '(';
+  for (std::size_t i = 0; i < f.params.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << typeText(f.params[i].width, f.params[i].isSigned) << ' '
+       << f.params[i].name;
+  }
+  os << ") {\n";
+  printBlock(os, f.body, 1);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dfv::slmc

@@ -1,0 +1,20 @@
+// Pretty-printing SLM-C functions as C-like source.
+//
+// Used by reports and documentation: lint violations and elaboration errors
+// point at constructs a reader can actually see.  The output is meant for
+// humans, not for round-tripping.
+#pragma once
+
+#include <string>
+
+#include "slmc/ast.h"
+
+namespace dfv::slmc {
+
+/// Renders an expression as C-like text.
+std::string printExpr(const ExprP& e);
+
+/// Renders a whole function as C-like source.
+std::string printFunction(const Function& f);
+
+}  // namespace dfv::slmc

@@ -1,0 +1,288 @@
+// Tests for the AIG, the Tseitin CNF encoder, and the word-level bit
+// blaster.  The central property: for every IR operation, the blasted
+// circuit evaluated on random inputs agrees with the IR interpreter, and the
+// CNF encoding agrees with the AIG simulation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aig/aig.h"
+#include "aig/bitblast.h"
+#include "aig/cnf.h"
+#include "ir/eval.h"
+
+namespace dfv::aig {
+namespace {
+
+using bv::BitVector;
+
+TEST(Aig, ConstantFoldingAndHashing) {
+  Aig g;
+  const Lit a = g.makeInput("a");
+  const Lit b = g.makeInput("b");
+  EXPECT_EQ(g.makeAnd(a, kFalse), kFalse);
+  EXPECT_EQ(g.makeAnd(a, kTrue), a);
+  EXPECT_EQ(g.makeAnd(a, a), a);
+  EXPECT_EQ(g.makeAnd(a, negate(a)), kFalse);
+  const Lit ab1 = g.makeAnd(a, b);
+  const Lit ab2 = g.makeAnd(b, a);
+  EXPECT_EQ(ab1, ab2);  // structural hashing + commutativity
+  const std::size_t before = g.numNodes();
+  g.makeAnd(a, b);
+  EXPECT_EQ(g.numNodes(), before);
+}
+
+TEST(Aig, EvaluateTruthTable) {
+  Aig g;
+  const Lit a = g.makeInput("a");
+  const Lit b = g.makeInput("b");
+  const Lit x = g.makeXor(a, b);
+  for (int va = 0; va <= 1; ++va) {
+    for (int vb = 0; vb <= 1; ++vb) {
+      auto vals = g.evaluate({{nodeOf(a), va != 0}, {nodeOf(b), vb != 0}});
+      EXPECT_EQ(Aig::litValue(vals, x), (va ^ vb) != 0);
+      EXPECT_EQ(Aig::litValue(vals, g.makeMux(a, b, negate(b))),
+                va ? (vb != 0) : (vb == 0));
+    }
+  }
+}
+
+TEST(CnfEncoder, MiterOfEquivalentCircuitsIsUnsat) {
+  // (a & b) vs ~(~a | ~b): equivalent by De Morgan; XOR miter must be UNSAT.
+  Aig g;
+  const Lit a = g.makeInput("a");
+  const Lit b = g.makeInput("b");
+  const Lit f1 = g.makeAnd(a, b);
+  const Lit f2 = negate(g.makeOr(negate(a), negate(b)));
+  // Structural hashing may already merge them; build via CNF regardless.
+  sat::Solver s;
+  CnfEncoder enc(g, s);
+  const Lit miter = g.makeXor(f1, f2);
+  EXPECT_EQ(miter, kFalse);  // hashing catches it at the AIG level
+  // A non-trivially-equal pair: a^b vs (a|b)&~(a&b) builds distinct nodes
+  // only if we bypass makeXor; encode an inequivalent pair instead.
+  const Lit g1 = g.makeXor(a, b);
+  const Lit g2 = g.makeOr(a, b);  // differs when a=b=1
+  enc.assertTrue(g.makeXor(g1, g2));
+  EXPECT_EQ(s.solve(), sat::Result::kSat);
+  // The only difference is a=b=1.
+  EXPECT_TRUE(s.modelValue(enc.satLit(a)));
+  EXPECT_TRUE(s.modelValue(enc.satLit(b)));
+}
+
+TEST(CnfEncoder, ConstantLiterals) {
+  Aig g;
+  sat::Solver s;
+  CnfEncoder enc(g, s);
+  enc.assertTrue(kTrue);
+  EXPECT_EQ(s.solve(), sat::Result::kSat);
+  enc.assertTrue(kFalse);
+  EXPECT_EQ(s.solve(), sat::Result::kUnsat);
+}
+
+// ---------------------------------------------------------------------------
+// Differential property tests: blasted circuits vs the IR interpreter.
+// ---------------------------------------------------------------------------
+
+BitVector wordToBitVector(const Aig& /*g*/, const Word& w,
+                          const std::vector<bool>& nodeValues) {
+  BitVector v(static_cast<unsigned>(w.size()));
+  for (std::size_t i = 0; i < w.size(); ++i)
+    v.setBit(static_cast<unsigned>(i), Aig::litValue(nodeValues, w[i]));
+  return v;
+}
+
+class BlastProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BlastProperty, AllOpsMatchInterpreter) {
+  const unsigned w = GetParam();
+  std::mt19937_64 rng(0xb1a5 + w);
+  ir::Context ctx;
+  ir::NodeRef a = ctx.input("a", w);
+  ir::NodeRef b = ctx.input("b", w);
+  ir::NodeRef s = ctx.input("s", 1);
+
+  std::vector<ir::NodeRef> exprs = {
+      ctx.add(a, b), ctx.sub(a, b), ctx.mul(a, b), ctx.neg(a),
+      ctx.udiv(a, b), ctx.urem(a, b), ctx.sdiv(a, b), ctx.srem(a, b),
+      ctx.bitAnd(a, b), ctx.bitOr(a, b), ctx.bitXor(a, b), ctx.bitNot(a),
+      ctx.shl(a, b), ctx.lshr(a, b), ctx.ashr(a, b),
+      ctx.zext(ctx.eq(a, b), w), ctx.zext(ctx.ne(a, b), w),
+      ctx.zext(ctx.ult(a, b), w), ctx.zext(ctx.ule(a, b), w),
+      ctx.zext(ctx.slt(a, b), w), ctx.zext(ctx.sle(a, b), w),
+      ctx.mux(s, a, b),
+      ctx.extract(ctx.concat(a, b), w + w / 2, w / 2),
+      ctx.zext(a, 2 * w + 3), ctx.sext(a, 2 * w + 3),
+      ctx.zext(ctx.redAnd(a), w), ctx.zext(ctx.redOr(a), w),
+      ctx.zext(ctx.redXor(a), w),
+      // A composite: (a*b + (a ^ b)) >> s-ish amount
+      ctx.add(ctx.mul(a, b), ctx.bitXor(a, b)),
+  };
+
+  Aig g;
+  BitBlaster blaster(g);
+  const Word wa = blaster.freshWord(w, "a");
+  const Word wb = blaster.freshWord(w, "b");
+  const Word ws = blaster.freshWord(1, "s");
+  blaster.bindScalar(a, wa);
+  blaster.bindScalar(b, wb);
+  blaster.bindScalar(s, ws);
+
+  std::vector<Word> blasted;
+  for (ir::NodeRef e : exprs) blasted.push_back(blaster.blast(e));
+
+  for (int iter = 0; iter < 60; ++iter) {
+    BitVector va(w), vb(w);
+    for (unsigned i = 0; i < w; ++i) {
+      va.setBit(i, rng() & 1);
+      vb.setBit(i, rng() & 1);
+    }
+    // Bias toward interesting corner values occasionally.
+    if (iter % 7 == 0) va = BitVector::allOnes(w);
+    if (iter % 11 == 0) vb = BitVector(w);
+    const bool vs = rng() & 1;
+
+    std::unordered_map<std::uint32_t, bool> inputVals;
+    for (unsigned i = 0; i < w; ++i) {
+      inputVals[nodeOf(wa[i])] = va.bit(i);
+      inputVals[nodeOf(wb[i])] = vb.bit(i);
+    }
+    inputVals[nodeOf(ws[0])] = vs;
+    const auto nodeValues = g.evaluate(inputVals);
+
+    ir::Env env{{a, ir::Value(va)},
+                {b, ir::Value(vb)},
+                {s, ir::Value(BitVector::fromUint(1, vs))}};
+    ir::Evaluator ev(env);
+    for (std::size_t e = 0; e < exprs.size(); ++e) {
+      const BitVector expected = ev.eval(exprs[e]).scalar;
+      const BitVector got = wordToBitVector(g, blasted[e], nodeValues);
+      EXPECT_EQ(got, expected)
+          << "expr " << e << " width " << w << " a=" << va << " b=" << vb;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BlastProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 16u));
+
+TEST(Blast, ArrayReadWriteMatchesInterpreter) {
+  std::mt19937_64 rng(0xa44a);
+  ir::Context ctx;
+  const ir::Type memT{8, 5};  // non-power-of-two depth stresses padding
+  ir::NodeRef mem = ctx.state("mem", memT);
+  ir::NodeRef idx = ctx.input("idx", memT.indexWidth());
+  ir::NodeRef val = ctx.input("val", 8);
+  ir::NodeRef sel = ctx.input("sel", 1);
+  ir::NodeRef written = ctx.arrayWrite(mem, idx, val);
+  ir::NodeRef muxed = ctx.mux(sel, written, mem);
+  ir::NodeRef readBack = ctx.arrayRead(muxed, idx);
+
+  Aig g;
+  BitBlaster blaster(g);
+  ArrayWord amem;
+  std::vector<Word> memWords;
+  for (unsigned i = 0; i < memT.depth; ++i)
+    amem.elems.push_back(blaster.freshWord(8, "m" + std::to_string(i)));
+  blaster.bindArray(mem, amem);
+  const Word widx = blaster.freshWord(memT.indexWidth(), "idx");
+  const Word wval = blaster.freshWord(8, "val");
+  const Word wsel = blaster.freshWord(1, "sel");
+  blaster.bindScalar(idx, widx);
+  blaster.bindScalar(val, wval);
+  blaster.bindScalar(sel, wsel);
+  const Word out = blaster.blast(readBack);
+
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<BitVector> contents;
+    std::unordered_map<std::uint32_t, bool> inputVals;
+    for (unsigned i = 0; i < memT.depth; ++i) {
+      BitVector e = BitVector::fromUint(8, rng());
+      contents.push_back(e);
+      for (unsigned bit = 0; bit < 8; ++bit)
+        inputVals[nodeOf(amem.elems[i][bit])] = e.bit(bit);
+    }
+    const BitVector vidx =
+        BitVector::fromUint(memT.indexWidth(), rng());  // may be out of range
+    const BitVector vval = BitVector::fromUint(8, rng());
+    const bool vsel = rng() & 1;
+    for (unsigned bit = 0; bit < vidx.width(); ++bit)
+      inputVals[nodeOf(widx[bit])] = vidx.bit(bit);
+    for (unsigned bit = 0; bit < 8; ++bit)
+      inputVals[nodeOf(wval[bit])] = vval.bit(bit);
+    inputVals[nodeOf(wsel[0])] = vsel;
+
+    const auto nodeValues = g.evaluate(inputVals);
+    ir::Env env{{mem, ir::Value::makeArray(contents)},
+                {idx, ir::Value(vidx)},
+                {val, ir::Value(vval)},
+                {sel, ir::Value(BitVector::fromUint(1, vsel))}};
+    EXPECT_EQ(wordToBitVector(g, out, nodeValues),
+              ir::Evaluator::evaluate(readBack, env).scalar);
+  }
+}
+
+TEST(Blast, CnfAgreesWithAigOnArithmetic) {
+  // Assert via SAT that the 6-bit adder circuit has no input where it
+  // disagrees with a second structurally different formulation (a - (-b)).
+  ir::Context ctx;
+  ir::NodeRef a = ctx.input("a", 6);
+  ir::NodeRef b = ctx.input("b", 6);
+  ir::NodeRef sum = ctx.add(a, b);
+  ir::NodeRef sum2 = ctx.sub(a, ctx.neg(b));
+
+  Aig g;
+  BitBlaster blaster(g);
+  blaster.bindScalar(a, blaster.freshWord(6, "a"));
+  blaster.bindScalar(b, blaster.freshWord(6, "b"));
+  const Word w1 = blaster.blast(sum);
+  const Word w2 = blaster.blast(sum2);
+  Lit differ = kFalse;
+  for (std::size_t i = 0; i < w1.size(); ++i)
+    differ = g.makeOr(differ, g.makeXor(w1[i], w2[i]));
+
+  sat::Solver s;
+  CnfEncoder enc(g, s);
+  enc.assertTrue(differ);
+  EXPECT_EQ(s.solve(), sat::Result::kUnsat);
+}
+
+TEST(Blast, CnfFindsTheOneDistinguishingInput) {
+  // a*2 vs a<<1 agree; a*2 vs a+1 differ somewhere: SAT must find a witness
+  // that really distinguishes them under the interpreter.
+  ir::Context ctx;
+  ir::NodeRef a = ctx.input("a", 8);
+  ir::NodeRef lhs = ctx.mul(a, ctx.constantUint(8, 3));
+  ir::NodeRef rhs = ctx.add(ctx.add(a, a), a);  // equal: 3a
+  ir::NodeRef rhsBad = ctx.add(ctx.add(a, a), ctx.constantUint(8, 1));
+
+  Aig g;
+  BitBlaster blaster(g);
+  const Word wa = blaster.freshWord(8, "a");
+  blaster.bindScalar(a, wa);
+  const Word l = blaster.blast(lhs);
+  const Word r = blaster.blast(rhs);
+  const Word rb = blaster.blast(rhsBad);
+
+  sat::Solver s;
+  CnfEncoder enc(g, s);
+  auto differLit = [&](const Word& x, const Word& y) {
+    Lit d = kFalse;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      d = g.makeOr(d, g.makeXor(x[i], y[i]));
+    return enc.satLit(d);
+  };
+  EXPECT_EQ(s.solve({differLit(l, r)}), sat::Result::kUnsat);
+  ASSERT_EQ(s.solve({differLit(l, rb)}), sat::Result::kSat);
+  // Extract the witness and replay through the interpreter.
+  BitVector va(8);
+  for (unsigned i = 0; i < 8; ++i)
+    va.setBit(i, s.modelValue(enc.satLit(wa[i])));
+  ir::Env env{{a, ir::Value(va)}};
+  EXPECT_NE(ir::Evaluator::evaluate(lhs, env).scalar,
+            ir::Evaluator::evaluate(rhsBad, env).scalar);
+}
+
+}  // namespace
+}  // namespace dfv::aig

@@ -1,0 +1,351 @@
+// Unit and property tests for dfv::bv::BitVector.
+//
+// The property tests compare every operation at widths <= 64 against a
+// native-integer reference model (mask to width), and cross-check wide
+// (multi-limb) arithmetic against identities and limb-composition.
+
+#include "bitvec/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace dfv::bv {
+namespace {
+
+std::uint64_t maskOf(unsigned w) {
+  return w == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << w) - 1);
+}
+
+std::int64_t signExtend(std::uint64_t v, unsigned w) {
+  if (w < 64 && (v >> (w - 1)) & 1) v |= ~std::uint64_t{0} << w;
+  return static_cast<std::int64_t>(v);
+}
+
+TEST(BitVector, DefaultIsOneBitZero) {
+  BitVector v;
+  EXPECT_EQ(v.width(), 1u);
+  EXPECT_TRUE(v.isZero());
+}
+
+TEST(BitVector, ZeroWidthRejected) {
+  EXPECT_THROW(BitVector(0), CheckError);
+}
+
+TEST(BitVector, FromUintTruncates) {
+  EXPECT_EQ(BitVector::fromUint(8, 0x1ff).toUint64(), 0xffu);
+  EXPECT_EQ(BitVector::fromUint(3, 9).toUint64(), 1u);
+  EXPECT_EQ(BitVector::fromUint(64, ~std::uint64_t{0}).toUint64(),
+            ~std::uint64_t{0});
+}
+
+TEST(BitVector, FromIntSignExtendsAcrossLimbs) {
+  const BitVector v = BitVector::fromInt(100, -1);
+  EXPECT_TRUE(v.isAllOnes());
+  EXPECT_EQ(v.popcount(), 100u);
+  const BitVector w = BitVector::fromInt(100, -2);
+  EXPECT_EQ(w.popcount(), 99u);
+  EXPECT_FALSE(w.bit(0));
+}
+
+TEST(BitVector, BitAccess) {
+  BitVector v(130);
+  v.setBit(0, true);
+  v.setBit(64, true);
+  v.setBit(129, true);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(64));
+  EXPECT_TRUE(v.bit(129));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.setBit(64, false);
+  EXPECT_EQ(v.popcount(), 2u);
+  EXPECT_THROW(v.bit(130), CheckError);
+  EXPECT_THROW(v.setBit(130, true), CheckError);
+}
+
+TEST(BitVector, ToInt64) {
+  EXPECT_EQ(BitVector::fromUint(8, 0xff).toInt64(), -1);
+  EXPECT_EQ(BitVector::fromUint(8, 0x7f).toInt64(), 127);
+  EXPECT_EQ(BitVector::fromUint(8, 0x80).toInt64(), -128);
+  EXPECT_THROW(BitVector(65).toInt64(), CheckError);
+}
+
+TEST(BitVector, FromStringForms) {
+  EXPECT_EQ(BitVector::fromString("8'hff"), BitVector::fromUint(8, 0xff));
+  EXPECT_EQ(BitVector::fromString("4'b1010"), BitVector::fromUint(4, 10));
+  EXPECT_EQ(BitVector::fromString("12'd255"), BitVector::fromUint(12, 255));
+  EXPECT_EQ(BitVector::fromString("255"), BitVector::fromUint(32, 255));
+  EXPECT_EQ(BitVector::fromString("16'hab_cd"), BitVector::fromUint(16, 0xabcd));
+  EXPECT_THROW(BitVector::fromString("8'x12"), CheckError);
+  EXPECT_THROW(BitVector::fromString("8'h"), CheckError);
+  EXPECT_THROW(BitVector::fromString("4'b2"), CheckError);
+  EXPECT_THROW(BitVector::fromString("0'h0"), CheckError);
+}
+
+TEST(BitVector, ToStringRoundTrip) {
+  EXPECT_EQ(BitVector::fromUint(8, 0xff).toString(16), "8'hff");
+  EXPECT_EQ(BitVector::fromUint(4, 10).toString(2), "4'b1010");
+  EXPECT_EQ(BitVector::fromUint(12, 255).toString(10), "12'd255");
+  EXPECT_EQ(BitVector::fromUint(3, 5).toString(10), "3'd5");
+}
+
+TEST(BitVector, SignedDecimalString) {
+  EXPECT_EQ(BitVector::fromInt(8, -1).toSignedDecimalString(), "-1");
+  EXPECT_EQ(BitVector::fromInt(8, -128).toSignedDecimalString(), "-128");
+  EXPECT_EQ(BitVector::fromInt(8, 127).toSignedDecimalString(), "127");
+  EXPECT_EQ(BitVector::fromInt(9, -1).toSignedDecimalString(), "-1");
+}
+
+TEST(BitVector, WidthMismatchThrows) {
+  const BitVector a(8), b(9);
+  EXPECT_THROW(a + b, CheckError);
+  EXPECT_THROW(a & b, CheckError);
+  EXPECT_THROW((void)a.ult(b), CheckError);
+}
+
+TEST(BitVector, ExtractConcat) {
+  const BitVector v = BitVector::fromUint(32, 0xdeadbeef);
+  EXPECT_EQ(v.extract(31, 16), BitVector::fromUint(16, 0xdead));
+  EXPECT_EQ(v.extract(15, 0), BitVector::fromUint(16, 0xbeef));
+  EXPECT_EQ(v.extract(23, 16), BitVector::fromUint(8, 0xad));
+  EXPECT_EQ(v.extract(0, 0), BitVector::fromUint(1, 1));
+  EXPECT_EQ(BitVector::concat(v.extract(31, 16), v.extract(15, 0)), v);
+  EXPECT_THROW(v.extract(32, 0), CheckError);
+  EXPECT_THROW(v.extract(3, 4), CheckError);
+}
+
+TEST(BitVector, ExtractAcrossLimbBoundary) {
+  BitVector v(128);
+  v.setBit(63, true);
+  v.setBit(64, true);
+  const BitVector mid = v.extract(70, 60);
+  EXPECT_EQ(mid.width(), 11u);
+  EXPECT_EQ(mid.toUint64(), 0b11000u);
+}
+
+TEST(BitVector, PaperFig1MaskAndShiftIdiom) {
+  // The paper's §3.1.1 example: y = x & 0x00ff0000 selects bits [23:16];
+  // extract() is the HDL-native way to express the same thing.
+  const BitVector x = BitVector::fromUint(32, 0x12345678);
+  const BitVector masked = (x & BitVector::fromUint(32, 0x00ff0000)).lshr(16);
+  EXPECT_EQ(masked.trunc(8), x.extract(23, 16));
+  EXPECT_EQ(x.extract(23, 16).toUint64(), 0x34u);
+}
+
+TEST(BitVector, DivisionByZeroConvention) {
+  const BitVector a = BitVector::fromUint(8, 42);
+  const BitVector z(8);
+  EXPECT_EQ(a.udiv(z), BitVector::allOnes(8));
+  EXPECT_EQ(a.urem(z), a);
+}
+
+TEST(BitVector, SignedDivisionTruncates) {
+  auto sd = [](int x, int y) {
+    return BitVector::fromInt(8, x).sdiv(BitVector::fromInt(8, y)).toInt64();
+  };
+  auto sr = [](int x, int y) {
+    return BitVector::fromInt(8, x).srem(BitVector::fromInt(8, y)).toInt64();
+  };
+  EXPECT_EQ(sd(7, 2), 3);
+  EXPECT_EQ(sd(-7, 2), -3);
+  EXPECT_EQ(sd(7, -2), -3);
+  EXPECT_EQ(sd(-7, -2), 3);
+  EXPECT_EQ(sr(7, 2), 1);
+  EXPECT_EQ(sr(-7, 2), -1);
+  EXPECT_EQ(sr(7, -2), 1);
+  EXPECT_EQ(sr(-7, -2), -1);
+}
+
+TEST(BitVector, NegWrapsAtMinimum) {
+  const BitVector intMin = BitVector::fromInt(8, -128);
+  EXPECT_EQ(intMin.neg(), intMin);  // two's-complement wrap
+}
+
+TEST(BitVector, ShiftsBeyondWidth) {
+  const BitVector v = BitVector::fromInt(8, -2);
+  EXPECT_TRUE(v.shl(8).isZero());
+  EXPECT_TRUE(v.lshr(8).isZero());
+  EXPECT_TRUE(v.ashr(8).isAllOnes());
+  EXPECT_TRUE(v.ashr(100).isAllOnes());
+  const BitVector pos = BitVector::fromInt(8, 2);
+  EXPECT_TRUE(pos.ashr(8).isZero());
+}
+
+TEST(BitVector, ShiftByBitVectorClampsHugeAmounts) {
+  const BitVector v = BitVector::allOnes(8);
+  BitVector amount(128);
+  amount.setBit(100, true);  // astronomically large
+  EXPECT_TRUE(v.shl(amount).isZero());
+  EXPECT_TRUE(v.lshr(amount).isZero());
+  EXPECT_TRUE(v.ashr(amount).isAllOnes());
+}
+
+TEST(BitVector, CountLeadingZeros) {
+  EXPECT_EQ(BitVector(8).countLeadingZeros(), 8u);
+  EXPECT_EQ(BitVector::fromUint(8, 1).countLeadingZeros(), 7u);
+  EXPECT_EQ(BitVector::fromUint(8, 0x80).countLeadingZeros(), 0u);
+  BitVector wide(200);
+  wide.setBit(3, true);
+  EXPECT_EQ(wide.countLeadingZeros(), 196u);
+}
+
+TEST(BitVector, Reductions) {
+  EXPECT_TRUE(BitVector::allOnes(5).reduceAnd());
+  EXPECT_FALSE(BitVector::fromUint(5, 0x1e).reduceAnd());
+  EXPECT_TRUE(BitVector::fromUint(5, 2).reduceOr());
+  EXPECT_FALSE(BitVector(5).reduceOr());
+  EXPECT_TRUE(BitVector::fromUint(5, 0b10110).reduceXor());
+  EXPECT_FALSE(BitVector::fromUint(5, 0b10010).reduceXor());
+}
+
+TEST(BitVector, HashDistinguishesWidthAndValue) {
+  EXPECT_NE(BitVector::fromUint(8, 1).hash(), BitVector::fromUint(9, 1).hash());
+  EXPECT_NE(BitVector::fromUint(8, 1).hash(), BitVector::fromUint(8, 2).hash());
+  EXPECT_EQ(BitVector::fromUint(8, 1).hash(), BitVector::fromUint(8, 1).hash());
+}
+
+// ---------------------------------------------------------------------------
+// Property tests vs a native reference model at widths <= 64.
+// ---------------------------------------------------------------------------
+
+class BitVectorProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVectorProperty, ArithmeticMatchesNativeReference) {
+  const unsigned w = GetParam();
+  std::mt19937_64 rng(0xdf5 + w);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::uint64_t ra = rng() & maskOf(w);
+    const std::uint64_t rb = rng() & maskOf(w);
+    const BitVector a = BitVector::fromUint(w, ra);
+    const BitVector b = BitVector::fromUint(w, rb);
+    EXPECT_EQ((a + b).toUint64(), (ra + rb) & maskOf(w));
+    EXPECT_EQ((a - b).toUint64(), (ra - rb) & maskOf(w));
+    EXPECT_EQ((a * b).toUint64(), (ra * rb) & maskOf(w));
+    EXPECT_EQ((a & b).toUint64(), ra & rb);
+    EXPECT_EQ((a | b).toUint64(), ra | rb);
+    EXPECT_EQ((a ^ b).toUint64(), ra ^ rb);
+    EXPECT_EQ((~a).toUint64(), ~ra & maskOf(w));
+    EXPECT_EQ(a.neg().toUint64(), (0 - ra) & maskOf(w));
+    EXPECT_EQ(a.ult(b), ra < rb);
+    EXPECT_EQ(a.ule(b), ra <= rb);
+    EXPECT_EQ(a.slt(b), signExtend(ra, w) < signExtend(rb, w));
+    EXPECT_EQ(a.sle(b), signExtend(ra, w) <= signExtend(rb, w));
+    if (rb != 0) {
+      EXPECT_EQ(a.udiv(b).toUint64(), ra / rb);
+      EXPECT_EQ(a.urem(b).toUint64(), ra % rb);
+    }
+    const unsigned sh = static_cast<unsigned>(rng() % (w + 2));
+    EXPECT_EQ(a.shl(sh).toUint64(), sh >= w ? 0 : (ra << sh) & maskOf(w));
+    EXPECT_EQ(a.lshr(sh).toUint64(), sh >= w ? 0 : ra >> sh);
+    const std::int64_t sa = signExtend(ra, w);
+    const std::int64_t expAshr = sh >= w ? (sa < 0 ? -1 : 0) : (sa >> sh);
+    EXPECT_EQ(a.ashr(sh).toInt64(), signExtend(
+        static_cast<std::uint64_t>(expAshr) & maskOf(w), w));
+  }
+}
+
+TEST_P(BitVectorProperty, SignedDivisionMatchesNativeReference) {
+  const unsigned w = GetParam();
+  if (w < 2) return;  // signed div on 1-bit values is degenerate
+  std::mt19937_64 rng(0x5d1 + w);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::uint64_t ra = rng() & maskOf(w);
+    const std::uint64_t rb = rng() & maskOf(w);
+    if (rb == 0) continue;
+    const std::int64_t sa = signExtend(ra, w), sb = signExtend(rb, w);
+    if (sa == signExtend(std::uint64_t{1} << (w - 1), w) && sb == -1)
+      continue;  // native UB; BitVector wraps (covered in NegWrapsAtMinimum)
+    const BitVector a = BitVector::fromUint(w, ra);
+    const BitVector b = BitVector::fromUint(w, rb);
+    EXPECT_EQ(a.sdiv(b).toInt64(), signExtend(
+        static_cast<std::uint64_t>(sa / sb) & maskOf(w), w));
+    EXPECT_EQ(a.srem(b).toInt64(), signExtend(
+        static_cast<std::uint64_t>(sa % sb) & maskOf(w), w));
+  }
+}
+
+TEST_P(BitVectorProperty, ResizeRoundTrips) {
+  const unsigned w = GetParam();
+  std::mt19937_64 rng(0x7e5 + w);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint64_t ra = rng() & maskOf(w);
+    const BitVector a = BitVector::fromUint(w, ra);
+    EXPECT_EQ(a.zext(w + 37).trunc(w), a);
+    EXPECT_EQ(a.sext(w + 37).trunc(w), a);
+    EXPECT_EQ(a.zext(w + 100).toUint64(), w <= 64 ? ra : a.toUint64());
+    if (w <= 63) {
+      EXPECT_EQ(a.sext(64).toInt64(), signExtend(ra, w));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVectorProperty,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 16u, 31u, 32u,
+                                           33u, 48u, 63u, 64u));
+
+// Multi-limb properties via algebraic identities (no native reference exists).
+class BitVectorWideProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVectorWideProperty, AlgebraicIdentities) {
+  const unsigned w = GetParam();
+  std::mt19937_64 rng(0xa11 + w);
+  auto randomBv = [&] {
+    BitVector v(w);
+    for (unsigned i = 0; i < w; ++i)
+      if (rng() & 1) v.setBit(i, true);
+    return v;
+  };
+  for (int iter = 0; iter < 100; ++iter) {
+    const BitVector a = randomBv(), b = randomBv(), c = randomBv();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));  // same width: associativity holds
+    EXPECT_EQ(a - a, BitVector(w));
+    EXPECT_EQ(a + a.neg(), BitVector(w));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a ^ b) ^ b, a);
+    EXPECT_EQ(~(a & b), ~a | ~b);
+    if (!b.isZero()) {
+      // Division identity: a = q*b + r with r < b.
+      const BitVector q = a.udiv(b), r = a.urem(b);
+      EXPECT_TRUE(r.ult(b));
+      EXPECT_EQ(q * b + r, a);
+    }
+    // Shifting composes.
+    EXPECT_EQ(a.shl(3).shl(4), a.shl(7));
+    EXPECT_EQ(a.lshr(5).lshr(6), a.lshr(11));
+    // Concat/extract round-trip.
+    EXPECT_EQ(BitVector::concat(a.extract(w - 1, w / 2),
+                                a.extract(w / 2 - 1, 0)),
+              a);
+  }
+}
+
+TEST_P(BitVectorWideProperty, MulFullComposesFromLimbs) {
+  const unsigned w = GetParam();
+  std::mt19937_64 rng(0xf00 + w);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::uint64_t ra = rng(), rb = rng();
+    const BitVector a = BitVector::fromUint(64, ra);
+    const BitVector b = BitVector::fromUint(64, rb);
+    const BitVector p = a.mulFull(b);
+    ASSERT_EQ(p.width(), 128u);
+    // Check against 128-bit reference via __int128.
+    const unsigned __int128 ref =
+        static_cast<unsigned __int128>(ra) * static_cast<unsigned __int128>(rb);
+    EXPECT_EQ(p.extract(63, 0).toUint64(),
+              static_cast<std::uint64_t>(ref));
+    EXPECT_EQ(p.extract(127, 64).toUint64(),
+              static_cast<std::uint64_t>(ref >> 64));
+    // Signed full multiply vs sign-extended unsigned full multiply.
+    const BitVector sp = a.smulFull(b);
+    EXPECT_EQ(sp, (a.sext(128) * b.sext(128)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVectorWideProperty,
+                         ::testing::Values(65u, 96u, 128u, 200u, 257u));
+
+}  // namespace
+}  // namespace dfv::bv

@@ -1,0 +1,116 @@
+// Tests for the verification-plan core: full vs incremental runs, digest
+// gating, failure localization.
+
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace dfv::core {
+namespace {
+
+/// A stub SEC runner counting invocations.
+struct CountingSec {
+  int* counter;
+  sec::Verdict verdict;
+  sec::SecResult operator()() const {
+    ++*counter;
+    sec::SecResult r;
+    r.verdict = verdict;
+    return r;
+  }
+};
+
+TEST(VerificationPlan, RunAllRunsEverything) {
+  VerificationPlan plan("soc");
+  int a = 0, b = 0;
+  plan.addSecBlock("fir", 1,
+                   CountingSec{&a, sec::Verdict::kProvenEquivalent});
+  plan.addSecBlock("conv", 1,
+                   CountingSec{&b, sec::Verdict::kBoundedEquivalent});
+  auto report = plan.runAll();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_TRUE(report.allPassed());
+  EXPECT_EQ(report.verified, 2u);
+  auto again = plan.runAll();
+  EXPECT_EQ(a, 2);  // runAll never caches
+}
+
+TEST(VerificationPlan, IncrementalSkipsUnchangedBlocks) {
+  VerificationPlan plan("soc");
+  int a = 0, b = 0;
+  plan.addSecBlock("fir", 10,
+                   CountingSec{&a, sec::Verdict::kProvenEquivalent});
+  plan.addSecBlock("conv", 20,
+                   CountingSec{&b, sec::Verdict::kProvenEquivalent});
+  plan.runAll();
+  // No edits: incremental run verifies nothing.
+  auto r1 = plan.runIncremental();
+  EXPECT_EQ(r1.skipped, 2u);
+  EXPECT_EQ(r1.verified, 0u);
+  EXPECT_EQ(a, 1);
+  // Edit only conv: only conv reruns.
+  plan.touch("conv", 21);
+  auto r2 = plan.runIncremental();
+  EXPECT_EQ(r2.skipped, 1u);
+  EXPECT_EQ(r2.verified, 1u);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(VerificationPlan, FailuresAlwaysRerunAndLocalize) {
+  VerificationPlan plan("soc");
+  int calls = 0;
+  sec::Verdict verdict = sec::Verdict::kNotEquivalent;
+  plan.addSecBlock("buggy", 5, [&] {
+    ++calls;
+    sec::SecResult r;
+    r.verdict = verdict;
+    return r;
+  });
+  auto r1 = plan.runIncremental();
+  EXPECT_EQ(r1.failed, 1u);
+  EXPECT_EQ(r1.failingBlocks(), std::vector<std::string>{"buggy"});
+  // Same digest, but a failed block is never treated as clean.
+  auto r2 = plan.runIncremental();
+  EXPECT_EQ(calls, 2);
+  // "Fix" the model: same digest semantics — the fix changes the digest.
+  verdict = sec::Verdict::kProvenEquivalent;
+  plan.touch("buggy", 6);
+  auto r3 = plan.runIncremental();
+  EXPECT_TRUE(r3.allPassed());
+  auto r4 = plan.runIncremental();
+  EXPECT_EQ(r4.skipped, 1u);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(VerificationPlan, CosimBlocksAndMixedPlans) {
+  VerificationPlan plan("mixed");
+  int cosimRuns = 0;
+  plan.addCosimBlock("mac", 1, [&] {
+    ++cosimRuns;
+    return VerificationPlan::CosimOutcome{true, "clean scoreboard"};
+  });
+  int secRuns = 0;
+  plan.addSecBlock("alu", 1,
+                   CountingSec{&secRuns, sec::Verdict::kProvenEquivalent});
+  auto report = plan.runAll();
+  EXPECT_TRUE(report.allPassed());
+  EXPECT_EQ(report.blocks.size(), 2u);
+  EXPECT_EQ(report.blocks[0].detail, "clean scoreboard");
+  EXPECT_EQ(report.blocks[1].detail, std::string("proven-equivalent"));
+}
+
+TEST(VerificationPlan, DuplicateAndUnknownBlocksRejected) {
+  VerificationPlan plan("p");
+  int n = 0;
+  plan.addSecBlock("x", 1, CountingSec{&n, sec::Verdict::kProvenEquivalent});
+  EXPECT_THROW(
+      plan.addSecBlock("x", 2,
+                       CountingSec{&n, sec::Verdict::kProvenEquivalent}),
+      CheckError);
+  EXPECT_THROW(plan.touch("nope", 1), CheckError);
+}
+
+}  // namespace
+}  // namespace dfv::core

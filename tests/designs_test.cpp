@@ -1,0 +1,418 @@
+// Integration tests for the design pairs: golden-model agreement, cosim
+// through transactors and scoreboards, and end-to-end SEC (clean + injected
+// bugs).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cosim/scoreboard.h"
+#include "cosim/wrapped_rtl.h"
+#include "designs/conv.h"
+#include "designs/fir.h"
+#include "designs/fpadd.h"
+#include "designs/gcd.h"
+#include "designs/macpipe.h"
+#include "designs/memsys.h"
+#include "rtl/lower.h"
+#include "sec/engine.h"
+#include "slmc/elaborate.h"
+#include "slmc/interp.h"
+#include "slmc/lint.h"
+#include "workload/workload.h"
+
+namespace dfv::designs {
+namespace {
+
+using bv::BitVector;
+
+std::vector<std::int8_t> toSigned(const std::vector<BitVector>& samples) {
+  std::vector<std::int8_t> out;
+  for (const auto& s : samples)
+    out.push_back(static_cast<std::int8_t>(s.toInt64()));
+  return out;
+}
+
+// ----- FIR -------------------------------------------------------------------
+
+TEST(FirDesign, GoldenModelsAgreeOnQuietInput) {
+  // With headroom-respecting input the int model and the bit-accurate model
+  // agree (no overflow anywhere).
+  auto samples = workload::makeSampleStream(200, 1);
+  auto sx = toSigned(samples);
+  auto gInt = firGoldenInt(sx);
+  auto gBit = firGoldenBitAccurate(sx);
+  ASSERT_EQ(gInt.size(), gBit.size());
+  for (std::size_t i = 0; i < gInt.size(); ++i)
+    EXPECT_EQ(gInt[i], gBit[i].value()) << "output " << i;
+}
+
+TEST(FirDesign, CosimCleanAgainstCorrectRtl) {
+  auto samples = workload::makeSampleStream(300, 2);
+  auto golden = firGoldenInt(toSigned(samples));
+  cosim::WrappedRtl dut(makeFirRtl(false), cosim::StreamPorts{});
+  auto outs = dut.run(samples);
+  ASSERT_EQ(outs.size(), golden.size());
+  cosim::InOrderScoreboard sb;
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    sb.expect(BitVector::fromInt(kFirAccWidth, golden[i]), i);
+  for (const auto& item : outs) sb.observe(item.value, item.cycle);
+  EXPECT_TRUE(sb.finish().clean());
+}
+
+TEST(FirDesign, CosimCatchesNarrowAccumulatorOnLoudInput) {
+  // Drive near-full-scale samples: the 12-bit accumulator wraps.
+  std::vector<BitVector> loud;
+  for (int i = 0; i < 100; ++i)
+    loud.push_back(BitVector::fromInt(8, i % 2 == 0 ? 120 : 110));
+  auto golden = firGoldenInt(toSigned(loud));
+  cosim::WrappedRtl dut(makeFirRtl(true), cosim::StreamPorts{});
+  auto outs = dut.run(loud);
+  cosim::InOrderScoreboard sb;
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    sb.expect(BitVector::fromInt(kFirAccWidth, golden[i]), i);
+  for (const auto& item : outs) sb.observe(item.value, item.cycle);
+  auto stats = sb.finish();
+  EXPECT_GT(stats.mismatched, 0u) << "narrow accumulator must wrap";
+}
+
+TEST(FirDesign, SecProvesCorrectRtl) {
+  ir::Context ctx;
+  FirSecSetup setup = makeFirSecProblem(ctx, false);
+  auto r = sec::checkEquivalence(*setup.problem, {.boundTransactions = 2});
+  EXPECT_EQ(r.verdict, sec::Verdict::kProvenEquivalent);
+}
+
+TEST(FirDesign, SecFindsNarrowAccumulator) {
+  ir::Context ctx;
+  FirSecSetup setup = makeFirSecProblem(ctx, true);
+  auto r = sec::checkEquivalence(
+      *setup.problem, {.boundTransactions = 3, .tryInduction = false});
+  ASSERT_EQ(r.verdict, sec::Verdict::kNotEquivalent);
+  // Replay confirmed the divergence (engine asserts it); the witness must
+  // drive the accumulator past 12 bits.
+  EXPECT_NE(r.cex->slmValue, r.cex->rtlValue);
+}
+
+// ----- conv3x3 --------------------------------------------------------------
+
+TEST(ConvDesign, StreamingRtlMatchesWholeImageGolden) {
+  const auto img = workload::makeTestImage(24, 16, 3);
+  const auto kernel = ConvKernel::sharpen();
+  auto golden = convGolden(img, kernel);
+
+  std::vector<BitVector> stream;  // array -> stream transactor input
+  for (auto px : img.pixels) stream.push_back(BitVector::fromUint(8, px));
+  cosim::WrappedRtl dut(makeConvRtl(img.width, kernel), cosim::StreamPorts{});
+  auto outs = dut.run(stream);
+  ASSERT_EQ(outs.size(), golden.size());
+  cosim::InOrderScoreboard sb;
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    sb.expect(BitVector::fromUint(8, golden[i]), i);
+  for (const auto& item : outs) sb.observe(item.value, item.cycle);
+  EXPECT_TRUE(sb.finish().clean());
+}
+
+TEST(ConvDesign, BlurKernelAlsoMatches) {
+  const auto img = workload::makeTestImage(17, 9, 4);  // odd sizes
+  const auto kernel = ConvKernel::blur();
+  auto golden = convGolden(img, kernel);
+  std::vector<BitVector> stream;
+  for (auto px : img.pixels) stream.push_back(BitVector::fromUint(8, px));
+  cosim::WrappedRtl dut(makeConvRtl(img.width, kernel), cosim::StreamPorts{});
+  auto outs = dut.run(stream);
+  ASSERT_EQ(outs.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    EXPECT_EQ(outs[i].value.toUint64(), golden[i]) << "pixel " << i;
+}
+
+TEST(ConvDesign, WindowSlmLintsCleanAndMatchesInterp) {
+  const auto kernel = ConvKernel::sharpen();
+  slmc::Function f = makeConvWindowSlm(kernel);
+  EXPECT_TRUE(slmc::lint(f).empty());
+  slmc::Interpreter interp(f);
+  workload::Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::array<std::uint8_t, 9> window;
+    std::vector<BitVector> args;
+    for (auto& px : window) {
+      px = static_cast<std::uint8_t>(rng.next());
+      args.push_back(BitVector::fromUint(8, px));
+    }
+    EXPECT_EQ(interp.run(args).toUint64(), convWindow(window, kernel));
+  }
+}
+
+TEST(ConvDesign, WindowSecProvenEquivalent) {
+  const auto kernel = ConvKernel::sharpen();
+  ir::Context ctx;
+  slmc::Elaboration e = elaborate(makeConvWindowSlm(kernel), ctx, "s.");
+  ASSERT_TRUE(e.ok);
+  ir::TransitionSystem rtlTs =
+      rtl::lowerToTransitionSystem(makeConvWindowRtl(kernel), ctx, "r.");
+  sec::SecProblem p(ctx, *e.ts, 1, rtlTs, 1);
+  for (unsigned i = 0; i < 9; ++i) {
+    ir::NodeRef v = p.declareTxnVar("p" + std::to_string(i), 8);
+    p.bindInput(sec::Side::kSlm, "s.p" + std::to_string(i), 0, v);
+    p.bindInput(sec::Side::kRtl, "r.p" + std::to_string(i), 0, v);
+  }
+  p.checkOutputs("ret", 0, "pix", 0);
+  auto r = sec::checkEquivalence(p, {.boundTransactions = 1});
+  EXPECT_EQ(r.verdict, sec::Verdict::kProvenEquivalent);
+}
+
+// ----- macpipe ---------------------------------------------------------------
+
+std::vector<MacOp> makeMacOps(std::size_t count, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  std::vector<MacOp> ops;
+  for (std::size_t i = 0; i < count; ++i)
+    ops.push_back(MacOp{static_cast<std::uint8_t>(rng.next() & 0xf),
+                        static_cast<std::uint8_t>(rng.next()),
+                        static_cast<std::uint8_t>(rng.next())});
+  return ops;
+}
+
+TEST(MacPipeDesign, OutOfOrderCompletionCaughtByTaggedScoreboard) {
+  // Distinct tags per op within flight window.
+  std::vector<MacOp> ops;
+  for (unsigned i = 0; i < 12; ++i)
+    ops.push_back(MacOp{static_cast<std::uint8_t>(i & 0xf),
+                        static_cast<std::uint8_t>(i * 17),
+                        static_cast<std::uint8_t>(i * 29)});
+  auto run = runMacPipe(ops, cosim::noStalls());
+  ASSERT_EQ(run.completions.size(), ops.size());
+
+  cosim::OutOfOrderScoreboard sb;
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    sb.expect(ops[i].tag, BitVector::fromUint(16, macGolden(ops[i])), i);
+  for (const auto& c : run.completions)
+    sb.observe(c.tag, BitVector::fromUint(16, c.data), c.cycle);
+  auto stats = sb.finish();
+  EXPECT_TRUE(stats.clean());
+  // Interleaved even/odd tags must complete out of issue order.
+  EXPECT_GT(sb.reorderedCount(), 0u);
+}
+
+TEST(MacPipeDesign, LatencyByLane) {
+  std::vector<MacOp> ops = {{0, 5, 7}, {1, 3, 9}};  // one per lane
+  auto run = runMacPipe(ops, cosim::noStalls());
+  ASSERT_EQ(run.latencies.size(), 2u);
+  EXPECT_EQ(run.latencies[0], 2u);  // fast lane
+  EXPECT_EQ(run.latencies[1], 4u);  // slow lane (issued 1 cycle later)
+}
+
+TEST(MacPipeDesign, StallsStretchLatencyNotValues) {
+  // Reuse each tag only after its previous op completes: spacing 8 ops of
+  // 16 distinct tags is plenty for a 4-deep pipe.
+  auto ops = makeMacOps(64, 5);
+  // Ensure distinct tags within any window of 8.
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    ops[i].tag = static_cast<std::uint8_t>(i & 0xf);
+  auto clean = runMacPipe(ops, cosim::noStalls());
+  auto stalled = runMacPipe(ops, cosim::randomStalls(1, 3, 11), 128);
+  ASSERT_EQ(stalled.completions.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_GE(stalled.latencies[i], clean.latencies[i]);
+  }
+  // Values identical regardless of stalls.
+  cosim::OutOfOrderScoreboard sb;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    // Tags recur across the run; use a composite tag of (tag, occurrence).
+    sb.expect(i, BitVector::fromUint(16, macGolden(ops[i])));
+  }
+  std::unordered_map<unsigned, unsigned> seen;
+  for (const auto& c : stalled.completions) {
+    // Map back to issue index: occurrences of a tag complete in order.
+    unsigned occurrence = seen[c.tag]++;
+    std::size_t issueIdx = 0;
+    unsigned count = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if ((ops[i].tag & 0xf) == c.tag) {
+        if (count == occurrence) {
+          issueIdx = i;
+          break;
+        }
+        ++count;
+      }
+    }
+    sb.observe(issueIdx, BitVector::fromUint(16, c.data), c.cycle);
+  }
+  EXPECT_TRUE(sb.finish().clean());
+}
+
+// ----- memsys ----------------------------------------------------------------
+
+TEST(MemsysDesign, CacheMatchesFlatArrayWithVariableLatency) {
+  auto trace = workload::makeMemTrace(400, 9);
+  auto golden = memGolden(trace);
+  auto run = runCache(trace);
+  ASSERT_EQ(run.responses.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    EXPECT_EQ(run.responses[i], golden[i]) << "request " << i;
+  // The trace has locality: both hits and misses must occur.
+  EXPECT_GT(run.readHits, 0u);
+  EXPECT_GT(run.readMisses, 0u);
+  // Latency is bimodal: hits 0, misses 3.
+  for (auto lat : run.latencies) EXPECT_TRUE(lat == 0 || lat == 3) << lat;
+}
+
+TEST(MemsysDesign, ColdCacheMissesThenHits) {
+  // Same address read twice: first miss, then hit.
+  std::vector<workload::MemRequest> trace = {
+      {true, 0x42, 0xaa},   // write (write-through, no allocate)
+      {false, 0x42, 0},     // read: miss (no-allocate write policy)
+      {false, 0x42, 0},     // read: hit (filled by the miss)
+  };
+  auto run = runCache(trace);
+  ASSERT_EQ(run.responses.size(), 3u);
+  EXPECT_EQ(run.responses[0], 0xaa);
+  EXPECT_EQ(run.responses[1], 0xaa);
+  EXPECT_EQ(run.responses[2], 0xaa);
+  EXPECT_EQ(run.readMisses, 1u);
+  EXPECT_EQ(run.readHits, 1u);
+}
+
+TEST(MemsysDesign, WriteHitUpdatesCacheLine) {
+  std::vector<workload::MemRequest> trace = {
+      {false, 0x10, 0},     // read: miss, fills line with 0
+      {true, 0x10, 0x55},   // write hit: must update the line
+      {false, 0x10, 0},     // read: hit, must see 0x55
+  };
+  auto run = runCache(trace);
+  EXPECT_EQ(run.responses[2], 0x55);
+  EXPECT_EQ(run.readHits, 1u);
+}
+
+TEST(MemsysDesign, ConflictEviction) {
+  // 0x00 and 0x40 map to the same line (index bits [2:0] equal).
+  std::vector<workload::MemRequest> trace = {
+      {true, 0x00, 1},  {true, 0x40, 2},
+      {false, 0x00, 0},  // miss, fill
+      {false, 0x40, 0},  // conflict miss, evicts
+      {false, 0x00, 0},  // miss again (was evicted)
+  };
+  auto run = runCache(trace);
+  EXPECT_EQ(run.responses[2], 1);
+  EXPECT_EQ(run.responses[3], 2);
+  EXPECT_EQ(run.responses[4], 1);
+  EXPECT_EQ(run.readMisses, 3u);
+}
+
+// ----- gcd -------------------------------------------------------------------
+
+TEST(GcdDesign, RtlFsmComputesGcd) {
+  rtl::Simulator sim(makeGcdRtl());
+  auto runGcd = [&](unsigned a, unsigned b) {
+    sim.reset();
+    sim.setInputUint("start", 1);
+    sim.setInputUint("a", a);
+    sim.setInputUint("b", b);
+    sim.evalCombinational();
+    sim.clockEdge();
+    sim.setInputUint("start", 0);
+    for (unsigned c = 0; c < kGcdMaxIterations + 1; ++c) {
+      sim.evalCombinational();
+      sim.clockEdge();
+    }
+    sim.evalCombinational();
+    EXPECT_FALSE(sim.outputValue("done").isZero());
+    return sim.outputValue("out").toUint64();
+  };
+  EXPECT_EQ(runGcd(12, 18), 6u);
+  EXPECT_EQ(runGcd(255, 34), 17u);
+  EXPECT_EQ(runGcd(7, 0), 7u);
+  EXPECT_EQ(runGcd(0, 9), 9u);
+  EXPECT_EQ(runGcd(233, 144), 1u);  // Fibonacci worst case
+}
+
+TEST(GcdDesign, SecProvesElaboratedSlmVsFsm) {
+  ir::Context ctx;
+  GcdSecSetup setup = makeGcdSecProblem(ctx);
+  auto r = sec::checkEquivalence(*setup.problem, {.boundTransactions = 1});
+  EXPECT_EQ(r.verdict, sec::Verdict::kProvenEquivalent)
+      << (r.cex ? r.cex->summary() : "");
+}
+
+TEST(GcdDesign, ConditionalExitPatternThroughSec) {
+  // The §4.3 "static loop bound with conditional exit" pattern, end to end:
+  // a breakIf-based find-first search elaborates (break flags become
+  // guards) and SEC proves it against an RTL priority encoder.
+  using namespace slmc;
+  Function f;
+  f.name = "findfirst";
+  f.params = {{"a0", 8, false}, {"a1", 8, false}, {"a2", 8, false},
+              {"a3", 8, false}, {"needle", 8, false}};
+  f.returnWidth = 3;
+  Block loop;
+  loop.push_back(
+      ifElse(binary(BinOp::kEq, index("arr", var("i")), var("needle")),
+             {assign("found", cast(var("i"), 3, false))}, {}));
+  loop.push_back(breakIf(binary(BinOp::kNe, var("found"), constantU(3, 7))));
+  f.body = {
+      declArray("arr", 8, false, constantU(32, 4)),
+      assignIndex("arr", constantU(2, 0), var("a0")),
+      assignIndex("arr", constantU(2, 1), var("a1")),
+      assignIndex("arr", constantU(2, 2), var("a2")),
+      assignIndex("arr", constantU(2, 3), var("a3")),
+      declVar("found", 3, false),
+      assign("found", constantU(3, 7)),  // 7 = not found
+      forLoop("i", constantU(32, 4), loop),
+      returnStmt(var("found")),
+  };
+  EXPECT_TRUE(lint(f).empty());
+
+  ir::Context ctx;
+  Elaboration e = elaborate(f, ctx, "s.");
+  ASSERT_TRUE(e.ok);
+
+  // RTL: a combinational priority encoder over four comparators.
+  rtl::Module m("prienc");
+  std::vector<rtl::NetId> hits;
+  rtl::NetId needle = rtl::kNoNet;
+  {
+    std::vector<rtl::NetId> elems;
+    for (int i = 0; i < 4; ++i)
+      elems.push_back(m.addInput("a" + std::to_string(i), 8));
+    needle = m.addInput("needle", 8);
+    for (int i = 0; i < 4; ++i) hits.push_back(m.opEq(elems[static_cast<std::size_t>(i)], needle));
+    rtl::NetId result = m.constantUint(3, 7);
+    for (int i = 3; i >= 0; --i)
+      result = m.opMux(hits[static_cast<std::size_t>(i)],
+                       m.constantUint(3, static_cast<unsigned>(i)), result);
+    m.addOutput("idx", result);
+  }
+  ir::TransitionSystem rtlTs = rtl::lowerToTransitionSystem(m, ctx, "r.");
+
+  sec::SecProblem p(ctx, *e.ts, 1, rtlTs, 1);
+  for (const char* n : {"a0", "a1", "a2", "a3", "needle"}) {
+    ir::NodeRef v = p.declareTxnVar(n, 8);
+    p.bindInput(sec::Side::kSlm, std::string("s.") + n, 0, v);
+    p.bindInput(sec::Side::kRtl, std::string("r.") + n, 0, v);
+  }
+  p.checkOutputs("ret", 0, "idx", 0);
+  auto r = sec::checkEquivalence(p, {.boundTransactions = 1});
+  EXPECT_EQ(r.verdict, sec::Verdict::kProvenEquivalent)
+      << (r.cex ? r.cex->summary() : "");
+}
+
+// ----- fpadd -----------------------------------------------------------------
+
+TEST(FpAddDesign, SecSetupsBehaveAsExpected) {
+  const fp::Format fmt = fp::Format::minifloat();
+  {
+    ir::Context ctx;
+    auto setup = makeFpAddSecProblem(ctx, fmt, /*constrainToSafeBand=*/false);
+    auto r = sec::checkEquivalence(*setup.problem, {.boundTransactions = 1});
+    EXPECT_EQ(r.verdict, sec::Verdict::kNotEquivalent);
+  }
+  {
+    ir::Context ctx;
+    auto setup = makeFpAddSecProblem(ctx, fmt, /*constrainToSafeBand=*/true);
+    auto r = sec::checkEquivalence(*setup.problem, {.boundTransactions = 1});
+    EXPECT_EQ(r.verdict, sec::Verdict::kProvenEquivalent);
+  }
+}
+
+}  // namespace
+}  // namespace dfv::designs

@@ -1,0 +1,353 @@
+// Tests for the floating-point substrate: IEEE softfloat vs the host FPU
+// (binary32), hardware-FP semantics, and exhaustive validation of the IR
+// adder circuits for the 8-bit minifloat, plus the §3.1.2 constrained-SEC
+// experiment.
+
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <cmath>
+#include <random>
+
+#include "fp/circuits.h"
+#include "fp/softfloat.h"
+#include "ir/eval.h"
+#include "sec/engine.h"
+
+namespace dfv::fp {
+namespace {
+
+using bv::BitVector;
+
+TEST(SoftFloat, Binary32Classification) {
+  const Format f32 = Format::binary32();
+  EXPECT_TRUE(SoftFloat::fromFloat(0.0f).isZero());
+  EXPECT_TRUE(SoftFloat::fromFloat(-0.0f).isZero());
+  EXPECT_TRUE(SoftFloat::fromFloat(-0.0f).sign());
+  EXPECT_TRUE(SoftFloat::fromFloat(1.0f).isNormal());
+  EXPECT_TRUE(SoftFloat::fromFloat(1e-40f).isSubnormal());
+  EXPECT_TRUE(SoftFloat::infinity(f32, false).isInf());
+  EXPECT_TRUE(SoftFloat::quietNaN(f32).isNaN());
+}
+
+TEST(SoftFloat, Binary32AdditionSpotChecks) {
+  auto add = [](float x, float y) {
+    return (SoftFloat::fromFloat(x) + SoftFloat::fromFloat(y)).toFloat();
+  };
+  EXPECT_EQ(add(1.0f, 2.0f), 3.0f);
+  EXPECT_EQ(add(0.1f, 0.2f), 0.1f + 0.2f);
+  EXPECT_EQ(add(1e30f, -1e30f), 0.0f);
+  EXPECT_EQ(add(1.0f, -1.0f), 0.0f);
+  EXPECT_FALSE(std::signbit(add(1.0f, -1.0f)));  // x + (-x) = +0 under RNE
+  EXPECT_TRUE(std::signbit(add(-0.0f, -0.0f)));  // -0 + -0 = -0
+  EXPECT_TRUE(std::isinf(add(3e38f, 3e38f)));    // overflow to inf
+  EXPECT_TRUE(std::isnan(add(std::numeric_limits<float>::infinity(),
+                             -std::numeric_limits<float>::infinity())));
+}
+
+TEST(SoftFloat, Binary32MultiplicationSpotChecks) {
+  auto mul = [](float x, float y) {
+    return (SoftFloat::fromFloat(x) * SoftFloat::fromFloat(y)).toFloat();
+  };
+  EXPECT_EQ(mul(3.0f, 4.0f), 12.0f);
+  EXPECT_EQ(mul(0.1f, 0.1f), 0.1f * 0.1f);
+  EXPECT_EQ(mul(-2.0f, 0.0f), -2.0f * 0.0f);
+  EXPECT_TRUE(std::signbit(mul(-2.0f, 0.0f)));
+  EXPECT_TRUE(std::isinf(mul(1e30f, 1e30f)));
+  EXPECT_TRUE(std::isnan(mul(std::numeric_limits<float>::infinity(), 0.0f)));
+  // Subnormal results.
+  EXPECT_EQ(mul(1e-30f, 1e-15f), 1e-30f * 1e-15f);
+}
+
+/// Differential vs the host FPU (assumed IEEE binary32 RNE): random values
+/// spanning normals, subnormals, zeros, infinities and NaNs.
+TEST(SoftFloat, Binary32DifferentialVsHost) {
+  std::fesetround(FE_TONEAREST);
+  std::mt19937_64 rng(0xf10a7);
+  auto randomBits = [&]() -> std::uint32_t {
+    switch (rng() % 8) {
+      case 0: return static_cast<std::uint32_t>(rng());          // anything
+      case 1: return static_cast<std::uint32_t>(rng()) & 0x007fffff;  // subnormal/zero
+      case 2: return 0x7f800000u | (static_cast<std::uint32_t>(rng()) & 0x807fffffu);  // inf/nan
+      case 3: return 0x00000000u;
+      case 4: return 0x80000000u;
+      default: {
+        // Normal with moderate exponent so sums stay finite often.
+        const std::uint32_t e = 100 + static_cast<std::uint32_t>(rng() % 56);
+        return (static_cast<std::uint32_t>(rng()) & 0x807fffffu) | (e << 23);
+      }
+    }
+  };
+  int checked = 0;
+  for (int iter = 0; iter < 30000; ++iter) {
+    const std::uint32_t ba = randomBits(), bb = randomBits();
+    const float fa = std::bit_cast<float>(ba), fb = std::bit_cast<float>(bb);
+    const SoftFloat sa = SoftFloat::fromFloat(fa), sb = SoftFloat::fromFloat(fb);
+
+    const SoftFloat sum = sa + sb;
+    const float hostSum = fa + fb;
+    if (std::isnan(hostSum)) {
+      EXPECT_TRUE(sum.isNaN()) << fa << " + " << fb;
+    } else {
+      EXPECT_EQ(sum.bits(), std::bit_cast<std::uint32_t>(hostSum))
+          << fa << " + " << fb;
+    }
+    const SoftFloat prod = sa * sb;
+    const float hostProd = fa * fb;
+    if (std::isnan(hostProd)) {
+      EXPECT_TRUE(prod.isNaN()) << fa << " * " << fb;
+    } else {
+      EXPECT_EQ(prod.bits(), std::bit_cast<std::uint32_t>(hostProd))
+          << fa << " * " << fb;
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 30000);
+}
+
+TEST(HwFloat, FlushToZeroAndClamp) {
+  const Format f32 = Format::binary32();
+  // Subnormal + subnormal: IEEE gives a subnormal, hardware gives zero.
+  const std::uint32_t sub = 0x00000fff;  // small subnormal
+  EXPECT_EQ(hwAdd(f32, sub, sub), 0u);
+  EXPECT_NE((SoftFloat(f32, sub) + SoftFloat(f32, sub)).bits(), 0u);
+  // 2^127 + 2^127: IEEE overflows to inf; hardware packs the top exponent
+  // encoding as an ordinary value (no Inf exists in its number system).
+  const std::uint32_t big = 0x7f000000;  // 2^127
+  EXPECT_EQ(hwAdd(f32, big, big), 0x7f800000u);  // expField 255, "normal"
+  EXPECT_TRUE((SoftFloat(f32, big) + SoftFloat(f32, big)).isInf());
+  // Adding two top-exponent values exceeds the representable range:
+  // hardware clamps to the largest magnitude.
+  const std::uint32_t top = 0x7f800000;  // hw: 2^128 * 1.0
+  EXPECT_EQ(hwAdd(f32, top, top), 0x7fffffffu);  // clamp: max exp, max frac
+}
+
+TEST(HwFloat, AgreesWithIeeeOnSafeNormals) {
+  // Inside the safe exponent band the two semantics are bit-identical.
+  const Format fmt = Format::minifloat();
+  const SafeBand band = safeExponentBand(fmt);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const SoftFloat sa(fmt, a), sb(fmt, b);
+      const bool inBand = sa.expField() >= band.lo && sa.expField() <= band.hi &&
+                          sb.expField() >= band.lo && sb.expField() <= band.hi;
+      if (!inBand) continue;
+      EXPECT_EQ(hwAdd(fmt, a, b), (sa + sb).bits())
+          << sa.describe() << " + " << sb.describe();
+    }
+  }
+}
+
+TEST(HwFloat, DivergesOutsideTheBand) {
+  // There must exist inputs where the two semantics disagree (otherwise the
+  // experiment is vacuous): count them exhaustively for the minifloat.
+  const Format fmt = Format::minifloat();
+  int divergences = 0;
+  for (std::uint64_t a = 0; a < 256; ++a)
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const SoftFloat ieee = SoftFloat(fmt, a) + SoftFloat(fmt, b);
+      if (hwAdd(fmt, a, b) != ieee.bits()) ++divergences;
+    }
+  EXPECT_GT(divergences, 100);  // plenty of corner-case divergence
+}
+
+// ---------------------------------------------------------------------------
+// Circuit validation: exhaustive for the 8-bit minifloat (65,536 pairs).
+// ---------------------------------------------------------------------------
+
+class MinifloatCircuit : public ::testing::Test {
+ protected:
+  const Format fmt = Format::minifloat();
+  ir::Context ctx;
+  ir::NodeRef a = ctx.input("a", 8);
+  ir::NodeRef b = ctx.input("b", 8);
+
+  std::uint64_t evalCircuit(ir::NodeRef circuit, std::uint64_t va,
+                            std::uint64_t vb) {
+    ir::Env env{{a, ir::Value(BitVector::fromUint(8, va))},
+                {b, ir::Value(BitVector::fromUint(8, vb))}};
+    return ir::Evaluator::evaluate(circuit, env).scalar.toUint64();
+  }
+};
+
+TEST_F(MinifloatCircuit, IeeeAdderExhaustive) {
+  ir::NodeRef circuit = buildIeeeAdder(ctx, fmt, a, b);
+  for (std::uint64_t va = 0; va < 256; ++va) {
+    for (std::uint64_t vb = 0; vb < 256; ++vb) {
+      const SoftFloat expected = SoftFloat(fmt, va) + SoftFloat(fmt, vb);
+      ASSERT_EQ(evalCircuit(circuit, va, vb), expected.bits())
+          << SoftFloat(fmt, va).describe() << " + "
+          << SoftFloat(fmt, vb).describe();
+    }
+  }
+}
+
+TEST_F(MinifloatCircuit, HwAdderExhaustive) {
+  ir::NodeRef circuit = buildHwAdder(ctx, fmt, a, b);
+  for (std::uint64_t va = 0; va < 256; ++va) {
+    for (std::uint64_t vb = 0; vb < 256; ++vb) {
+      ASSERT_EQ(evalCircuit(circuit, va, vb), hwAdd(fmt, va, vb))
+          << SoftFloat(fmt, va).describe() << " + "
+          << SoftFloat(fmt, vb).describe();
+    }
+  }
+}
+
+TEST_F(MinifloatCircuit, IeeeMultiplierExhaustive) {
+  ir::NodeRef circuit = buildIeeeMultiplier(ctx, fmt, a, b);
+  for (std::uint64_t va = 0; va < 256; ++va) {
+    for (std::uint64_t vb = 0; vb < 256; ++vb) {
+      const SoftFloat expected = SoftFloat(fmt, va) * SoftFloat(fmt, vb);
+      ASSERT_EQ(evalCircuit(circuit, va, vb), expected.bits())
+          << SoftFloat(fmt, va).describe() << " * "
+          << SoftFloat(fmt, vb).describe();
+    }
+  }
+}
+
+TEST_F(MinifloatCircuit, HwMultiplierExhaustive) {
+  ir::NodeRef circuit = buildHwMultiplier(ctx, fmt, a, b);
+  for (std::uint64_t va = 0; va < 256; ++va) {
+    for (std::uint64_t vb = 0; vb < 256; ++vb) {
+      ASSERT_EQ(evalCircuit(circuit, va, vb), hwMul(fmt, va, vb))
+          << SoftFloat(fmt, va).describe() << " * "
+          << SoftFloat(fmt, vb).describe();
+    }
+  }
+}
+
+TEST(FpCircuits, Binary16MultiplierSpotChecks) {
+  // Randomized validation at a wider format (exhaustive is 2^32).
+  const Format fmt = Format::binary16();
+  ir::Context ctx;
+  ir::NodeRef a = ctx.input("a", 16);
+  ir::NodeRef b = ctx.input("b", 16);
+  ir::NodeRef ieee = buildIeeeMultiplier(ctx, fmt, a, b);
+  ir::NodeRef hw = buildHwMultiplier(ctx, fmt, a, b);
+  std::mt19937_64 rng(0x16161616);
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::uint64_t va = rng() & 0xffff, vb = rng() & 0xffff;
+    ir::Env env{{a, ir::Value(BitVector::fromUint(16, va))},
+                {b, ir::Value(BitVector::fromUint(16, vb))}};
+    ir::Evaluator ev(env);
+    EXPECT_EQ(ev.eval(ieee).scalar.toUint64(),
+              (SoftFloat(fmt, va) * SoftFloat(fmt, vb)).bits())
+        << va << " * " << vb;
+    EXPECT_EQ(ev.eval(hw).scalar.toUint64(), hwMul(fmt, va, vb))
+        << va << " * " << vb;
+  }
+}
+
+TEST(FpSec, MultiplierConstrainedProvenEquivalent) {
+  // The §3.1.2 technique applies to the multiplier too: constrain exponents
+  // so products stay normal.  For e1, e2 in [bias - k, bias + k] the result
+  // exponent e1 + e2 - bias stays within [1, maxField - 1] comfortably.
+  const Format fmt = Format::minifloat();
+  ir::Context ctx;
+  ir::TransitionSystem slm(ctx, "slm");
+  {
+    ir::NodeRef a = slm.addInput("s.a", 8);
+    ir::NodeRef b = slm.addInput("s.b", 8);
+    slm.addOutput("prod", buildIeeeMultiplier(ctx, fmt, a, b));
+  }
+  ir::TransitionSystem rtl(ctx, "rtl");
+  {
+    ir::NodeRef a = rtl.addInput("r.a", 8);
+    ir::NodeRef b = rtl.addInput("r.b", 8);
+    rtl.addOutput("prod", buildHwMultiplier(ctx, fmt, a, b));
+  }
+  sec::SecProblem p(ctx, slm, 1, rtl, 1);
+  ir::NodeRef va = p.declareTxnVar("a", 8);
+  ir::NodeRef vb = p.declareTxnVar("b", 8);
+  p.bindInput(sec::Side::kSlm, "s.a", 0, va);
+  p.bindInput(sec::Side::kSlm, "s.b", 0, vb);
+  p.bindInput(sec::Side::kRtl, "r.a", 0, va);
+  p.bindInput(sec::Side::kRtl, "r.b", 0, vb);
+  p.checkOutputs("prod", 0, "prod", 0);
+  // Unconstrained: the corner cases divide the semantics.
+  auto r1 = sec::checkEquivalence(p, {.boundTransactions = 1});
+  EXPECT_EQ(r1.verdict, sec::Verdict::kNotEquivalent);
+  // Constrained: bias=7; exponents in [5, 9] keep e1+e2-7 in [3, 11] and
+  // the significand carry pushes at most to 12 < 15.
+  p.addConstraint(buildExponentBandConstraint(ctx, fmt, va, 5, 9));
+  p.addConstraint(buildExponentBandConstraint(ctx, fmt, vb, 5, 9));
+  auto r2 = sec::checkEquivalence(p, {.boundTransactions = 1});
+  EXPECT_EQ(r2.verdict, sec::Verdict::kProvenEquivalent)
+      << (r2.cex ? r2.cex->summary() : "");
+}
+
+// ---------------------------------------------------------------------------
+// The §3.1.2 experiment: SEC finds the corner case; the input constraint
+// makes the pair provably equivalent.
+// ---------------------------------------------------------------------------
+
+TEST(FpSec, UnconstrainedFindsCornerCaseCex) {
+  const Format fmt = Format::minifloat();
+  ir::Context ctx;
+  ir::TransitionSystem slm(ctx, "slm");
+  {
+    ir::NodeRef a = slm.addInput("s.a", 8);
+    ir::NodeRef b = slm.addInput("s.b", 8);
+    slm.addOutput("sum", buildIeeeAdder(ctx, fmt, a, b));
+  }
+  ir::TransitionSystem rtl(ctx, "rtl");
+  {
+    ir::NodeRef a = rtl.addInput("r.a", 8);
+    ir::NodeRef b = rtl.addInput("r.b", 8);
+    rtl.addOutput("sum", buildHwAdder(ctx, fmt, a, b));
+  }
+  sec::SecProblem p(ctx, slm, 1, rtl, 1);
+  ir::NodeRef va = p.declareTxnVar("a", 8);
+  ir::NodeRef vb = p.declareTxnVar("b", 8);
+  p.bindInput(sec::Side::kSlm, "s.a", 0, va);
+  p.bindInput(sec::Side::kSlm, "s.b", 0, vb);
+  p.bindInput(sec::Side::kRtl, "r.a", 0, va);
+  p.bindInput(sec::Side::kRtl, "r.b", 0, vb);
+  p.checkOutputs("sum", 0, "sum", 0);
+
+  sec::SecResult r = sec::checkEquivalence(p, {.boundTransactions = 1});
+  ASSERT_EQ(r.verdict, sec::Verdict::kNotEquivalent);
+  // The witness must involve a corner case: at least one operand subnormal /
+  // inf / nan, or an overflow — i.e. outside the safe band.
+  const SafeBand band = safeExponentBand(fmt);
+  const auto& vars = r.cex->txnVarValues[0];
+  const SoftFloat wa(fmt, vars[0].toUint64());
+  const SoftFloat wb(fmt, vars[1].toUint64());
+  const bool inBand = wa.expField() >= band.lo && wa.expField() <= band.hi &&
+                      wb.expField() >= band.lo && wb.expField() <= band.hi;
+  EXPECT_FALSE(inBand) << wa.describe() << " + " << wb.describe();
+}
+
+TEST(FpSec, ConstrainedToSafeBandProvenEquivalent) {
+  const Format fmt = Format::minifloat();
+  ir::Context ctx;
+  ir::TransitionSystem slm(ctx, "slm");
+  {
+    ir::NodeRef a = slm.addInput("s.a", 8);
+    ir::NodeRef b = slm.addInput("s.b", 8);
+    slm.addOutput("sum", buildIeeeAdder(ctx, fmt, a, b));
+  }
+  ir::TransitionSystem rtl(ctx, "rtl");
+  {
+    ir::NodeRef a = rtl.addInput("r.a", 8);
+    ir::NodeRef b = rtl.addInput("r.b", 8);
+    rtl.addOutput("sum", buildHwAdder(ctx, fmt, a, b));
+  }
+  sec::SecProblem p(ctx, slm, 1, rtl, 1);
+  ir::NodeRef va = p.declareTxnVar("a", 8);
+  ir::NodeRef vb = p.declareTxnVar("b", 8);
+  p.bindInput(sec::Side::kSlm, "s.a", 0, va);
+  p.bindInput(sec::Side::kSlm, "s.b", 0, vb);
+  p.bindInput(sec::Side::kRtl, "r.a", 0, va);
+  p.bindInput(sec::Side::kRtl, "r.b", 0, vb);
+  p.checkOutputs("sum", 0, "sum", 0);
+  const SafeBand band = safeExponentBand(fmt);
+  p.addConstraint(buildExponentBandConstraint(ctx, fmt, va, band.lo, band.hi));
+  p.addConstraint(buildExponentBandConstraint(ctx, fmt, vb, band.lo, band.hi));
+
+  sec::SecResult r = sec::checkEquivalence(p, {.boundTransactions = 1});
+  EXPECT_EQ(r.verdict, sec::Verdict::kProvenEquivalent);
+}
+
+}  // namespace
+}  // namespace dfv::fp

@@ -1,0 +1,371 @@
+// Tests for the sequential equivalence checking engine: combinational and
+// multi-cycle transactions, counterexample extraction + replay, input
+// constraints, and coupling invariants.
+
+#include "sec/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/lower.h"
+#include "rtl/netlist.h"
+
+namespace dfv::sec {
+namespace {
+
+using bv::BitVector;
+
+/// SLM side: out = (a + b) computed in 9 bits (no overflow) — the int-based
+/// C model of the paper's Fig 1.  RTL side: 8-bit wire tmp, then sign-extend
+/// — overflow wraps.  SEC must find the divergence.
+struct Fig1Fixture {
+  ir::Context ctx;
+  ir::TransitionSystem slm{ctx, "slm"};
+  rtl::Module rtlMod{"rtl"};
+  std::unique_ptr<ir::TransitionSystem> rtl;
+  std::unique_ptr<SecProblem> problem;
+
+  explicit Fig1Fixture(bool buggyNarrowTmp) {
+    // SLM (1-step): out9 = sext(a,9) + sext(b,9) + sext(c,9)
+    ir::NodeRef a = slm.addInput("a", 8);
+    ir::NodeRef b = slm.addInput("b", 8);
+    ir::NodeRef c = slm.addInput("c", 8);
+    ir::NodeRef wide = ctx.add(ctx.add(ctx.sext(a, 9), ctx.sext(b, 9)),
+                               ctx.sext(c, 9));
+    slm.addOutput("out", wide);
+
+    // RTL: tmp = a + b (8-bit if buggy, 9-bit if correct); out = tmp + c.
+    rtl::NetId ra = rtlMod.addInput("a", 8);
+    rtl::NetId rb = rtlMod.addInput("b", 8);
+    rtl::NetId rc = rtlMod.addInput("c", 8);
+    rtl::NetId out;
+    if (buggyNarrowTmp) {
+      rtl::NetId tmp = rtlMod.opAdd(ra, rb);  // 8-bit: overflows
+      out = rtlMod.opAdd(rtlMod.opSExt(tmp, 9), rtlMod.opSExt(rc, 9));
+    } else {
+      rtl::NetId tmp = rtlMod.opAdd(rtlMod.opSExt(ra, 9), rtlMod.opSExt(rb, 9));
+      out = rtlMod.opAdd(tmp, rtlMod.opSExt(rc, 9));
+    }
+    rtlMod.addOutput("out", out);
+    rtl = std::make_unique<ir::TransitionSystem>(
+        rtl::lowerToTransitionSystem(rtlMod, ctx, "r."));
+
+    problem = std::make_unique<SecProblem>(ctx, slm, 1, *rtl, 1);
+    ir::NodeRef va = problem->declareTxnVar("a", 8);
+    ir::NodeRef vb = problem->declareTxnVar("b", 8);
+    ir::NodeRef vc = problem->declareTxnVar("c", 8);
+    for (auto [name, v] :
+         {std::pair{"a", va}, std::pair{"b", vb}, std::pair{"c", vc}}) {
+      problem->bindInput(Side::kSlm, name, 0, v);
+      problem->bindInput(Side::kRtl, std::string("r.") + name, 0, v);
+    }
+    problem->checkOutputs("out", 0, "out", 0);
+  }
+};
+
+TEST(SecEngine, Fig1CorrectRtlProvenEquivalent) {
+  Fig1Fixture f(/*buggyNarrowTmp=*/false);
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 2});
+  EXPECT_EQ(r.verdict, Verdict::kProvenEquivalent);
+  EXPECT_FALSE(r.cex.has_value());
+  EXPECT_TRUE(r.stats.inductionClosed);
+}
+
+TEST(SecEngine, Fig1NarrowTmpFindsCounterexample) {
+  Fig1Fixture f(/*buggyNarrowTmp=*/true);
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 2});
+  ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
+  ASSERT_TRUE(r.cex.has_value());
+  // Replay already validated the mismatch; check the witness wraps tmp:
+  // |a + b| must exceed 8-bit signed range for the groupings to diverge.
+  const auto& vars = r.cex->txnVarValues[r.cex->failingTransaction];
+  const std::int64_t a = vars[0].toInt64();
+  const std::int64_t b = vars[1].toInt64();
+  const std::int64_t sum = a + b;
+  EXPECT_TRUE(sum > 127 || sum < -128)
+      << "witness a=" << a << " b=" << b << " does not overflow tmp";
+  EXPECT_NE(r.cex->slmValue, r.cex->rtlValue);
+}
+
+TEST(SecEngine, ConstraintMasksTheDivergence) {
+  // §3.1.2's technique: constrain the input space so the known difference
+  // cannot show up.  Restrict all inputs to [0, 31]: tmp cannot overflow.
+  Fig1Fixture f(/*buggyNarrowTmp=*/true);
+  ir::Context& ctx = f.ctx;
+  const auto& vars = f.problem->txnVars();
+  for (ir::NodeRef v : vars)
+    f.problem->addConstraint(ctx.ult(v, ctx.constantUint(8, 32)));
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 3});
+  EXPECT_EQ(r.verdict, Verdict::kProvenEquivalent);
+}
+
+/// Multi-cycle transaction: RTL serially accumulates 4 samples (one per
+/// cycle, cleared at cycle 0); SLM adds them in one step.
+struct SerialSumFixture {
+  ir::Context ctx;
+  ir::TransitionSystem slm{ctx, "slm"};
+  rtl::Module rtlMod{"rtl"};
+  std::unique_ptr<ir::TransitionSystem> rtl;
+  std::unique_ptr<SecProblem> problem;
+
+  explicit SerialSumFixture(bool buggyDropLastSample = false) {
+    // SLM: one step, out10 = sum of four 8-bit samples (10-bit, no loss).
+    std::vector<ir::NodeRef> xs;
+    ir::NodeRef sum = nullptr;
+    for (int i = 0; i < 4; ++i) {
+      ir::NodeRef x =
+          slm.addInput("x" + std::to_string(i), 8);
+      xs.push_back(x);
+      ir::NodeRef w = ctx.zext(x, 10);
+      sum = sum == nullptr ? w : ctx.add(sum, w);
+    }
+    slm.addOutput("sum", sum);
+
+    // RTL: acc register accumulates the streamed sample each cycle;
+    // cleared when `first` is high.  Output is combinational acc + sample.
+    rtl::NetId sample = rtlMod.addInput("sample", 8);
+    rtl::NetId first = rtlMod.addInput("first", 1);
+    rtl::NetId acc = rtlMod.addDff("acc", 10, 0);
+    rtl::NetId sampleW = rtlMod.opZExt(sample, 10);
+    rtl::NetId accPlus = rtlMod.opAdd(acc, sampleW);
+    // next acc: first ? sample : acc + sample
+    rtl::NetId nextAcc = rtlMod.opMux(first, sampleW, accPlus);
+    rtlMod.connectDff(acc, nextAcc);
+    // Running total visible combinationally (so sum is ready at cycle 3).
+    rtl::NetId total = buggyDropLastSample ? acc : accPlus;
+    rtlMod.addOutput("sum", rtlMod.opMux(first, sampleW, total));
+    rtl = std::make_unique<ir::TransitionSystem>(
+        rtl::lowerToTransitionSystem(rtlMod, ctx, "r."));
+
+    problem = std::make_unique<SecProblem>(ctx, slm, 1, *rtl, 4);
+    std::vector<ir::NodeRef> vars;
+    for (int i = 0; i < 4; ++i)
+      vars.push_back(problem->declareTxnVar("x" + std::to_string(i), 8));
+    for (int i = 0; i < 4; ++i) {
+      problem->bindInput(Side::kSlm, "x" + std::to_string(i), 0, vars[static_cast<std::size_t>(i)]);
+      problem->bindInput(Side::kRtl, "r.sample", static_cast<unsigned>(i),
+                         vars[static_cast<std::size_t>(i)]);
+      problem->bindInput(Side::kRtl, "r.first", static_cast<unsigned>(i),
+                         ctx.constantUint(1, i == 0 ? 1 : 0));
+    }
+    problem->checkOutputs("sum", 0, "sum", 3);
+  }
+};
+
+TEST(SecEngine, MultiCycleTransactionProven) {
+  SerialSumFixture f;
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 2});
+  // The RTL clears acc at cycle 0 of every transaction, so the output does
+  // not depend on the starting state: induction closes with no invariants.
+  EXPECT_EQ(r.verdict, Verdict::kProvenEquivalent);
+}
+
+TEST(SecEngine, MultiCycleBugCaughtWithReplay) {
+  SerialSumFixture f(/*buggyDropLastSample=*/true);
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 2});
+  ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
+  ASSERT_TRUE(r.cex.has_value());
+  // The bug drops the last sample: the witness must have x3 != 0.
+  const auto& vars = r.cex->txnVarValues[r.cex->failingTransaction];
+  EXPECT_FALSE(vars[3].isZero());
+  EXPECT_NE(r.cex->slmValue, r.cex->rtlValue);
+  // Stimulus shape: every transaction carries 1 SLM cycle and 4 RTL cycles.
+  EXPECT_EQ(r.cex->slmInputs[0].size(), 1u);
+  EXPECT_EQ(r.cex->rtlInputs[0].size(), 4u);
+}
+
+/// Stateful across transactions: both sides keep a running checksum.  The
+/// inductive step needs the coupling invariant slm.csum == rtl.csum.
+struct ChecksumFixture {
+  ir::Context ctx;
+  ir::TransitionSystem slm{ctx, "slm"};
+  ir::TransitionSystem rtl{ctx, "rtl"};
+  std::unique_ptr<SecProblem> problem;
+
+  ChecksumFixture() {
+    ir::NodeRef sx = slm.addInput("s.x", 8);
+    ir::NodeRef scsum = slm.addState("s.csum", 8, 0);
+    slm.setNext(scsum, ctx.add(scsum, sx));
+    slm.addOutput("csum", ctx.add(scsum, sx));
+
+    ir::NodeRef rx = rtl.addInput("r.x", 8);
+    ir::NodeRef rcsum = rtl.addState("r.csum", 8, 0);
+    // Same function, different structure: csum + ((x^0) + 0).
+    rtl.setNext(rcsum, ctx.add(rcsum, ctx.bitXor(rx, ctx.zero(8))));
+    rtl.addOutput("csum", ctx.add(rcsum, rx));
+
+    problem = std::make_unique<SecProblem>(ctx, slm, 1, rtl, 1);
+    ir::NodeRef v = problem->declareTxnVar("x", 8);
+    problem->bindInput(Side::kSlm, "s.x", 0, v);
+    problem->bindInput(Side::kRtl, "r.x", 0, v);
+    problem->checkOutputs("csum", 0, "csum", 0);
+  }
+};
+
+TEST(SecEngine, StatefulWithoutInvariantOnlyBounded) {
+  ChecksumFixture f;
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 5});
+  // BMC clean at depth 5 but induction cannot close: from arbitrary
+  // (unequal) checksum states the outputs differ.
+  EXPECT_EQ(r.verdict, Verdict::kBoundedEquivalent);
+  EXPECT_TRUE(r.stats.inductionAttempted);
+  EXPECT_FALSE(r.stats.inductionClosed);
+}
+
+TEST(SecEngine, StatefulWithCouplingInvariantProven) {
+  ChecksumFixture f;
+  ir::NodeRef inv = f.ctx.eq(f.slm.findState("s.csum")->current,
+                             f.rtl.findState("r.csum")->current);
+  f.problem->addCouplingInvariant(inv);
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 2});
+  EXPECT_EQ(r.verdict, Verdict::kProvenEquivalent);
+  EXPECT_TRUE(r.stats.inductionClosed);
+}
+
+TEST(SecEngine, BadInvariantFailsAtReset) {
+  ChecksumFixture f;
+  // An invariant the reset states do not satisfy cannot close induction.
+  ir::NodeRef bogus = f.ctx.eq(f.slm.findState("s.csum")->current,
+                               f.ctx.constantUint(8, 77));
+  f.problem->addCouplingInvariant(bogus);
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 2});
+  EXPECT_EQ(r.verdict, Verdict::kBoundedEquivalent);
+  EXPECT_FALSE(r.stats.inductionClosed);
+}
+
+TEST(SecEngine, MemoryStateDesign) {
+  // SLM and RTL both implement a 4-entry register file write/read per
+  // transaction; RTL via a memory array, SLM via the same array state
+  // (structurally different write ordering).
+  ir::Context ctx;
+  ir::TransitionSystem slm(ctx, "slm");
+  {
+    ir::NodeRef wa = slm.addInput("s.waddr", 2);
+    ir::NodeRef wd = slm.addInput("s.wdata", 8);
+    ir::NodeRef ra = slm.addInput("s.raddr", 2);
+    ir::NodeRef rf = slm.addState("s.rf", ir::Type{8, 4},
+                                  ir::Value::filledArray(8, 4, BitVector(8)));
+    slm.setNext(rf, ctx.arrayWrite(rf, wa, wd));
+    // Read sees the just-written data (write-through model).
+    slm.addOutput("rdata", ctx.arrayRead(ctx.arrayWrite(rf, wa, wd), ra));
+  }
+  ir::TransitionSystem rtl(ctx, "rtl");
+  {
+    ir::NodeRef wa = rtl.addInput("r.waddr", 2);
+    ir::NodeRef wd = rtl.addInput("r.wdata", 8);
+    ir::NodeRef ra = rtl.addInput("r.raddr", 2);
+    ir::NodeRef rf = rtl.addState("r.rf", ir::Type{8, 4},
+                                  ir::Value::filledArray(8, 4, BitVector(8)));
+    rtl.setNext(rf, ctx.arrayWrite(rf, wa, wd));
+    // Bypass network instead of write-through array read.
+    ir::NodeRef hit = ctx.eq(ra, wa);
+    rtl.addOutput("rdata", ctx.mux(hit, wd, ctx.arrayRead(rf, ra)));
+  }
+  SecProblem problem(ctx, slm, 1, rtl, 1);
+  ir::NodeRef va = problem.declareTxnVar("waddr", 2);
+  ir::NodeRef vd = problem.declareTxnVar("wdata", 8);
+  ir::NodeRef vr = problem.declareTxnVar("raddr", 2);
+  problem.bindInput(Side::kSlm, "s.waddr", 0, va);
+  problem.bindInput(Side::kSlm, "s.wdata", 0, vd);
+  problem.bindInput(Side::kSlm, "s.raddr", 0, vr);
+  problem.bindInput(Side::kRtl, "r.waddr", 0, va);
+  problem.bindInput(Side::kRtl, "r.wdata", 0, vd);
+  problem.bindInput(Side::kRtl, "r.raddr", 0, vr);
+  problem.checkOutputs("rdata", 0, "rdata", 0);
+  // Coupling invariant: the register files agree element-wise.
+  ir::NodeRef inv = ctx.boolConst(true);
+  for (unsigned i = 0; i < 4; ++i) {
+    ir::NodeRef idx = ctx.constantUint(2, i);
+    inv = ctx.logicalAnd(
+        inv, ctx.eq(ctx.arrayRead(slm.findState("s.rf")->current, idx),
+                    ctx.arrayRead(rtl.findState("r.rf")->current, idx)));
+  }
+  problem.addCouplingInvariant(inv);
+  SecResult r = checkEquivalence(problem, {.boundTransactions = 3});
+  EXPECT_EQ(r.verdict, Verdict::kProvenEquivalent);
+}
+
+TEST(SecEngine, UnsatisfiableConstraintsRejectedAsVacuous) {
+  // An over-constrained input space would make any pair "equivalent";
+  // the engine must refuse instead of passing vacuously.
+  Fig1Fixture f(/*buggyNarrowTmp=*/true);
+  ir::Context& ctx = f.ctx;
+  ir::NodeRef v = f.problem->txnVars()[0];
+  f.problem->addConstraint(ctx.ult(v, ctx.constantUint(8, 10)));
+  f.problem->addConstraint(ctx.ugt(v, ctx.constantUint(8, 20)));  // x<10 & x>20
+  EXPECT_THROW(checkEquivalence(*f.problem, {.boundTransactions = 1}),
+               CheckError);
+}
+
+TEST(SecEngine, SatisfiableConstraintsStillWork) {
+  Fig1Fixture f(/*buggyNarrowTmp=*/true);
+  ir::Context& ctx = f.ctx;
+  ir::NodeRef v = f.problem->txnVars()[0];
+  f.problem->addConstraint(ctx.ult(v, ctx.constantUint(8, 10)));
+  // Narrow but satisfiable: the check proceeds (and still finds the bug
+  // through the other two unconstrained operands).
+  auto r = checkEquivalence(*f.problem, {.boundTransactions = 1});
+  EXPECT_EQ(r.verdict, Verdict::kNotEquivalent);
+  EXPECT_TRUE(r.cex->txnVarValues[0][0].ult(bv::BitVector::fromUint(8, 10)));
+}
+
+TEST(SecEngine, RejectsProblemWithoutChecks) {
+  ir::Context ctx;
+  ir::TransitionSystem a(ctx, "a"), b(ctx, "b");
+  a.addOutput("x", ctx.zero(4));
+  b.addOutput("x", ctx.zero(4));
+  SecProblem p(ctx, a, 1, b, 1);
+  EXPECT_THROW(checkEquivalence(p), CheckError);
+}
+
+TEST(SecEngine, FreeInputsAreUniversallyQuantified) {
+  // RTL has an extra unmapped debug input that affects nothing checkable;
+  // SEC must still prove equivalence (free inputs are universal).
+  ir::Context ctx;
+  ir::TransitionSystem slm(ctx, "slm");
+  ir::NodeRef sx = slm.addInput("s.x", 8);
+  slm.addOutput("y", ctx.add(sx, sx));
+
+  ir::TransitionSystem rtl(ctx, "rtl");
+  ir::NodeRef rx = rtl.addInput("r.x", 8);
+  ir::NodeRef dbg = rtl.addInput("r.debug", 8);
+  ir::NodeRef dbgReg = rtl.addState("r.dbgreg", 8, 0);
+  rtl.setNext(dbgReg, dbg);  // captured but never observable
+  rtl.addOutput("y", ctx.shl(rx, ctx.one(8)));
+
+  SecProblem p(ctx, slm, 1, rtl, 1);
+  ir::NodeRef v = p.declareTxnVar("x", 8);
+  p.bindInput(Side::kSlm, "s.x", 0, v);
+  p.bindInput(Side::kRtl, "r.x", 0, v);
+  p.checkOutputs("y", 0, "y", 0);
+  SecResult r = checkEquivalence(p, {.boundTransactions = 2});
+  EXPECT_EQ(r.verdict, Verdict::kProvenEquivalent);
+}
+
+TEST(SecEngine, CexOnLaterTransactionExercisesDepth) {
+  // Sides agree on transaction 0 (both output 0 from reset) and diverge
+  // from transaction 1 on: state-dependent divergence needs BMC depth >= 2.
+  ir::Context ctx;
+  ir::TransitionSystem slm(ctx, "slm");
+  ir::NodeRef sx = slm.addInput("s.x", 4);
+  ir::NodeRef scnt = slm.addState("s.cnt", 4, 0);
+  slm.setNext(scnt, ctx.add(scnt, ctx.one(4)));
+  slm.addOutput("y", ctx.mul(scnt, sx));
+
+  ir::TransitionSystem rtl(ctx, "rtl");
+  ir::NodeRef rx = rtl.addInput("r.x", 4);
+  ir::NodeRef rcnt = rtl.addState("r.cnt", 4, 0);
+  rtl.setNext(rcnt, ctx.add(rcnt, ctx.one(4)));
+  rtl.addOutput("y", ctx.mul(rcnt, ctx.add(rx, rcnt)));  // diverges when cnt>0
+
+  SecProblem p(ctx, slm, 1, rtl, 1);
+  ir::NodeRef v = p.declareTxnVar("x", 4);
+  p.bindInput(Side::kSlm, "s.x", 0, v);
+  p.bindInput(Side::kRtl, "r.x", 0, v);
+  p.checkOutputs("y", 0, "y", 0);
+  SecResult r = checkEquivalence(p, {.boundTransactions = 4});
+  ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
+  EXPECT_GE(r.cex->failingTransaction, 1u);
+}
+
+}  // namespace
+}  // namespace dfv::sec

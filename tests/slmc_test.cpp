@@ -1,0 +1,295 @@
+// Tests for SLM-C: interpreter semantics, the §4.3 conditioning lint, and
+// differential validation of static elaboration against the interpreter.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "slmc/elaborate.h"
+#include "slmc/interp.h"
+#include "slmc/lint.h"
+
+namespace dfv::slmc {
+namespace {
+
+using bv::BitVector;
+
+/// Euclid's gcd written to the conditioning guidelines: static loop bound
+/// with a conditional exit.
+Function makeGcdConditioned() {
+  Function f;
+  f.name = "gcd";
+  f.params = {{"a", 8, false}, {"b", 8, false}};
+  f.returnWidth = 8;
+  f.returnSigned = false;
+  Block loop;
+  loop.push_back(breakIf(binary(BinOp::kEq, var("y"), constantU(8, 0))));
+  loop.push_back(assign("t", binary(BinOp::kMod, var("x"), var("y"))));
+  loop.push_back(assign("x", var("y")));
+  loop.push_back(assign("y", var("t")));
+  f.body = {
+      declVar("x", 8, false), assign("x", var("a")),
+      declVar("y", 8, false), assign("y", var("b")),
+      declVar("t", 8, false),
+      forLoop("i", constantU(32, 14), loop),  // static worst-case bound
+      returnStmt(var("x")),
+  };
+  return f;
+}
+
+/// The same algorithm written the "software way": data-dependent loop bound
+/// and a dynamically sized scratch buffer — runnable, but not analyzable.
+Function makeGcdUnconditioned() {
+  Function f;
+  f.name = "gcd_sw";
+  f.params = {{"a", 8, false}, {"b", 8, false}};
+  f.returnWidth = 8;
+  f.returnSigned = false;
+  Block loop;
+  loop.push_back(breakIf(binary(BinOp::kEq, var("y"), constantU(8, 0))));
+  loop.push_back(assign("t", binary(BinOp::kMod, var("x"), var("y"))));
+  loop.push_back(assign("x", var("y")));
+  loop.push_back(assign("y", var("t")));
+  f.body = {
+      declVar("x", 8, false), assign("x", var("a")),
+      declVar("y", 8, false), assign("y", var("b")),
+      declVar("t", 8, false),
+      // malloc(a) — dynamically sized
+      declArray("scratch", 8, false,
+                cast(binary(BinOp::kAdd, var("a"), constantU(8, 1)), 32,
+                     false)),
+      // while-style loop: bound depends on input data
+      forLoop("i", cast(var("b"), 32, false), loop),
+      returnStmt(var("x")),
+  };
+  return f;
+}
+
+TEST(SlmcInterp, GcdMatchesStd) {
+  Function f = makeGcdConditioned();
+  Interpreter interp(f);
+  std::mt19937 rng(5);
+  for (int iter = 0; iter < 300; ++iter) {
+    const unsigned a = rng() & 0xff, b = rng() & 0xff;
+    const auto got =
+        interp.run({BitVector::fromUint(8, a), BitVector::fromUint(8, b)});
+    EXPECT_EQ(got.toUint64(), std::gcd(a, b)) << a << "," << b;
+  }
+  EXPECT_EQ(interp.run({BitVector::fromUint(8, 0), BitVector::fromUint(8, 0)})
+                .toUint64(),
+            0u);
+}
+
+TEST(SlmcInterp, UnconditionedGcdStillRuns) {
+  // The point of §4.3: an unconditioned model is perfectly runnable...
+  Function f = makeGcdUnconditioned();
+  Interpreter interp(f);
+  EXPECT_EQ(interp.run({BitVector::fromUint(8, 12), BitVector::fromUint(8, 18)})
+                .toUint64(),
+            6u);
+}
+
+TEST(SlmcLint, ConditionedIsClean) {
+  EXPECT_TRUE(lint(makeGcdConditioned()).empty());
+}
+
+TEST(SlmcLint, UnconditionedReportsBothViolations) {
+  auto violations = lint(makeGcdUnconditioned());
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].rule, LintRule::kDynamicAllocation);
+  EXPECT_EQ(violations[1].rule, LintRule::kNonStaticLoopBound);
+}
+
+TEST(SlmcLint, DetectsAliasExternalCallAndMisplacedReturn) {
+  Function f;
+  f.name = "bad";
+  f.params = {{"a", 8, false}};
+  f.returnWidth = 8;
+  f.body = {
+      declArray("buf", 8, false, constantU(32, 4)),
+      declAlias("p", "buf"),
+      externalCall("legacy_dsp_kernel"),
+      returnStmt(var("a")),
+      assign("a", constantU(8, 0)),  // dead code after return
+  };
+  auto violations = lint(f);
+  std::vector<LintRule> rules;
+  for (const auto& v : violations) rules.push_back(v.rule);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), LintRule::kPointerAliasing),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), LintRule::kExternalCall),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), LintRule::kMisplacedReturn),
+            rules.end());
+}
+
+TEST(SlmcLint, MissingReturnAndStrayBreak) {
+  Function f;
+  f.name = "noret";
+  f.params = {{"a", 8, false}};
+  f.returnWidth = 8;
+  f.body = {breakIf(constantU(1, 1))};
+  auto violations = lint(f);
+  std::vector<LintRule> rules;
+  for (const auto& v : violations) rules.push_back(v.rule);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), LintRule::kMissingReturn),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), LintRule::kBreakOutsideLoop),
+            rules.end());
+}
+
+TEST(SlmcElaborate, GcdDifferentialVsInterpreter) {
+  Function f = makeGcdConditioned();
+  ir::Context ctx;
+  Elaboration e = elaborate(f, ctx);
+  ASSERT_TRUE(e.ok) << (e.errors.empty() ? "" : e.errors[0]);
+  EXPECT_EQ(e.unrolledIterations, 14u);
+
+  Interpreter interp(f);
+  ir::TsSimulator sim(*e.ts);
+  std::mt19937 rng(9);
+  for (int iter = 0; iter < 200; ++iter) {
+    const unsigned a = rng() & 0xff, b = rng() & 0xff;
+    const BitVector expected =
+        interp.run({BitVector::fromUint(8, a), BitVector::fromUint(8, b)});
+    auto out = sim.step({ir::Value(BitVector::fromUint(8, a)),
+                         ir::Value(BitVector::fromUint(8, b))});
+    EXPECT_EQ(out.outputs[0].scalar, expected) << a << "," << b;
+  }
+}
+
+TEST(SlmcElaborate, RefusesUnconditionedModel) {
+  ir::Context ctx;
+  Elaboration e = elaborate(makeGcdUnconditioned(), ctx);
+  EXPECT_FALSE(e.ok);
+  EXPECT_GE(e.errors.size(), 2u);
+}
+
+/// A windowed dot product with arrays, nested control flow, and saturation:
+/// exercises array writes with dynamic indices, if/else merging, and casts.
+Function makeDotSat() {
+  Function f;
+  f.name = "dotsat";
+  f.params = {{"x0", 8, true}, {"x1", 8, true}, {"x2", 8, true},
+              {"x3", 8, true}, {"scale", 4, false}};
+  f.returnWidth = 16;
+  f.returnSigned = true;
+  Block fill;  // w[i] = (i+1) * scale  (computed coefficients)
+  fill.push_back(assignIndex(
+      "w", var("i"),
+      cast(binary(BinOp::kMul,
+                  cast(binary(BinOp::kAdd, var("i"), constantU(32, 1)), 8,
+                       false),
+                  cast(var("scale"), 8, false)),
+           8, true)));
+  Block accum;  // acc += xs[i] * w[i] (widened), saturate at +/- 8000
+  accum.push_back(assign(
+      "acc",
+      binary(BinOp::kAdd, var("acc"),
+             binary(BinOp::kMul, cast(index("xs", var("i")), 16, true),
+                    cast(index("w", var("i")), 16, true)))));
+  accum.push_back(ifElse(
+      binary(BinOp::kGt, var("acc"), constant(16, 8000)),
+      {assign("acc", constant(16, 8000))},
+      {ifElse(binary(BinOp::kLt, var("acc"), constant(16, -8000)),
+              {assign("acc", constant(16, -8000))}, {})}));
+  f.body = {
+      declArray("xs", 8, true, constantU(32, 4)),
+      assignIndex("xs", constantU(2, 0), var("x0")),
+      assignIndex("xs", constantU(2, 1), var("x1")),
+      assignIndex("xs", constantU(2, 2), var("x2")),
+      assignIndex("xs", constantU(2, 3), var("x3")),
+      declArray("w", 8, true, constantU(32, 4)),
+      forLoop("i", constantU(32, 4), fill),
+      declVar("acc", 16, true),
+      forLoop("i", constantU(32, 4), accum),
+      returnStmt(var("acc")),
+  };
+  return f;
+}
+
+TEST(SlmcElaborate, DotSatDifferentialVsInterpreter) {
+  Function f = makeDotSat();
+  EXPECT_TRUE(lint(f).empty());
+  ir::Context ctx;
+  Elaboration e = elaborate(f, ctx, "p.");
+  ASSERT_TRUE(e.ok) << (e.errors.empty() ? "" : e.errors[0]);
+
+  Interpreter interp(f);
+  ir::TsSimulator sim(*e.ts);
+  std::mt19937_64 rng(0xd07);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<BitVector> args;
+    for (int i = 0; i < 4; ++i) args.push_back(BitVector::fromUint(8, rng()));
+    args.push_back(BitVector::fromUint(4, rng()));
+    const BitVector expected = interp.run(args);
+    std::vector<ir::Value> inputs(args.begin(), args.end());
+    auto out = sim.step(inputs);
+    EXPECT_EQ(out.outputs[0].scalar, expected);
+  }
+}
+
+TEST(SlmcElaborate, BreakGuardsLaterIterations) {
+  // find-first: index of the first element equal to the needle, else 255.
+  Function f;
+  f.name = "findfirst";
+  f.params = {{"a0", 8, false}, {"a1", 8, false}, {"a2", 8, false},
+              {"needle", 8, false}};
+  f.returnWidth = 8;
+  Block loop;
+  loop.push_back(
+      ifElse(binary(BinOp::kEq, index("arr", var("i")), var("needle")),
+             {assign("found", cast(var("i"), 8, false)), },
+             {}));
+  loop.push_back(breakIf(binary(BinOp::kNe, var("found"), constantU(8, 255))));
+  f.body = {
+      declArray("arr", 8, false, constantU(32, 3)),
+      assignIndex("arr", constantU(2, 0), var("a0")),
+      assignIndex("arr", constantU(2, 1), var("a1")),
+      assignIndex("arr", constantU(2, 2), var("a2")),
+      declVar("found", 8, false),
+      assign("found", constantU(8, 255)),
+      forLoop("i", constantU(32, 3), loop),
+      returnStmt(var("found")),
+  };
+  EXPECT_TRUE(lint(f).empty());
+  ir::Context ctx;
+  Elaboration e = elaborate(f, ctx);
+  ASSERT_TRUE(e.ok);
+
+  Interpreter interp(f);
+  ir::TsSimulator sim(*e.ts);
+  // Duplicate needle: must report the FIRST index (break semantics).
+  auto check = [&](unsigned a0, unsigned a1, unsigned a2, unsigned n) {
+    std::vector<BitVector> args{
+        BitVector::fromUint(8, a0), BitVector::fromUint(8, a1),
+        BitVector::fromUint(8, a2), BitVector::fromUint(8, n)};
+    const BitVector expected = interp.run(args);
+    std::vector<ir::Value> inputs(args.begin(), args.end());
+    EXPECT_EQ(sim.step(inputs).outputs[0].scalar, expected);
+    return expected.toUint64();
+  };
+  EXPECT_EQ(check(7, 7, 7, 7), 0u);
+  EXPECT_EQ(check(1, 7, 7, 7), 1u);
+  EXPECT_EQ(check(1, 2, 7, 7), 2u);
+  EXPECT_EQ(check(1, 2, 3, 7), 255u);
+}
+
+TEST(SlmcElaborate, UnrollBudgetEnforced) {
+  Function f;
+  f.name = "huge";
+  f.params = {{"a", 8, false}};
+  f.returnWidth = 8;
+  f.body = {
+      declVar("x", 8, false),
+      forLoop("i", constantU(32, 1u << 20), {assign("x", var("a"))}),
+      returnStmt(var("x")),
+  };
+  ir::Context ctx;
+  Elaboration e = elaborate(f, ctx, "", ElaborateOptions{.maxUnrollIterations = 1000});
+  EXPECT_FALSE(e.ok);
+}
+
+}  // namespace
+}  // namespace dfv::slmc
