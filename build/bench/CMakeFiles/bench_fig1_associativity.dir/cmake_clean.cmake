@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_associativity.dir/bench_fig1_associativity.cpp.o"
+  "CMakeFiles/bench_fig1_associativity.dir/bench_fig1_associativity.cpp.o.d"
+  "bench_fig1_associativity"
+  "bench_fig1_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_constrained.dir/bench_fp_constrained.cpp.o"
+  "CMakeFiles/bench_fp_constrained.dir/bench_fp_constrained.cpp.o.d"
+  "bench_fp_constrained"
+  "bench_fp_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incremental_sec.dir/bench_incremental_sec.cpp.o"
+  "CMakeFiles/bench_incremental_sec.dir/bench_incremental_sec.cpp.o.d"
+  "bench_incremental_sec"
+  "bench_incremental_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_unit.dir/fp_unit.cpp.o"
+  "CMakeFiles/fp_unit.dir/fp_unit.cpp.o.d"
+  "fp_unit"
+  "fp_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_flow.dir/soc_flow.cpp.o"
+  "CMakeFiles/soc_flow.dir/soc_flow.cpp.o.d"
+  "soc_flow"
+  "soc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_aig.dir/aig/aig.cpp.o"
+  "CMakeFiles/dfv_aig.dir/aig/aig.cpp.o.d"
+  "CMakeFiles/dfv_aig.dir/aig/bitblast.cpp.o"
+  "CMakeFiles/dfv_aig.dir/aig/bitblast.cpp.o.d"
+  "CMakeFiles/dfv_aig.dir/aig/cnf.cpp.o"
+  "CMakeFiles/dfv_aig.dir/aig/cnf.cpp.o.d"
+  "libdfv_aig.a"
+  "libdfv_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

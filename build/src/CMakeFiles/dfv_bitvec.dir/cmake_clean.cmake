@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_bitvec.dir/bitvec/bitvector.cpp.o"
+  "CMakeFiles/dfv_bitvec.dir/bitvec/bitvector.cpp.o.d"
+  "libdfv_bitvec.a"
+  "libdfv_bitvec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_bitvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

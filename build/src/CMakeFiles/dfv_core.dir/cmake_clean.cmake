@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_core.dir/core/plan.cpp.o"
+  "CMakeFiles/dfv_core.dir/core/plan.cpp.o.d"
+  "CMakeFiles/dfv_core.dir/core/report.cpp.o"
+  "CMakeFiles/dfv_core.dir/core/report.cpp.o.d"
+  "libdfv_core.a"
+  "libdfv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

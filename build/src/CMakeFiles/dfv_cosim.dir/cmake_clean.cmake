@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_cosim.dir/cosim/scoreboard.cpp.o"
+  "CMakeFiles/dfv_cosim.dir/cosim/scoreboard.cpp.o.d"
+  "CMakeFiles/dfv_cosim.dir/cosim/wrapped_rtl.cpp.o"
+  "CMakeFiles/dfv_cosim.dir/cosim/wrapped_rtl.cpp.o.d"
+  "libdfv_cosim.a"
+  "libdfv_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/conv.cpp" "src/CMakeFiles/dfv_designs.dir/designs/conv.cpp.o" "gcc" "src/CMakeFiles/dfv_designs.dir/designs/conv.cpp.o.d"
+  "/root/repo/src/designs/fir.cpp" "src/CMakeFiles/dfv_designs.dir/designs/fir.cpp.o" "gcc" "src/CMakeFiles/dfv_designs.dir/designs/fir.cpp.o.d"
+  "/root/repo/src/designs/fpadd.cpp" "src/CMakeFiles/dfv_designs.dir/designs/fpadd.cpp.o" "gcc" "src/CMakeFiles/dfv_designs.dir/designs/fpadd.cpp.o.d"
+  "/root/repo/src/designs/gcd.cpp" "src/CMakeFiles/dfv_designs.dir/designs/gcd.cpp.o" "gcc" "src/CMakeFiles/dfv_designs.dir/designs/gcd.cpp.o.d"
+  "/root/repo/src/designs/macpipe.cpp" "src/CMakeFiles/dfv_designs.dir/designs/macpipe.cpp.o" "gcc" "src/CMakeFiles/dfv_designs.dir/designs/macpipe.cpp.o.d"
+  "/root/repo/src/designs/memsys.cpp" "src/CMakeFiles/dfv_designs.dir/designs/memsys.cpp.o" "gcc" "src/CMakeFiles/dfv_designs.dir/designs/memsys.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfv_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_slmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_sec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_slm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_bitvec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

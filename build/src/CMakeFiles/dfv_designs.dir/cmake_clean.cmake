@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_designs.dir/designs/conv.cpp.o"
+  "CMakeFiles/dfv_designs.dir/designs/conv.cpp.o.d"
+  "CMakeFiles/dfv_designs.dir/designs/fir.cpp.o"
+  "CMakeFiles/dfv_designs.dir/designs/fir.cpp.o.d"
+  "CMakeFiles/dfv_designs.dir/designs/fpadd.cpp.o"
+  "CMakeFiles/dfv_designs.dir/designs/fpadd.cpp.o.d"
+  "CMakeFiles/dfv_designs.dir/designs/gcd.cpp.o"
+  "CMakeFiles/dfv_designs.dir/designs/gcd.cpp.o.d"
+  "CMakeFiles/dfv_designs.dir/designs/macpipe.cpp.o"
+  "CMakeFiles/dfv_designs.dir/designs/macpipe.cpp.o.d"
+  "CMakeFiles/dfv_designs.dir/designs/memsys.cpp.o"
+  "CMakeFiles/dfv_designs.dir/designs/memsys.cpp.o.d"
+  "libdfv_designs.a"
+  "libdfv_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fp/circuits.cpp" "src/CMakeFiles/dfv_fp.dir/fp/circuits.cpp.o" "gcc" "src/CMakeFiles/dfv_fp.dir/fp/circuits.cpp.o.d"
+  "/root/repo/src/fp/softfloat.cpp" "src/CMakeFiles/dfv_fp.dir/fp/softfloat.cpp.o" "gcc" "src/CMakeFiles/dfv_fp.dir/fp/softfloat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_bitvec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

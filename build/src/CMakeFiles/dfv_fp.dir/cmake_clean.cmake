@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_fp.dir/fp/circuits.cpp.o"
+  "CMakeFiles/dfv_fp.dir/fp/circuits.cpp.o.d"
+  "CMakeFiles/dfv_fp.dir/fp/softfloat.cpp.o"
+  "CMakeFiles/dfv_fp.dir/fp/softfloat.cpp.o.d"
+  "libdfv_fp.a"
+  "libdfv_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

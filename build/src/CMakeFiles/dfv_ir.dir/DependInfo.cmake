@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/eval.cpp" "src/CMakeFiles/dfv_ir.dir/ir/eval.cpp.o" "gcc" "src/CMakeFiles/dfv_ir.dir/ir/eval.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/dfv_ir.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/dfv_ir.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/print.cpp" "src/CMakeFiles/dfv_ir.dir/ir/print.cpp.o" "gcc" "src/CMakeFiles/dfv_ir.dir/ir/print.cpp.o.d"
+  "/root/repo/src/ir/transition_system.cpp" "src/CMakeFiles/dfv_ir.dir/ir/transition_system.cpp.o" "gcc" "src/CMakeFiles/dfv_ir.dir/ir/transition_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfv_bitvec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_ir.dir/ir/eval.cpp.o"
+  "CMakeFiles/dfv_ir.dir/ir/eval.cpp.o.d"
+  "CMakeFiles/dfv_ir.dir/ir/expr.cpp.o"
+  "CMakeFiles/dfv_ir.dir/ir/expr.cpp.o.d"
+  "CMakeFiles/dfv_ir.dir/ir/print.cpp.o"
+  "CMakeFiles/dfv_ir.dir/ir/print.cpp.o.d"
+  "CMakeFiles/dfv_ir.dir/ir/transition_system.cpp.o"
+  "CMakeFiles/dfv_ir.dir/ir/transition_system.cpp.o.d"
+  "libdfv_ir.a"
+  "libdfv_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

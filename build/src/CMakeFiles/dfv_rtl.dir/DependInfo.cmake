@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/lower.cpp" "src/CMakeFiles/dfv_rtl.dir/rtl/lower.cpp.o" "gcc" "src/CMakeFiles/dfv_rtl.dir/rtl/lower.cpp.o.d"
+  "/root/repo/src/rtl/mutate.cpp" "src/CMakeFiles/dfv_rtl.dir/rtl/mutate.cpp.o" "gcc" "src/CMakeFiles/dfv_rtl.dir/rtl/mutate.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/CMakeFiles/dfv_rtl.dir/rtl/netlist.cpp.o" "gcc" "src/CMakeFiles/dfv_rtl.dir/rtl/netlist.cpp.o.d"
+  "/root/repo/src/rtl/sim.cpp" "src/CMakeFiles/dfv_rtl.dir/rtl/sim.cpp.o" "gcc" "src/CMakeFiles/dfv_rtl.dir/rtl/sim.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/CMakeFiles/dfv_rtl.dir/rtl/vcd.cpp.o" "gcc" "src/CMakeFiles/dfv_rtl.dir/rtl/vcd.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/CMakeFiles/dfv_rtl.dir/rtl/verilog.cpp.o" "gcc" "src/CMakeFiles/dfv_rtl.dir/rtl/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_bitvec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

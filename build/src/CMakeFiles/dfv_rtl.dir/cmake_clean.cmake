@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_rtl.dir/rtl/lower.cpp.o"
+  "CMakeFiles/dfv_rtl.dir/rtl/lower.cpp.o.d"
+  "CMakeFiles/dfv_rtl.dir/rtl/mutate.cpp.o"
+  "CMakeFiles/dfv_rtl.dir/rtl/mutate.cpp.o.d"
+  "CMakeFiles/dfv_rtl.dir/rtl/netlist.cpp.o"
+  "CMakeFiles/dfv_rtl.dir/rtl/netlist.cpp.o.d"
+  "CMakeFiles/dfv_rtl.dir/rtl/sim.cpp.o"
+  "CMakeFiles/dfv_rtl.dir/rtl/sim.cpp.o.d"
+  "CMakeFiles/dfv_rtl.dir/rtl/vcd.cpp.o"
+  "CMakeFiles/dfv_rtl.dir/rtl/vcd.cpp.o.d"
+  "CMakeFiles/dfv_rtl.dir/rtl/verilog.cpp.o"
+  "CMakeFiles/dfv_rtl.dir/rtl/verilog.cpp.o.d"
+  "libdfv_rtl.a"
+  "libdfv_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

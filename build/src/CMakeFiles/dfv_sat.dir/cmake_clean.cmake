@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_sat.dir/sat/solver.cpp.o"
+  "CMakeFiles/dfv_sat.dir/sat/solver.cpp.o.d"
+  "libdfv_sat.a"
+  "libdfv_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_sec.dir/sec/engine.cpp.o"
+  "CMakeFiles/dfv_sec.dir/sec/engine.cpp.o.d"
+  "libdfv_sec.a"
+  "libdfv_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_slm.dir/slm/kernel.cpp.o"
+  "CMakeFiles/dfv_slm.dir/slm/kernel.cpp.o.d"
+  "libdfv_slm.a"
+  "libdfv_slm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_slm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slmc/ast.cpp" "src/CMakeFiles/dfv_slmc.dir/slmc/ast.cpp.o" "gcc" "src/CMakeFiles/dfv_slmc.dir/slmc/ast.cpp.o.d"
+  "/root/repo/src/slmc/elaborate.cpp" "src/CMakeFiles/dfv_slmc.dir/slmc/elaborate.cpp.o" "gcc" "src/CMakeFiles/dfv_slmc.dir/slmc/elaborate.cpp.o.d"
+  "/root/repo/src/slmc/interp.cpp" "src/CMakeFiles/dfv_slmc.dir/slmc/interp.cpp.o" "gcc" "src/CMakeFiles/dfv_slmc.dir/slmc/interp.cpp.o.d"
+  "/root/repo/src/slmc/lint.cpp" "src/CMakeFiles/dfv_slmc.dir/slmc/lint.cpp.o" "gcc" "src/CMakeFiles/dfv_slmc.dir/slmc/lint.cpp.o.d"
+  "/root/repo/src/slmc/print.cpp" "src/CMakeFiles/dfv_slmc.dir/slmc/print.cpp.o" "gcc" "src/CMakeFiles/dfv_slmc.dir/slmc/print.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_bitvec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_slmc.dir/slmc/ast.cpp.o"
+  "CMakeFiles/dfv_slmc.dir/slmc/ast.cpp.o.d"
+  "CMakeFiles/dfv_slmc.dir/slmc/elaborate.cpp.o"
+  "CMakeFiles/dfv_slmc.dir/slmc/elaborate.cpp.o.d"
+  "CMakeFiles/dfv_slmc.dir/slmc/interp.cpp.o"
+  "CMakeFiles/dfv_slmc.dir/slmc/interp.cpp.o.d"
+  "CMakeFiles/dfv_slmc.dir/slmc/lint.cpp.o"
+  "CMakeFiles/dfv_slmc.dir/slmc/lint.cpp.o.d"
+  "CMakeFiles/dfv_slmc.dir/slmc/print.cpp.o"
+  "CMakeFiles/dfv_slmc.dir/slmc/print.cpp.o.d"
+  "libdfv_slmc.a"
+  "libdfv_slmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_slmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

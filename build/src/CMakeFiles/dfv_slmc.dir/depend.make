@@ -1,0 +1,2 @@
+# Empty dependencies file for dfv_slmc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfv_workload.dir/workload/workload.cpp.o"
+  "CMakeFiles/dfv_workload.dir/workload/workload.cpp.o.d"
+  "libdfv_workload.a"
+  "libdfv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

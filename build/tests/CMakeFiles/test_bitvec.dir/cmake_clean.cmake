@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitvec.dir/bitvec_test.cpp.o"
+  "CMakeFiles/test_bitvec.dir/bitvec_test.cpp.o.d"
+  "CMakeFiles/test_bitvec.dir/hdl_int_test.cpp.o"
+  "CMakeFiles/test_bitvec.dir/hdl_int_test.cpp.o.d"
+  "test_bitvec"
+  "test_bitvec.pdb"
+  "test_bitvec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitvec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

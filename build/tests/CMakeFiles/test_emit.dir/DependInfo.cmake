@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/emit_test.cpp" "tests/CMakeFiles/test_emit.dir/emit_test.cpp.o" "gcc" "tests/CMakeFiles/test_emit.dir/emit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dfv_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_slmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_slm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_sec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_aig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_bitvec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dfv_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slm.dir/slm_test.cpp.o"
+  "CMakeFiles/test_slm.dir/slm_test.cpp.o.d"
+  "test_slm"
+  "test_slm.pdb"
+  "test_slm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slm_models.dir/slm_models_test.cpp.o"
+  "CMakeFiles/test_slm_models.dir/slm_models_test.cpp.o.d"
+  "test_slm_models"
+  "test_slm_models.pdb"
+  "test_slm_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slmc.dir/slmc_test.cpp.o"
+  "CMakeFiles/test_slmc.dir/slmc_test.cpp.o.d"
+  "test_slmc"
+  "test_slmc.pdb"
+  "test_slmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

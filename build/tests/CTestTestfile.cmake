@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitvec[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_slm[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_aig[1]_include.cmake")
+include("/root/repo/build/tests/test_sec[1]_include.cmake")
+include("/root/repo/build/tests/test_fp[1]_include.cmake")
+include("/root/repo/build/tests/test_cosim[1]_include.cmake")
+include("/root/repo/build/tests/test_slmc[1]_include.cmake")
+include("/root/repo/build/tests/test_designs[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_emit[1]_include.cmake")
+include("/root/repo/build/tests/test_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_mutation[1]_include.cmake")
+include("/root/repo/build/tests/test_slm_models[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
