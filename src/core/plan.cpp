@@ -17,6 +17,7 @@ std::string PlanReport::summary() const {
   std::ostringstream os;
   os << verified << " verified, " << skipped << " skipped, " << failed
      << " failed in " << totalSeconds << "s";
+  if (blocked > 0) os << " (" << blocked << " blocked by DRC)";
   return os.str();
 }
 
@@ -60,11 +61,32 @@ void VerificationPlan::touch(const std::string& block,
   find(block).digest = newDigest;
 }
 
+void VerificationPlan::setBlockDrc(const std::string& block,
+                                   std::function<drc::DrcReport()> runner) {
+  DFV_CHECK_MSG(runner != nullptr, "null DRC runner");
+  find(block).drcRunner = std::move(runner);
+}
+
 BlockResult VerificationPlan::runEntry(Entry& e) {
   BlockResult r;
   r.block = e.block;
   r.method = e.method;
   const auto start = std::chrono::steady_clock::now();
+  if (e.drcRunner && drcPolicy_ != DrcPolicy::kOff) {
+    r.drc = e.drcRunner();
+    if (drcPolicy_ == DrcPolicy::kBlock && r.drc->errors() > 0) {
+      // The pair is not verifiable as written; running the prover would
+      // waste time or, worse, pass vacuously.  Fail the block up front.
+      r.passed = false;
+      r.blockedByDrc = true;
+      r.detail = "blocked by DRC: " + r.drc->summary();
+      r.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      e.lastCleanDigest.reset();
+      return r;
+    }
+  }
   if (e.method == Method::kSec) {
     const sec::SecResult sr = e.secRunner();
     r.passed = sr.verdict != sec::Verdict::kNotEquivalent;
@@ -94,6 +116,7 @@ PlanReport VerificationPlan::runAll() {
     BlockResult r = runEntry(e);
     report.totalSeconds += r.seconds;
     ++(r.passed ? report.verified : report.failed);
+    if (r.blockedByDrc) ++report.blocked;
     report.blocks.push_back(std::move(r));
   }
   return report;
@@ -116,6 +139,7 @@ PlanReport VerificationPlan::runIncremental() {
     BlockResult r = runEntry(e);
     report.totalSeconds += r.seconds;
     ++(r.passed ? report.verified : report.failed);
+    if (r.blockedByDrc) ++report.blocked;
     report.blocks.push_back(std::move(r));
   }
   return report;

@@ -2,49 +2,34 @@
 
 #include <sstream>
 
+#include "drc/diagnostics.h"
+
 namespace dfv::core {
 
-namespace {
-/// Escapes a string for a JSON value (the characters our details can hold).
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-}  // namespace
+using drc::jsonEscape;
 
 std::string toJson(const std::string& planName, const PlanReport& report) {
   std::ostringstream os;
   os << "{\"plan\":\"" << jsonEscape(planName) << "\",";
   os << "\"summary\":{\"verified\":" << report.verified
      << ",\"skipped\":" << report.skipped << ",\"failed\":" << report.failed
+     << ",\"blocked\":" << report.blocked
      << ",\"total_seconds\":" << report.totalSeconds
      << ",\"all_passed\":" << (report.allPassed() ? "true" : "false") << "},";
   os << "\"blocks\":[";
   for (std::size_t i = 0; i < report.blocks.size(); ++i) {
     const BlockResult& b = report.blocks[i];
     if (i > 0) os << ',';
+    const char* status = b.skippedUnchanged ? "skipped"
+                         : b.blockedByDrc   ? "blocked"
+                         : b.passed         ? "pass"
+                                            : "fail";
     os << "{\"name\":\"" << jsonEscape(b.block) << "\",\"method\":\""
        << (b.method == Method::kSec ? "sec" : "cosim") << "\",\"status\":\""
-       << (b.skippedUnchanged ? "skipped" : (b.passed ? "pass" : "fail"))
-       << "\",\"seconds\":" << b.seconds << ",\"detail\":\""
-       << jsonEscape(b.detail) << "\"}";
+       << status << "\",\"seconds\":" << b.seconds << ",\"detail\":\""
+       << jsonEscape(b.detail) << "\"";
+    if (b.drc.has_value()) os << ",\"drc\":" << b.drc->toJson();
+    os << "}";
   }
   os << "]}";
   return os.str();

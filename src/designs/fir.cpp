@@ -115,11 +115,16 @@ ir::TransitionSystem makeFirSlmTs(ir::Context& ctx) {
 }
 
 FirSecSetup makeFirSecProblem(ir::Context& ctx, FirBug bug) {
+  return makeFirSecProblemFor(ctx, makeFirRtl(bug));
+}
+
+FirSecSetup makeFirSecProblemFor(ir::Context& ctx,
+                                 const rtl::Module& rtlModule) {
   FirSecSetup setup;
   setup.slm =
       std::make_unique<ir::TransitionSystem>(makeFirSlmTs(ctx));
   setup.rtl = std::make_unique<ir::TransitionSystem>(
-      rtl::lowerToTransitionSystem(makeFirRtl(bug), ctx, "r."));
+      rtl::lowerToTransitionSystem(rtlModule, ctx, "r."));
   setup.problem = std::make_unique<sec::SecProblem>(ctx, *setup.slm, 1,
                                                     *setup.rtl, 1);
   sec::SecProblem& p = *setup.problem;

@@ -87,6 +87,12 @@ struct FirSecSetup {
   std::unique_ptr<sec::SecProblem> problem;
 };
 FirSecSetup makeFirSecProblem(ir::Context& ctx, FirBug bug);
+
+/// Same SEC problem over an arbitrary FIR-shaped RTL module (same ports and
+/// register names as makeFirRtl) — lets mutation studies and the DRC bench
+/// drive the standard transaction map over edited netlists.
+FirSecSetup makeFirSecProblemFor(ir::Context& ctx,
+                                 const rtl::Module& rtlModule);
 inline FirSecSetup makeFirSecProblem(ir::Context& ctx,
                                      bool narrowAccumulator) {
   return makeFirSecProblem(ctx, narrowAccumulator

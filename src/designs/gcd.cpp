@@ -63,6 +63,32 @@ slmc::Function makeGcdUnconditioned() {
   return f;
 }
 
+slmc::Function makeGcdBreakIf() {
+  // Identical algorithm and static bound, but the loop exits through
+  // breakIf and leaves the body unguarded.  Every conditioning rule is
+  // satisfied, yet each unrolled divider ends up guarded by the
+  // accumulated not-yet-broken flag — an or-chain over i+1 comparisons —
+  // instead of the single y != 0 test the FSM muxes on.
+  Function f;
+  f.name = "gcd_break";
+  f.params = {{"a", 8, false}, {"b", 8, false}};
+  f.returnWidth = 8;
+  f.returnSigned = false;
+  Block loop;
+  loop.push_back(breakIf(binary(BinOp::kEq, var("y"), constantU(8, 0))));
+  loop.push_back(assign("t", binary(BinOp::kMod, var("x"), var("y"))));
+  loop.push_back(assign("x", var("y")));
+  loop.push_back(assign("y", var("t")));
+  f.body = {
+      declVar("x", 8, false), assign("x", var("a")),
+      declVar("y", 8, false), assign("y", var("b")),
+      declVar("t", 8, false),
+      forLoop("i", constantU(32, kGcdMaxIterations), loop),
+      returnStmt(var("x")),
+  };
+  return f;
+}
+
 rtl::Module makeGcdRtl() {
   rtl::Module m("gcd_fsm");
   rtl::NetId start = m.addInput("start", 1);
@@ -81,10 +107,12 @@ rtl::Module makeGcdRtl() {
   return m;
 }
 
-GcdSecSetup makeGcdSecProblem(ir::Context& ctx) {
+namespace {
+
+GcdSecSetup makeSecFor(const slmc::Function& slmModel, ir::Context& ctx) {
   GcdSecSetup setup;
-  Elaboration e = elaborate(makeGcdConditioned(), ctx, "s.");
-  DFV_CHECK_MSG(e.ok, "conditioned gcd failed to elaborate");
+  Elaboration e = elaborate(slmModel, ctx, "s.");
+  DFV_CHECK_MSG(e.ok, "gcd model failed to elaborate");
   setup.slm = std::move(e.ts);
   setup.rtl = std::make_unique<ir::TransitionSystem>(
       rtl::lowerToTransitionSystem(makeGcdRtl(), ctx, "r."));
@@ -104,6 +132,16 @@ GcdSecSetup makeGcdSecProblem(ir::Context& ctx) {
   // SLM result vs RTL x register after the full iteration window.
   p.checkOutputs("ret", 0, "out", kGcdRtlCycles - 1);
   return setup;
+}
+
+}  // namespace
+
+GcdSecSetup makeGcdSecProblem(ir::Context& ctx) {
+  return makeSecFor(makeGcdConditioned(), ctx);
+}
+
+GcdSecSetup makeGcdBreakIfSecProblem(ir::Context& ctx) {
+  return makeSecFor(makeGcdBreakIf(), ctx);
 }
 
 }  // namespace dfv::designs

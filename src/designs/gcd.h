@@ -32,6 +32,14 @@ slmc::Function makeGcdConditioned();
 /// dynamic allocation (runnable, not analyzable).
 slmc::Function makeGcdUnconditioned();
 
+/// gcd(a, b) with a static bound and a breakIf exit instead of a guarded
+/// body.  Lints clean and elaborates — but the accumulated break flags
+/// produce multi-condition guards around each divider that never match the
+/// FSM's single y==0 mux tests, so structural merging fails and the
+/// induction must reason about 14 chained dividers (the DRC's
+/// sec-guard-accumulation rule exists to catch exactly this shape).
+slmc::Function makeGcdBreakIf();
+
 /// RTL FSM: inputs start/a[8]/b[8]; on start loads operands, then performs
 /// one Euclid step (x,y) <- (y, x mod y) per cycle while y != 0; outputs
 /// "out"[8] (current x) and "done"[1] (y == 0).
@@ -45,5 +53,11 @@ struct GcdSecSetup {
   std::unique_ptr<sec::SecProblem> problem;
 };
 GcdSecSetup makeGcdSecProblem(ir::Context& ctx);
+
+/// The same SEC problem built from the breakIf-accumulation model instead
+/// of the conditioned one.  Same transaction map, same RTL — only the SLM
+/// shape differs; bench_drc uses the pair to confirm the DRC's
+/// structural-merge prediction against measured induction behaviour.
+GcdSecSetup makeGcdBreakIfSecProblem(ir::Context& ctx);
 
 }  // namespace dfv::designs

@@ -17,16 +17,20 @@
 //   dfv::fp    — IEEE-754 and simplified-hardware floating point
 //   dfv::cosim — transactors, wrapped-RTL, timing-aligning scoreboards
 //   dfv::slmc  — conditioned algorithmic models: interp, lint, elaborate
+//   dfv::drc   — cross-layer design-rule checking and diagnostics
 //   dfv::core  — verification plans with incremental re-verification
+//                and DRC gating
 //   dfv::designs / dfv::workload — reference design pairs and stimulus
 #pragma once
 
 #include "bitvec/bitvector.h"       // IWYU pragma: export
 #include "bitvec/hdl_int.h"         // IWYU pragma: export
 #include "core/plan.h"              // IWYU pragma: export
+#include "core/report.h"            // IWYU pragma: export
 #include "cosim/rtl_in_slm.h"       // IWYU pragma: export
 #include "cosim/scoreboard.h"       // IWYU pragma: export
 #include "cosim/wrapped_rtl.h"      // IWYU pragma: export
+#include "drc/drc.h"                // IWYU pragma: export
 #include "fp/circuits.h"            // IWYU pragma: export
 #include "fp/softfloat.h"           // IWYU pragma: export
 #include "ir/eval.h"                // IWYU pragma: export

@@ -1,0 +1,148 @@
+#include "drc/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dfv::drc {
+
+const char* ruleName(Rule rule) {
+  switch (rule) {
+    case Rule::kUndrivenNet: return "undriven-net";
+    case Rule::kMultiplyDrivenNet: return "multiply-driven-net";
+    case Rule::kUnconnectedPort: return "unconnected-port";
+    case Rule::kWidthMismatch: return "width-mismatch";
+    case Rule::kUnconnectedRegister: return "unconnected-register";
+    case Rule::kDeadCell: return "dead-cell";
+    case Rule::kUnreachableMuxArm: return "unreachable-mux-arm";
+    case Rule::kConstantOutput: return "constant-output";
+    case Rule::kCombinationalCycle: return "combinational-cycle";
+    case Rule::kUnreadInput: return "unread-input";
+    case Rule::kLatentLatch: return "latent-latch";
+    case Rule::kMissingNext: return "missing-next";
+    case Rule::kConstantTsOutput: return "constant-ts-output";
+    case Rule::kVacuousConstraint: return "vacuous-constraint";
+    case Rule::kTrivialConstraint: return "trivial-constraint";
+    case Rule::kSecUnmappedInput: return "sec-unmapped-input";
+    case Rule::kSecUncheckedOutput: return "sec-unchecked-output";
+    case Rule::kSecGuardAccumulation: return "sec-guard-accumulation";
+    case Rule::kSecMulShapeMismatch: return "sec-mul-shape-mismatch";
+    case Rule::kSlmDynamicAllocation: return "slm-dynamic-allocation";
+    case Rule::kSlmPointerAliasing: return "slm-pointer-aliasing";
+    case Rule::kSlmNonStaticLoopBound: return "slm-non-static-loop-bound";
+    case Rule::kSlmExternalCall: return "slm-external-call";
+    case Rule::kSlmMisplacedReturn: return "slm-misplaced-return";
+    case Rule::kSlmMissingReturn: return "slm-missing-return";
+    case Rule::kSlmBreakOutsideLoop: return "slm-break-outside-loop";
+  }
+  DFV_UNREACHABLE("bad drc rule");
+}
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  DFV_UNREACHABLE("bad severity");
+}
+
+const char* layerName(Layer l) {
+  switch (l) {
+    case Layer::kSlm: return "slm";
+    case Layer::kIr: return "ir";
+    case Layer::kRtl: return "rtl";
+    case Layer::kSec: return "sec";
+  }
+  DFV_UNREACHABLE("bad layer");
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << severityName(severity) << '[' << ruleName(rule) << "] "
+     << layerName(layer) << ' ' << location << ": " << message;
+  return os.str();
+}
+
+void DrcReport::add(Rule rule, Severity severity, Layer layer,
+                    std::string location, std::string message) {
+  diags_.push_back(Diagnostic{rule, severity, layer, std::move(location),
+                              std::move(message)});
+}
+
+unsigned DrcReport::count(Severity s) const {
+  unsigned n = 0;
+  for (const auto& d : diags_) n += d.severity == s;
+  return n;
+}
+
+bool DrcReport::fired(Rule rule) const {
+  return std::any_of(diags_.begin(), diags_.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::vector<Rule> DrcReport::firedRules() const {
+  std::vector<Rule> rules;
+  for (const auto& d : diags_)
+    if (std::find(rules.begin(), rules.end(), d.rule) == rules.end())
+      rules.push_back(d.rule);
+  return rules;
+}
+
+std::string DrcReport::summary() const {
+  std::ostringstream os;
+  os << errors() << " error" << (errors() == 1 ? "" : "s") << ", "
+     << warnings() << " warning" << (warnings() == 1 ? "" : "s");
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::kError) {
+      os << "; first: " << d.str();
+      break;
+    }
+  }
+  return os.str();
+}
+
+void DrcReport::merge(const DrcReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string DrcReport::toJson() const {
+  std::ostringstream os;
+  os << "{\"errors\":" << errors() << ",\"warnings\":" << warnings()
+     << ",\"infos\":" << count(Severity::kInfo)
+     << ",\"clean\":" << (clean() ? "true" : "false") << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i > 0) os << ',';
+    os << "{\"rule\":\"" << ruleName(d.rule) << "\",\"severity\":\""
+       << severityName(d.severity) << "\",\"layer\":\"" << layerName(d.layer)
+       << "\",\"location\":\"" << jsonEscape(d.location)
+       << "\",\"message\":\"" << jsonEscape(d.message) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace dfv::drc

@@ -1,0 +1,26 @@
+#include "drc/drc.h"
+
+namespace dfv::drc {
+
+DrcReport runDrc(const DrcInputs& inputs) {
+  DrcReport report;
+  for (const auto& [name, f] : inputs.slmFunctions)
+    checkSlmConditioning(*f, name, report);
+  for (const auto& [name, ts] : inputs.systems)
+    checkTransitionSystem(*ts, name, report);
+  for (const auto& [name, m] : inputs.modules)
+    checkNetlist(*m, name, report);
+  for (const auto& [name, p] : inputs.secProblems)
+    checkSecShape(*p, name, report);
+  return report;
+}
+
+DrcReport runDrc(const sec::SecProblem& problem, const std::string& name) {
+  DrcInputs in;
+  in.addSystem(name + "/slm", problem.side(sec::Side::kSlm))
+      .addSystem(name + "/rtl", problem.side(sec::Side::kRtl))
+      .addSecProblem(name, problem);
+  return runDrc(in);
+}
+
+}  // namespace dfv::drc

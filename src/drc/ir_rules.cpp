@@ -1,0 +1,150 @@
+#include "drc/ir_rules.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "ir/eval.h"
+
+namespace dfv::drc {
+
+namespace {
+
+/// Collects every leaf reachable from `root` into `leaves` (memoized across
+/// roots via `visited`).
+void collectLeaves(ir::NodeRef root, std::unordered_set<ir::NodeRef>& visited,
+                   std::unordered_set<ir::NodeRef>& leaves) {
+  if (root == nullptr || visited.count(root)) return;
+  std::vector<ir::NodeRef> stack{root};
+  while (!stack.empty()) {
+    const ir::NodeRef n = stack.back();
+    stack.pop_back();
+    if (!visited.insert(n).second) continue;
+    if (n->isLeaf()) {
+      if (n->op() != ir::Op::kConst) leaves.insert(n);
+      continue;
+    }
+    for (ir::NodeRef op : n->operands()) stack.push_back(op);
+  }
+}
+
+class TsChecker {
+ public:
+  TsChecker(const ir::TransitionSystem& ts, const std::string& where,
+            DrcReport& out)
+      : ts_(ts), where_(where.empty() ? ts.name() : where), out_(out) {}
+
+  void run() {
+    collectReadLeaves();
+    checkInputs();
+    checkStates();
+    checkOutputs();
+    checkConstraints();
+  }
+
+ private:
+  void add(Rule r, Severity s, std::string loc, std::string msg) {
+    out_.add(r, s, Layer::kIr, where_ + "/" + std::move(loc), std::move(msg));
+  }
+
+  /// Every leaf read by some next function, output, or constraint.
+  void collectReadLeaves() {
+    std::unordered_set<ir::NodeRef> visited;
+    for (const auto& sv : ts_.states())
+      collectLeaves(sv.next, visited, readLeaves_);
+    for (const auto& o : ts_.outputs()) {
+      collectLeaves(o.expr, visited, readLeaves_);
+      collectLeaves(o.valid, visited, readLeaves_);
+    }
+    for (ir::NodeRef c : ts_.constraints())
+      collectLeaves(c, visited, readLeaves_);
+  }
+
+  void checkInputs() {
+    // Info, not warning: constant folding legitimately severs inputs (a
+    // kernel coefficient of zero folds the whole tap away — conv's sharpen
+    // kernel does exactly that on both sides), so an unread input is worth
+    // a note but must not dirty a well-formed design.
+    for (ir::NodeRef in : ts_.inputs()) {
+      if (!readLeaves_.count(in))
+        add(Rule::kUnreadInput, Severity::kInfo, "input '" + in->name() +
+                "'",
+            "never read by any next-state function, output or constraint");
+    }
+  }
+
+  void checkStates() {
+    for (const auto& sv : ts_.states()) {
+      if (sv.next == nullptr) {
+        add(Rule::kMissingNext, Severity::kError,
+            "state '" + sv.name() + "'", "has no next-state function");
+        continue;
+      }
+      if (sv.next == sv.current) {
+        // Frozen at reset forever.  For arrays that is the ROM idiom, so
+        // only scalars get a warning.
+        const bool rom = sv.current->type().isArray();
+        add(Rule::kLatentLatch, rom ? Severity::kInfo : Severity::kWarning,
+            "state '" + sv.name() + "'",
+            std::string("next state is the identity: value is frozen at its "
+                        "reset value") +
+                (rom ? " (read-only memory)" : " (latent latch)"));
+        frozen_.insert(sv.current);
+      }
+    }
+  }
+
+  /// True when every leaf under `n` is a frozen state (so the expression has
+  /// the same value at every step); fills `env` with their init values.
+  bool conePinned(ir::NodeRef n, ir::Env& env) const {
+    std::unordered_set<ir::NodeRef> visited, leaves;
+    collectLeaves(n, visited, leaves);
+    for (ir::NodeRef leaf : leaves) {
+      if (!frozen_.count(leaf)) return false;
+      for (const auto& sv : ts_.states())
+        if (sv.current == leaf) env.emplace(leaf, sv.init);
+    }
+    return true;
+  }
+
+  void checkOutputs() {
+    for (const auto& o : ts_.outputs()) {
+      ir::Env env;
+      if (!conePinned(o.expr, env)) continue;
+      const ir::Value v = ir::Evaluator::evaluate(o.expr, env);
+      if (v.isArray) continue;
+      add(Rule::kConstantTsOutput, Severity::kWarning,
+          "output '" + o.name + "'",
+          "provably constant " + v.scalar.toString(16) + " at every step");
+    }
+  }
+
+  void checkConstraints() {
+    for (std::size_t i = 0; i < ts_.constraints().size(); ++i) {
+      const ir::NodeRef c = ts_.constraints()[i];
+      const std::string loc = "constraint#" + std::to_string(i);
+      if (c->op() != ir::Op::kConst) continue;
+      if (c->constValue().isZero())
+        add(Rule::kVacuousConstraint, Severity::kError, loc,
+            "constant false: assumes away every behaviour, all checks pass "
+            "vacuously");
+      else
+        add(Rule::kTrivialConstraint, Severity::kInfo, loc,
+            "constant true: constrains nothing");
+    }
+  }
+
+  const ir::TransitionSystem& ts_;
+  std::string where_;
+  DrcReport& out_;
+  std::unordered_set<ir::NodeRef> readLeaves_;
+  std::unordered_set<ir::NodeRef> frozen_;
+};
+
+}  // namespace
+
+void checkTransitionSystem(const ir::TransitionSystem& ts,
+                           const std::string& where, DrcReport& out) {
+  TsChecker(ts, where, out).run();
+}
+
+}  // namespace dfv::drc

@@ -1,0 +1,24 @@
+// TransitionSystem design rules.
+//
+// Both sides of an equivalence problem reduce to an ir::TransitionSystem, so
+// hazards visible at this layer apply equally to lowered RTL and conditioned
+// SLMs: inputs the logic never reads, state variables frozen at their reset
+// value (identity next — latent latches), states with no next function at
+// all, outputs that are provably the same value at every step, and
+// environment constraints that are vacuous (constant false assumes away every
+// behaviour) or trivial (constant true constrains nothing).
+#pragma once
+
+#include <string>
+
+#include "drc/diagnostics.h"
+#include "ir/transition_system.h"
+
+namespace dfv::drc {
+
+/// Appends diagnostics for `ts` to `out`; `where` prefixes every location
+/// (defaults to the system's name when empty).
+void checkTransitionSystem(const ir::TransitionSystem& ts,
+                           const std::string& where, DrcReport& out);
+
+}  // namespace dfv::drc

@@ -1,0 +1,31 @@
+// RTL netlist design rules.
+//
+// The netlist builder enforces most structural invariants at construction,
+// but modules assembled incrementally (registers wired later, cells replaced
+// by the mutation tooling, hand-built test fixtures) can still reach
+// simulation or lowering in states that make both throw mid-flight.  This
+// pass finds every such hazard up front and reports it as diagnostics
+// instead of a bare CheckError:
+//   * undriven nets feeding logic, multiply-driven nets,
+//   * unconnected ports (inputs never read, outputs never driven),
+//   * width-mismatched cell connections,
+//   * registers with no next-state driver,
+//   * dead cells (output reaches no port/register/memory),
+//   * unreachable mux arms and constant outputs, via constant propagation,
+//   * combinational cycles, with the full cell path.
+#pragma once
+
+#include <string>
+
+#include "drc/diagnostics.h"
+#include "rtl/netlist.h"
+
+namespace dfv::drc {
+
+/// Checks `m`'s own cells/registers/memories and recursively every
+/// instantiated child module (children get "inst." location prefixes).
+/// Appends diagnostics to `out`; `where` prefixes every location.
+void checkNetlist(const rtl::Module& m, const std::string& where,
+                  DrcReport& out);
+
+}  // namespace dfv::drc

@@ -1,0 +1,203 @@
+#include "drc/sec_rules.h"
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+namespace dfv::drc {
+
+namespace {
+
+using sec::SecProblem;
+using sec::Side;
+
+bool isExpensiveOp(ir::Op op) {
+  switch (op) {
+    case ir::Op::kMul:
+    case ir::Op::kUDiv:
+    case ir::Op::kURem:
+    case ir::Op::kSDiv:
+    case ir::Op::kSRem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* sideName(Side s) { return s == Side::kSlm ? "slm" : "rtl"; }
+
+/// Every expression the checker will actually elaborate for one side.
+std::vector<ir::NodeRef> sideRoots(const ir::TransitionSystem& ts) {
+  std::vector<ir::NodeRef> roots;
+  for (const auto& sv : ts.states())
+    if (sv.next != nullptr) roots.push_back(sv.next);
+  for (const auto& o : ts.outputs()) {
+    roots.push_back(o.expr);
+    if (o.valid != nullptr) roots.push_back(o.valid);
+  }
+  for (ir::NodeRef c : ts.constraints()) roots.push_back(c);
+  return roots;
+}
+
+/// Counts the distinct non-constant atoms of a 1-bit selector: the nodes
+/// reached by looking through 1-bit and/or/xor/not structure.  A conditioned
+/// guard is a single comparison (1 atom); breakIf accumulation produces
+/// not(or(and(...), ...)) chains over several comparisons (>= 2 atoms).
+std::size_t selectorAtomCount(ir::NodeRef sel) {
+  std::unordered_set<ir::NodeRef> atoms, visited;
+  std::vector<ir::NodeRef> stack{sel};
+  while (!stack.empty()) {
+    const ir::NodeRef n = stack.back();
+    stack.pop_back();
+    if (!visited.insert(n).second) continue;
+    const bool boolStructure =
+        n->width() == 1 && !n->type().isArray() &&
+        (n->op() == ir::Op::kAnd || n->op() == ir::Op::kOr ||
+         n->op() == ir::Op::kXor || n->op() == ir::Op::kNot);
+    if (boolStructure) {
+      for (ir::NodeRef op : n->operands()) stack.push_back(op);
+    } else if (n->op() != ir::Op::kConst) {
+      atoms.insert(n);
+    }
+  }
+  return atoms.size();
+}
+
+class SecShapeChecker {
+ public:
+  SecShapeChecker(const SecProblem& p, const std::string& where,
+                  DrcReport& out)
+      : p_(p), where_(where), out_(out) {}
+
+  void run() {
+    checkBindings();
+    checkOutputCoverage();
+    for (Side s : {Side::kSlm, Side::kRtl}) checkGuardAccumulation(s);
+    checkExpensiveOpShapes();
+  }
+
+ private:
+  void add(Rule r, Severity s, std::string loc, std::string msg) {
+    out_.add(r, s, Layer::kSec, where_ + "/" + std::move(loc),
+             std::move(msg));
+  }
+
+  void checkBindings() {
+    for (Side s : {Side::kSlm, Side::kRtl}) {
+      std::unordered_set<ir::NodeRef> bound;
+      for (const auto& b : p_.bindings())
+        if (b.side == s) bound.insert(b.input);
+      for (ir::NodeRef in : p_.side(s).inputs()) {
+        if (!bound.count(in))
+          add(Rule::kSecUnmappedInput, Severity::kWarning,
+              std::string(sideName(s)) + "/input '" + in->name() + "'",
+              "no transaction binding at any cycle: left universally "
+              "quantified, the induction must hold for every value");
+      }
+    }
+  }
+
+  void checkOutputCoverage() {
+    std::unordered_set<std::string> slmChecked, rtlChecked;
+    for (const auto& c : p_.checks()) {
+      slmChecked.insert(c.slmOutput);
+      rtlChecked.insert(c.rtlOutput);
+    }
+    for (const auto& o : p_.side(Side::kSlm).outputs()) {
+      if (!slmChecked.count(o.name))
+        add(Rule::kSecUncheckedOutput, Severity::kWarning,
+            "slm/output '" + o.name + "'",
+            "no output check samples it: SLM behaviour is unverified");
+    }
+    for (const auto& o : p_.side(Side::kRtl).outputs()) {
+      if (!rtlChecked.count(o.name))
+        add(Rule::kSecUncheckedOutput, Severity::kInfo,
+            "rtl/output '" + o.name + "'",
+            "no output check samples it (often intentional for "
+            "micro-architectural handshake outputs)");
+    }
+  }
+
+  void checkGuardAccumulation(Side s) {
+    std::unordered_set<ir::NodeRef> visited;
+    std::vector<ir::NodeRef> stack = sideRoots(p_.side(s));
+    while (!stack.empty()) {
+      const ir::NodeRef n = stack.back();
+      stack.pop_back();
+      if (n == nullptr || !visited.insert(n).second) continue;
+      for (ir::NodeRef op : n->operands()) stack.push_back(op);
+      if (n->op() != ir::Op::kMux) continue;
+      const bool expensiveArm = isExpensiveOp(n->operand(1)->op()) ||
+                                isExpensiveOp(n->operand(2)->op());
+      if (!expensiveArm) continue;
+      const std::size_t atoms = selectorAtomCount(n->operand(0));
+      if (atoms >= 2)
+        add(Rule::kSecGuardAccumulation, Severity::kWarning,
+            std::string(sideName(s)) + "/mux#" + std::to_string(n->id()),
+            "expensive op guarded by an accumulated selector (" +
+                std::to_string(atoms) +
+                " distinct conditions): will not merge structurally with a "
+                "single-comparison mux on the other side (rewrite with an "
+                "if-guarded body, see src/designs/gcd.cpp)");
+    }
+  }
+
+  /// Signature of one expensive op: kind, width, operand shape.  Constant
+  /// operands are part of the shape because BitBlaster::multiplier
+  /// canonicalizes (value, constant) operand order — two sides merge only
+  /// when widths and constants line up.
+  static std::string signature(ir::NodeRef n) {
+    ir::NodeRef a = n->operand(0);
+    ir::NodeRef b = n->operand(1);
+    if (n->op() == ir::Op::kMul && a->op() == ir::Op::kConst &&
+        b->op() != ir::Op::kConst)
+      std::swap(a, b);  // mirror the blaster's canonicalization
+    auto opnd = [](ir::NodeRef x) {
+      return x->op() == ir::Op::kConst ? x->constValue().toString(16)
+                                       : std::string("*");
+    };
+    return std::string(ir::opName(n->op())) + ":w" +
+           std::to_string(n->width()) + "(" + opnd(a) + "," + opnd(b) + ")";
+  }
+
+  void checkExpensiveOpShapes() {
+    std::set<std::string> sigs[2];
+    for (Side s : {Side::kSlm, Side::kRtl}) {
+      std::unordered_set<ir::NodeRef> visited;
+      std::vector<ir::NodeRef> stack = sideRoots(p_.side(s));
+      while (!stack.empty()) {
+        const ir::NodeRef n = stack.back();
+        stack.pop_back();
+        if (n == nullptr || !visited.insert(n).second) continue;
+        for (ir::NodeRef op : n->operands()) stack.push_back(op);
+        if (isExpensiveOp(n->op()))
+          sigs[s == Side::kSlm ? 0 : 1].insert(signature(n));
+      }
+    }
+    for (Side s : {Side::kSlm, Side::kRtl}) {
+      const auto& mine = sigs[s == Side::kSlm ? 0 : 1];
+      const auto& theirs = sigs[s == Side::kSlm ? 1 : 0];
+      for (const auto& sig : mine) {
+        if (!theirs.count(sig))
+          add(Rule::kSecMulShapeMismatch, Severity::kWarning,
+              std::string(sideName(s)) + "/" + sig,
+              "expensive op shape has no counterpart on the other side: "
+              "the bit-blaster cannot merge it, the induction carries the "
+              "full op");
+      }
+    }
+  }
+
+  const SecProblem& p_;
+  std::string where_;
+  DrcReport& out_;
+};
+
+}  // namespace
+
+void checkSecShape(const SecProblem& problem, const std::string& where,
+                   DrcReport& out) {
+  SecShapeChecker(problem, where, out).run();
+}
+
+}  // namespace dfv::drc

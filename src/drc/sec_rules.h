@@ -1,0 +1,31 @@
+// SEC-shape verifiability rules.
+//
+// SEC in this reproduction scales only through structural merging (shared
+// AIG variables for equality-shaped coupling invariants, and
+// BitBlaster::multiplier canonicalizing constant operands).  These rules
+// predict — before any induction is attempted — the problem shapes that
+// defeat merging:
+//   * inputs with no transaction binding (universally quantified every
+//     cycle: usually an authoring gap, always an induction burden),
+//   * outputs no check ever samples (silent coverage holes),
+//   * break-flag guard accumulation: an expensive op (mul/div/rem) muxed
+//     under a selector built from several accumulated conditions, which
+//     never matches the single-comparison mux shape of the stepping RTL
+//     (the gcd breakIf trap, see src/designs/gcd.cpp),
+//   * expensive-op shape mismatches between the sides (widths or constant
+//     operands that differ defeat multiplier canonicalization).
+#pragma once
+
+#include <string>
+
+#include "drc/diagnostics.h"
+#include "sec/transaction.h"
+
+namespace dfv::drc {
+
+/// Appends SEC-shape diagnostics for `problem` to `out`; `where` prefixes
+/// every location.
+void checkSecShape(const sec::SecProblem& problem, const std::string& where,
+                   DrcReport& out);
+
+}  // namespace dfv::drc

@@ -1,0 +1,42 @@
+#include "drc/slm_rules.h"
+
+#include "slmc/lint.h"
+
+namespace dfv::drc {
+
+namespace {
+
+Rule toDrcRule(slmc::LintRule r) {
+  switch (r) {
+    case slmc::LintRule::kDynamicAllocation:
+      return Rule::kSlmDynamicAllocation;
+    case slmc::LintRule::kPointerAliasing:
+      return Rule::kSlmPointerAliasing;
+    case slmc::LintRule::kNonStaticLoopBound:
+      return Rule::kSlmNonStaticLoopBound;
+    case slmc::LintRule::kExternalCall:
+      return Rule::kSlmExternalCall;
+    case slmc::LintRule::kMisplacedReturn:
+      return Rule::kSlmMisplacedReturn;
+    case slmc::LintRule::kMissingReturn:
+      return Rule::kSlmMissingReturn;
+    case slmc::LintRule::kBreakOutsideLoop:
+      return Rule::kSlmBreakOutsideLoop;
+  }
+  DFV_UNREACHABLE("unknown lint rule");
+}
+
+}  // namespace
+
+void checkSlmConditioning(const slmc::Function& f, const std::string& where,
+                          DrcReport& out) {
+  const std::string prefix = where.empty() ? f.name : where;
+  for (const auto& v : slmc::lint(f)) {
+    // Every conditioning violation blocks static elaboration, so all map to
+    // errors.
+    out.add(toDrcRule(v.rule), Severity::kError, Layer::kSlm,
+            prefix + "/" + slmc::lintRuleName(v.rule), v.detail);
+  }
+}
+
+}  // namespace dfv::drc

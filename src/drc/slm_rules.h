@@ -1,0 +1,20 @@
+// Adapter: the §4.3 model-conditioning lint (slmc::lint) as DRC diagnostics.
+//
+// slmc::lint keeps its own free-standing API (tests and the elaborator use
+// it directly); this adapter folds its violations into a DrcReport so one
+// runDrc() call covers every layer with one diagnostic vocabulary.
+#pragma once
+
+#include <string>
+
+#include "drc/diagnostics.h"
+#include "slmc/ast.h"
+
+namespace dfv::drc {
+
+/// Runs slmc::lint on `f` and appends every violation as an error
+/// diagnostic; `where` prefixes every location.
+void checkSlmConditioning(const slmc::Function& f, const std::string& where,
+                          DrcReport& out);
+
+}  // namespace dfv::drc

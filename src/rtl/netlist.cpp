@@ -386,6 +386,75 @@ void Module::validate() const {
                           << " drivers");
 }
 
+std::string CombCycle::describe(const Module& m) const {
+  std::string out;
+  for (std::size_t idx : cells) {
+    const Cell& c = m.cells()[idx];
+    out += "net '" + m.netName(c.output) + "' (" + ir::opName(c.op) + ") -> ";
+  }
+  if (!cells.empty())
+    out += "net '" + m.netName(m.cells()[cells.front()].output) + "'";
+  return out;
+}
+
+std::optional<CombCycle> findCombinationalCycle(const Module& m) {
+  const auto& cells = m.cells();
+  // net -> driving cell index (sequential/input-driven nets have none).
+  std::vector<std::size_t> driverCell(m.netCount(), SIZE_MAX);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    driverCell[cells[i].output] = i;
+
+  // Kahn levelization; cells left with pending inputs are on or behind a
+  // cycle.
+  std::vector<unsigned> pendingInputs(cells.size(), 0);
+  std::vector<std::vector<std::size_t>> consumers(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (NetId in : cells[i].inputs) {
+      const std::size_t drv = driverCell[in];
+      if (drv != SIZE_MAX) {
+        ++pendingInputs[i];
+        consumers[drv].push_back(i);
+      }
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    if (pendingInputs[i] == 0) order.push_back(i);
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (std::size_t next : consumers[order[head]])
+      if (--pendingInputs[next] == 0) order.push_back(next);
+  if (order.size() == cells.size()) return std::nullopt;
+
+  // Walk backwards through unresolved cells (each has at least one
+  // unresolved driver) until a cell repeats; the walk from the first repeat
+  // is the cycle.  Reverse it so the reported order follows the data flow.
+  std::size_t start = SIZE_MAX;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    if (pendingInputs[i] != 0) { start = i; break; }
+  DFV_CHECK(start != SIZE_MAX);
+  std::vector<std::size_t> walk;
+  std::vector<bool> onWalk(cells.size(), false);
+  std::size_t cur = start;
+  while (!onWalk[cur]) {
+    onWalk[cur] = true;
+    walk.push_back(cur);
+    std::size_t next = SIZE_MAX;
+    for (NetId in : cells[cur].inputs) {
+      const std::size_t drv = driverCell[in];
+      if (drv != SIZE_MAX && pendingInputs[drv] != 0) { next = drv; break; }
+    }
+    DFV_CHECK_MSG(next != SIZE_MAX, "unresolved cell with no unresolved driver");
+    cur = next;
+  }
+  CombCycle cycle;
+  for (std::size_t i = walk.size(); i-- > 0;) {
+    cycle.cells.push_back(walk[i]);
+    if (walk[i] == cur) break;
+  }
+  return cycle;
+}
+
 std::size_t Module::flatSizeEstimate() const {
   std::size_t total = cells_.size() + dffs_.size();
   for (const auto& inst : instances_) total += inst.module->flatSizeEstimate();

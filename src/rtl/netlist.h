@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -224,5 +225,22 @@ class Module {
   std::vector<Memory> memories_;
   std::vector<Instance> instances_;
 };
+
+/// A combinational cycle through a module's cells: `cells` holds the cell
+/// indices on the loop in feed order (each cell's output net is an input of
+/// the next; the last feeds the first).  Produced by findCombinationalCycle
+/// so levelization failures and the DRC can report the complete path rather
+/// than a single net name.
+struct CombCycle {
+  std::vector<std::size_t> cells;
+
+  /// "net 'a' (add) -> net 'b' (mux) -> net 'a'" — the full loop.
+  std::string describe(const Module& m) const;
+};
+
+/// Finds one combinational cycle among `m`'s cells (the module is analyzed
+/// as-is; flatten first for hierarchical designs).  Returns nullopt when the
+/// cells levelize, i.e. the module is simulable.
+std::optional<CombCycle> findCombinationalCycle(const Module& m);
 
 }  // namespace dfv::rtl

@@ -42,12 +42,10 @@ void Simulator::levelize() {
       if (--pendingInputs[next] == 0) cellOrder_.push_back(next);
   }
   if (cellOrder_.size() != cells.size()) {
-    // Name one net on the cycle to aid debugging.
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (pendingInputs[i] != 0)
-        DFV_CHECK_MSG(false, "combinational cycle through net '"
-                                 << flat_.netName(cells[i].output) << "'");
-    }
+    // Report the complete loop, not just one net on it.
+    const auto cycle = findCombinationalCycle(flat_);
+    DFV_CHECK(cycle.has_value());
+    DFV_CHECK_MSG(false, "combinational cycle: " << cycle->describe(flat_));
   }
 }
 

@@ -1,0 +1,515 @@
+// Per-rule positive/negative tests for dfv::drc, the seed-cleanliness
+// sweep, and the core-plan DRC gate.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/plan.h"
+#include "core/report.h"
+#include "designs/conv.h"
+#include "designs/fir.h"
+#include "designs/fpadd.h"
+#include "designs/gcd.h"
+#include "designs/macpipe.h"
+#include "designs/memsys.h"
+#include "drc/drc.h"
+#include "rtl/sim.h"
+#include "slmc/lint.h"
+
+namespace dfv {
+namespace {
+
+using drc::DrcReport;
+using drc::Rule;
+using drc::Severity;
+
+// ---------------------------------------------------------------------------
+// RTL netlist rules
+// ---------------------------------------------------------------------------
+
+DrcReport checkModule(const rtl::Module& m) {
+  DrcReport r;
+  drc::checkNetlist(m, "", r);
+  return r;
+}
+
+TEST(DrcRtl, CleanModuleHasNoDiagnostics) {
+  rtl::Module m("clean");
+  rtl::NetId a = m.addInput("a", 8);
+  rtl::NetId b = m.addInput("b", 8);
+  m.addOutput("sum", m.opAdd(a, b));
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.diagnostics().empty());
+}
+
+TEST(DrcRtl, UndrivenNetFeedingLogic) {
+  rtl::Module m("undriven");
+  rtl::NetId a = m.addInput("a", 8);
+  rtl::NetId floating = m.addNet(8, "floating");
+  m.addOutput("out", m.opAdd(a, floating));
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kUndrivenNet));
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(DrcRtl, MultiplyDrivenNetThroughInstanceBinding) {
+  rtl::Module child("child");
+  rtl::NetId ci = child.addInput("i", 8);
+  child.addOutput("o", child.opNot(ci));
+
+  rtl::Module m("parent");
+  rtl::NetId a = m.addInput("a", 8);  // also bound as the child's output
+  m.addInstance("u0", child, {{"i", a}, {"o", a}});
+  m.addOutput("out", m.opNot(a));
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kMultiplyDrivenNet));
+}
+
+TEST(DrcRtl, UnconnectedPorts) {
+  rtl::Module m("ports");
+  m.addInput("used", 8);
+  m.addInput("ignored", 8);  // never read
+  rtl::NetId dangling = m.addNet(4, "dangling");
+  m.addOutput("out", dangling);  // never driven
+  m.addOutput("echo", m.opNot(m.findInput("used")));
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kUnconnectedPort));
+  // One warning (unread input) and one error (undriven output).
+  EXPECT_GE(r.warnings(), 1u);
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(DrcRtl, WidthMismatchViaReplaceCell) {
+  rtl::Module m("widths");
+  rtl::NetId a = m.addInput("a", 8);
+  rtl::NetId b = m.addInput("b", 4);
+  rtl::NetId sum = m.opAdd(a, a);
+  m.addOutput("out", sum);
+  // Swap one operand for the narrow net behind the builder's back.
+  rtl::Cell broken = m.cells()[0];
+  broken.inputs[1] = b;
+  m.replaceCell(0, broken);
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kWidthMismatch));
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(DrcRtl, RegisterWithNoNextStateDriver) {
+  rtl::Module m("regs");
+  rtl::NetId q = m.addDff("r0", 8, 0);  // d never connected
+  m.addOutput("out", q);
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kUnconnectedRegister));
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(DrcRtl, DeadCell) {
+  rtl::Module m("dead");
+  rtl::NetId a = m.addInput("a", 8);
+  m.opMul(a, a);  // result feeds nothing
+  m.addOutput("out", m.opNot(a));
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kDeadCell));
+}
+
+TEST(DrcRtl, UnreachableMuxArmAndConstantOutput) {
+  rtl::Module m("constprop");
+  rtl::NetId a = m.addInput("a", 8);
+  rtl::NetId selTrue = m.constantUint(1, 1);
+  m.addOutput("picked", m.opMux(selTrue, m.constantUint(8, 7), a));
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kUnreachableMuxArm));
+  // Selector constant 1: the then-arm (7) is live, so the output folds.
+  EXPECT_TRUE(r.fired(Rule::kConstantOutput));
+}
+
+TEST(DrcRtl, CombinationalCycleReportsFullPath) {
+  rtl::Module m("loop");
+  rtl::NetId a = m.addInput("a", 8);
+  rtl::NetId x = m.opAdd(a, a);       // cell 0
+  rtl::NetId y = m.opNot(x);          // cell 1
+  m.addOutput("out", y);
+  rtl::Cell broken = m.cells()[0];
+  broken.inputs[1] = y;  // cell 0 now reads cell 1: a 2-cell loop
+  m.replaceCell(0, broken);
+
+  const auto cycle = rtl::findCombinationalCycle(m);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->cells.size(), 2u);
+  const std::string path = cycle->describe(m);
+  EXPECT_NE(path.find("->"), std::string::npos);
+
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kCombinationalCycle));
+  bool pathInMessage = false;
+  for (const auto& d : r.diagnostics())
+    if (d.rule == Rule::kCombinationalCycle &&
+        d.message.find(path) != std::string::npos)
+      pathInMessage = true;
+  EXPECT_TRUE(pathInMessage);
+}
+
+TEST(DrcRtl, SimulatorReportsCyclePathInsteadOfBareFailure) {
+  rtl::Module m("loop");
+  rtl::NetId a = m.addInput("a", 8);
+  rtl::NetId x = m.opAdd(a, a);
+  m.addOutput("out", x);
+  rtl::Cell broken = m.cells()[0];
+  broken.inputs[1] = x;  // self-loop
+  m.replaceCell(0, broken);
+  try {
+    rtl::Simulator sim(m);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("combinational cycle"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("->"), std::string::npos);
+  }
+}
+
+TEST(DrcRtl, HierarchicalModulesCheckedRecursively) {
+  rtl::Module child("child");
+  rtl::NetId ci = child.addInput("i", 8);
+  child.addDff("stuck", 8, 0);  // never connected
+  child.addOutput("o", child.opNot(ci));
+
+  rtl::Module m("parent");
+  rtl::NetId a = m.addInput("a", 8);
+  rtl::NetId o = m.addNet(8, "o");
+  m.addInstance("u0", child, {{"i", a}, {"o", o}});
+  m.addOutput("out", o);
+  const auto r = checkModule(m);
+  EXPECT_TRUE(r.fired(Rule::kUnconnectedRegister));
+  bool childLocation = false;
+  for (const auto& d : r.diagnostics())
+    if (d.location.find("u0") != std::string::npos) childLocation = true;
+  EXPECT_TRUE(childLocation);
+}
+
+// ---------------------------------------------------------------------------
+// IR / TransitionSystem rules
+// ---------------------------------------------------------------------------
+
+DrcReport checkTs(const ir::TransitionSystem& ts) {
+  DrcReport r;
+  drc::checkTransitionSystem(ts, "", r);
+  return r;
+}
+
+TEST(DrcIr, UnreadInputIsInfoOnly) {
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "t");
+  ir::NodeRef used = ts.addInput("used", 8);
+  ts.addInput("ignored", 8);
+  ts.addOutput("o", used);
+  const auto r = checkTs(ts);
+  EXPECT_TRUE(r.fired(Rule::kUnreadInput));
+  EXPECT_TRUE(r.clean());  // advisory: constant folding severs inputs
+}
+
+TEST(DrcIr, LatentLatchAndConstantOutput) {
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "t");
+  ir::NodeRef frozen = ts.addState("frozen", 8, 5);
+  ts.setNext(frozen, frozen);  // identity: stuck at 5 forever
+  ts.addOutput("o", ctx.add(frozen, ctx.one(8)));
+  const auto r = checkTs(ts);
+  EXPECT_TRUE(r.fired(Rule::kLatentLatch));
+  EXPECT_TRUE(r.fired(Rule::kConstantTsOutput));
+  EXPECT_GE(r.warnings(), 2u);
+}
+
+TEST(DrcIr, ArrayIdentityNextIsRomIdiomNotWarning) {
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "t");
+  ir::NodeRef rom = ts.addState("rom", ir::Type{8, 16},
+                                ir::Value::filledArray(8, 16,
+                                                       bv::BitVector(8)));
+  ts.setNext(rom, rom);
+  ir::NodeRef addr = ts.addInput("addr", 4);
+  ts.addOutput("o", ctx.arrayRead(rom, addr));
+  const auto r = checkTs(ts);
+  EXPECT_TRUE(r.fired(Rule::kLatentLatch));
+  EXPECT_TRUE(r.clean());  // info severity for the ROM idiom
+}
+
+TEST(DrcIr, MissingNextIsAnError) {
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "t");
+  ir::NodeRef s = ts.addState("s", 8, 0);
+  ts.addOutput("o", s);
+  const auto r = checkTs(ts);
+  EXPECT_TRUE(r.fired(Rule::kMissingNext));
+  EXPECT_GE(r.errors(), 1u);
+}
+
+TEST(DrcIr, ConstraintVacuityAndTriviality) {
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "t");
+  ir::NodeRef in = ts.addInput("i", 8);
+  ts.addOutput("o", in);
+  ts.addConstraint(ctx.boolConst(false));  // assumes away everything
+  ts.addConstraint(ctx.boolConst(true));   // constrains nothing
+  const auto r = checkTs(ts);
+  EXPECT_TRUE(r.fired(Rule::kVacuousConstraint));
+  EXPECT_TRUE(r.fired(Rule::kTrivialConstraint));
+  EXPECT_GE(r.errors(), 1u);
+  EXPECT_EQ(r.count(Severity::kInfo), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SEC-shape rules
+// ---------------------------------------------------------------------------
+
+TEST(DrcSec, UnmappedInputAndUncheckedOutput) {
+  ir::Context ctx;
+  ir::TransitionSystem slm(ctx, "slm");
+  ir::NodeRef sa = slm.addInput("s.a", 8);
+  slm.addInput("s.free", 8);  // never bound
+  slm.addOutput("o", sa);
+  slm.addOutput("extra", ctx.bitNot(sa));  // never checked
+  ir::TransitionSystem rtl(ctx, "rtl");
+  ir::NodeRef ra = rtl.addInput("r.a", 8);
+  rtl.addOutput("o", ra);
+  rtl.addOutput("debug", ctx.bitNot(ra));  // never checked (info side)
+  sec::SecProblem p(ctx, slm, 1, rtl, 1);
+  ir::NodeRef v = p.declareTxnVar("a", 8);
+  p.bindInput(sec::Side::kSlm, "s.a", 0, v);
+  p.bindInput(sec::Side::kRtl, "r.a", 0, v);
+  p.checkOutputs("o", 0, "o", 0);
+
+  DrcReport r;
+  drc::checkSecShape(p, "t", r);
+  EXPECT_TRUE(r.fired(Rule::kSecUnmappedInput));
+  EXPECT_TRUE(r.fired(Rule::kSecUncheckedOutput));
+  // Unmapped input + unchecked SLM output are warnings; the unchecked RTL
+  // output (handshake idiom) is info.
+  EXPECT_GE(r.warnings(), 2u);
+  EXPECT_GE(r.count(Severity::kInfo), 1u);
+}
+
+TEST(DrcSec, GuardAccumulationFlagsBreakIfGcdOnly) {
+  ir::Context ctx1;
+  const auto conditioned = designs::makeGcdSecProblem(ctx1);
+  DrcReport rc;
+  drc::checkSecShape(*conditioned.problem, "gcd", rc);
+  EXPECT_FALSE(rc.fired(Rule::kSecGuardAccumulation));
+
+  ir::Context ctx2;
+  const auto breakif = designs::makeGcdBreakIfSecProblem(ctx2);
+  DrcReport rb;
+  drc::checkSecShape(*breakif.problem, "gcd_break", rb);
+  EXPECT_TRUE(rb.fired(Rule::kSecGuardAccumulation));
+  EXPECT_FALSE(rb.clean());
+}
+
+TEST(DrcSec, MulShapeMismatchOnNarrowAccumulatorAndWrongCoefficient) {
+  for (designs::FirBug bug : {designs::FirBug::kNarrowAccumulator,
+                              designs::FirBug::kWrongCoefficient}) {
+    ir::Context ctx;
+    const auto setup = designs::makeFirSecProblem(ctx, bug);
+    DrcReport r;
+    drc::checkSecShape(*setup.problem, "fir", r);
+    EXPECT_TRUE(r.fired(Rule::kSecMulShapeMismatch))
+        << "bug " << static_cast<int>(bug);
+  }
+  // The seed pair's multiplier shapes line up exactly.
+  ir::Context ctx;
+  const auto seed = designs::makeFirSecProblem(ctx, designs::FirBug::kNone);
+  DrcReport r;
+  drc::checkSecShape(*seed.problem, "fir", r);
+  EXPECT_FALSE(r.fired(Rule::kSecMulShapeMismatch));
+}
+
+// ---------------------------------------------------------------------------
+// SLM conditioning adapter
+// ---------------------------------------------------------------------------
+
+TEST(DrcSlm, AdapterFoldsLintViolationsAsErrors) {
+  DrcReport r;
+  drc::checkSlmConditioning(designs::makeGcdUnconditioned(), "", r);
+  EXPECT_TRUE(r.fired(Rule::kSlmDynamicAllocation));
+  EXPECT_TRUE(r.fired(Rule::kSlmNonStaticLoopBound));
+  EXPECT_GE(r.errors(), 2u);
+  // The adapter must agree with the lint it wraps, violation for violation.
+  EXPECT_EQ(r.diagnostics().size(),
+            slmc::lint(designs::makeGcdUnconditioned()).size());
+}
+
+TEST(DrcSlm, ConditionedModelsAreClean) {
+  for (const auto& f : {designs::makeGcdConditioned(),
+                        designs::makeGcdBreakIf(),
+                        designs::makeConvWindowSlm(
+                            designs::ConvKernel::sharpen())}) {
+    DrcReport r;
+    drc::checkSlmConditioning(f, "", r);
+    EXPECT_TRUE(r.diagnostics().empty()) << f.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential sweep: every seed artifact is clean, violating variants are
+// flagged.
+// ---------------------------------------------------------------------------
+
+TEST(DrcSweep, SeedPairsAreClean) {
+  {
+    ir::Context ctx;
+    const auto fir = designs::makeFirSecProblem(ctx, designs::FirBug::kNone);
+    EXPECT_TRUE(drc::runDrc(*fir.problem, "fir").clean());
+  }
+  {
+    ir::Context ctx;
+    const auto gcd = designs::makeGcdSecProblem(ctx);
+    EXPECT_TRUE(drc::runDrc(*gcd.problem, "gcd").clean());
+  }
+  {
+    ir::Context ctx;
+    const auto fp =
+        designs::makeFpAddSecProblem(ctx, fp::Format::minifloat(), true);
+    EXPECT_TRUE(drc::runDrc(*fp.problem, "fpadd").clean());
+  }
+  for (const rtl::Module& m :
+       {designs::makeFirRtl(designs::FirBug::kNone),
+        designs::makeConvWindowRtl(designs::ConvKernel::sharpen()),
+        designs::makeConvRtl(16, designs::ConvKernel::sharpen()),
+        designs::makeGcdRtl(), designs::makeMacPipeRtl(),
+        designs::makeCacheRtl()}) {
+    EXPECT_TRUE(checkModule(m).clean()) << m.name();
+  }
+}
+
+TEST(DrcSweep, ViolatingVariantsAreFlagged) {
+  {
+    ir::Context ctx;
+    const auto b = designs::makeGcdBreakIfSecProblem(ctx);
+    EXPECT_FALSE(drc::runDrc(*b.problem, "gcd_break").clean());
+  }
+  {
+    ir::Context ctx;
+    const auto narrow =
+        designs::makeFirSecProblem(ctx, designs::FirBug::kNarrowAccumulator);
+    EXPECT_FALSE(drc::runDrc(*narrow.problem, "fir_narrow").clean());
+  }
+  {
+    drc::DrcInputs in;
+    const auto sw = designs::makeGcdUnconditioned();
+    in.addSlm("gcd_sw", sw);
+    EXPECT_GE(drc::runDrc(in).errors(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics plumbing
+// ---------------------------------------------------------------------------
+
+TEST(DrcReportTest, JsonShapeAndEscaping) {
+  DrcReport r;
+  r.add(Rule::kUndrivenNet, Severity::kError, drc::Layer::kRtl,
+        "m/net '\"x\"'", "line1\nline2");
+  const std::string js = r.toJson();
+  EXPECT_NE(js.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(js.find("\"clean\":false"), std::string::npos);
+  EXPECT_NE(js.find("undriven-net"), std::string::npos);
+  EXPECT_NE(js.find("\\\"x\\\""), std::string::npos);
+  EXPECT_NE(js.find("\\n"), std::string::npos);
+  EXPECT_EQ(js.find('\n'), std::string::npos);  // single-line JSON
+}
+
+TEST(DrcReportTest, MergeAndFiredRules) {
+  DrcReport a, b;
+  a.add(Rule::kDeadCell, Severity::kWarning, drc::Layer::kRtl, "x", "m");
+  b.add(Rule::kUnreadInput, Severity::kInfo, drc::Layer::kIr, "y", "m");
+  a.merge(b);
+  EXPECT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_EQ(a.firedRules().size(), 2u);
+  EXPECT_TRUE(a.fired(Rule::kDeadCell));
+  EXPECT_TRUE(a.fired(Rule::kUnreadInput));
+}
+
+// ---------------------------------------------------------------------------
+// The core-plan gate
+// ---------------------------------------------------------------------------
+
+core::VerificationPlan makeGatedPlan(bool drcErrors, bool* runnerCalled) {
+  core::VerificationPlan plan("gated");
+  plan.addCosimBlock("blk", 1, [runnerCalled] {
+    *runnerCalled = true;
+    return core::VerificationPlan::CosimOutcome{true, "ran"};
+  });
+  plan.setBlockDrc("blk", [drcErrors] {
+    DrcReport r;
+    if (drcErrors)
+      r.add(Rule::kUndrivenNet, Severity::kError, drc::Layer::kRtl,
+            "blk/net 'x'", "no driver");
+    else
+      r.add(Rule::kDeadCell, Severity::kWarning, drc::Layer::kRtl,
+            "blk/cell#0", "dead");
+    return r;
+  });
+  return plan;
+}
+
+TEST(DrcGate, BlockPolicyStopsDirtyBlockWithoutRunningIt) {
+  bool ran = false;
+  auto plan = makeGatedPlan(/*drcErrors=*/true, &ran);
+  plan.setDrcPolicy(core::DrcPolicy::kBlock);
+  const auto report = plan.runAll();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.blocked, 1u);
+  ASSERT_EQ(report.blocks.size(), 1u);
+  EXPECT_TRUE(report.blocks[0].blockedByDrc);
+  EXPECT_NE(report.blocks[0].detail.find("blocked by DRC"),
+            std::string::npos);
+  ASSERT_TRUE(report.blocks[0].drc.has_value());
+  EXPECT_EQ(report.blocks[0].drc->errors(), 1u);
+}
+
+TEST(DrcGate, BlockPolicyLetsWarningsThrough) {
+  bool ran = false;
+  auto plan = makeGatedPlan(/*drcErrors=*/false, &ran);
+  plan.setDrcPolicy(core::DrcPolicy::kBlock);
+  const auto report = plan.runAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.blocked, 0u);
+  ASSERT_TRUE(report.blocks[0].drc.has_value());
+  EXPECT_EQ(report.blocks[0].drc->warnings(), 1u);
+}
+
+TEST(DrcGate, WarnPolicyAttachesDiagnosticsAndRuns) {
+  bool ran = false;
+  auto plan = makeGatedPlan(/*drcErrors=*/true, &ran);
+  plan.setDrcPolicy(core::DrcPolicy::kWarn);
+  const auto report = plan.runAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(report.failed, 0u);
+  ASSERT_TRUE(report.blocks[0].drc.has_value());
+  EXPECT_EQ(report.blocks[0].drc->errors(), 1u);
+}
+
+TEST(DrcGate, OffPolicySkipsDrcEntirely) {
+  bool ran = false;
+  auto plan = makeGatedPlan(/*drcErrors=*/true, &ran);
+  plan.setDrcPolicy(core::DrcPolicy::kOff);
+  const auto report = plan.runAll();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(report.blocks[0].drc.has_value());
+}
+
+TEST(DrcGate, JsonCarriesBlockedStatusAndDiagnostics) {
+  bool ran = false;
+  auto plan = makeGatedPlan(/*drcErrors=*/true, &ran);
+  plan.setDrcPolicy(core::DrcPolicy::kBlock);
+  const auto report = plan.runAll();
+  const std::string js = core::toJson("gated", report);
+  EXPECT_NE(js.find("\"status\":\"blocked\""), std::string::npos);
+  EXPECT_NE(js.find("\"drc\":{"), std::string::npos);
+  EXPECT_NE(js.find("undriven-net"), std::string::npos);
+  EXPECT_NE(js.find("\"blocked\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfv
