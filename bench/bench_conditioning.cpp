@@ -16,6 +16,7 @@
 #include <memory>
 #include <numeric>
 
+#include "bench_util.h"
 #include "designs/conv.h"
 #include "designs/gcd.h"
 #include "ir/expr.h"
@@ -164,7 +165,17 @@ void printAnalyzabilityTable() {
 int main(int argc, char** argv) {
   std::printf("=== CLM-COND: conditioning guidelines cost nothing at "
               "simulation time ===\n\n");
-  benchmark::Initialize(&argc, argv);
+  if (dfv::benchutil::smokeMode(argc, argv)) {
+    std::printf("(--smoke: minimal repetitions, no timing claims)\n\n");
+    // static: the library keeps pointers into argv beyond Initialize.
+    static char arg0[] = "bench_conditioning";
+    static char argMin[] = "--benchmark_min_time=0.001";
+    static char* smokeArgv[] = {arg0, argMin, nullptr};
+    int smokeArgc = 2;
+    benchmark::Initialize(&smokeArgc, smokeArgv);
+  } else {
+    benchmark::Initialize(&argc, argv);
+  }
   benchmark::RunSpecifiedBenchmarks();
   printAnalyzabilityTable();
   return 0;

@@ -15,16 +15,13 @@
 //      problems through the prover confirms the flagged shape is the slow
 //      one, on the same axis bench_sec_ablation measures.
 
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "designs/conv.h"
 #include "designs/fir.h"
 #include "designs/fpadd.h"
@@ -61,52 +58,30 @@ void printRow(const std::string& name, const drc::DrcReport& r) {
               r.clean() ? "clean" : "DIRTY", firedList(r).c_str());
 }
 
-/// Runs `sec::checkEquivalence` in a forked child so an unmergeable miter
-/// cannot hang the bench: past `budgetSecs` the child is killed and the
-/// timeout itself is the measurement (the conditioned twin finishes in
-/// milliseconds, so hitting the budget is a >1000x slowdown).
+/// Runs `sec::checkEquivalence` with a per-solve wall-clock budget so an
+/// unmergeable miter cannot hang the bench: past `budgetSecs` the engine
+/// interrupts itself and the inconclusive verdict is the measurement (the
+/// conditioned twin finishes in milliseconds, so exhausting the budget is a
+/// >1000x slowdown).  This used to need a forked child and SIGKILL.
 struct BudgetedSec {
   double seconds = 0.0;
-  bool timedOut = false;
+  bool budgetExhausted = false;
   sec::Verdict verdict = sec::Verdict::kBoundedEquivalent;
 };
 
 BudgetedSec runSecWithBudget(const sec::SecProblem& problem,
                              const sec::SecOptions& options,
                              double budgetSecs) {
-  int fd[2];
-  DFV_CHECK(pipe(fd) == 0);
+  sec::SecOptions o = options;
+  o.bmcBudget.maxSeconds = budgetSecs;
+  o.inductionBudget.maxSeconds = budgetSecs;
   const auto t0 = Clock::now();
-  const pid_t child = fork();
-  DFV_CHECK(child >= 0);
-  if (child == 0) {
-    close(fd[0]);
-    const auto r = sec::checkEquivalence(problem, options);
-    const int v = static_cast<int>(r.verdict);
-    (void)!write(fd[1], &v, sizeof v);
-    _exit(0);
-  }
-  close(fd[1]);
+  const auto r = sec::checkEquivalence(problem, o);
   BudgetedSec out;
-  int status = 0;
-  for (;;) {
-    const pid_t done = waitpid(child, &status, WNOHANG);
-    if (done == child) break;
-    if (secsSince(t0) > budgetSecs) {
-      kill(child, SIGKILL);
-      waitpid(child, &status, 0);
-      out.timedOut = true;
-      break;
-    }
-    usleep(10'000);
-  }
   out.seconds = secsSince(t0);
-  if (!out.timedOut) {
-    int v = 0;
-    if (read(fd[0], &v, sizeof v) == sizeof v)
-      out.verdict = static_cast<sec::Verdict>(v);
-  }
-  close(fd[0]);
+  out.verdict = r.verdict;
+  out.budgetExhausted = r.verdict == sec::Verdict::kInconclusive ||
+                        r.stats.induction.budgetExhausted;
   return out;
 }
 
@@ -137,8 +112,12 @@ ConvWinSetup makeConvWinProblem(ir::Context& ctx) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smokeMode(argc, argv);
   std::printf("=== CLM-DRC: design-rule checking across the suite ===\n\n");
+  if (smoke)
+    std::printf("(--smoke: few mutants, tiny SEC budget, no timing "
+                "claims)\n\n");
 
   // ----- part 1: every seed pair must be clean ----------------------------
   std::printf("--- seed matrix (rule hits per reference design) ---\n");
@@ -228,7 +207,8 @@ int main() {
   };
   const rtl::Module firSeed = designs::makeFirRtl(designs::FirBug::kNone);
   const std::size_t sites = rtl::countMutationSites(firSeed);
-  const std::size_t mutants = sites < 16 ? sites : 16;
+  const std::size_t mutantCap = smoke ? 2 : 16;
+  const std::size_t mutants = sites < mutantCap ? sites : mutantCap;
   for (std::size_t i = 0; i < mutants; ++i) {
     auto mut = rtl::mutate(firSeed, i);
     DFV_CHECK(mut.has_value());
@@ -299,7 +279,7 @@ int main() {
       {"gcd conditioned (if-guarded body)", designs::makeGcdSecProblem},
       {"gcd breakIf (accumulated guards)", designs::makeGcdBreakIfSecProblem},
   };
-  const double kBudgetSecs = 15.0;
+  const double kBudgetSecs = smoke ? 0.2 : 15.0;
   std::printf("%-36s %-9s %12s %18s  %s\n", "model", "drc", "sec(s)",
               "verdict", "fired rules");
   for (const GcdCase& c : cases) {
@@ -309,15 +289,13 @@ int main() {
     const auto b = runSecWithBudget(*setup.problem, {.boundTransactions = 1},
                                     kBudgetSecs);
     char secsStr[32];
-    if (b.timedOut)
-      std::snprintf(secsStr, sizeof secsStr, "> %.0f", kBudgetSecs);
+    if (b.budgetExhausted)
+      std::snprintf(secsStr, sizeof secsStr, "> %.1f", kBudgetSecs);
     else
       std::snprintf(secsStr, sizeof secsStr, "%.3f", b.seconds);
     std::printf("%-36s %-9s %12s %18s  %s\n", c.name,
                 r.fired(drc::Rule::kSecGuardAccumulation) ? "FLAG" : "clean",
-                secsStr,
-                b.timedOut ? "killed (budget)" : sec::verdictName(b.verdict),
-                firedList(r).c_str());
+                secsStr, sec::verdictName(b.verdict), firedList(r).c_str());
   }
   std::printf("\nthe flagged shape is the one the solver pays for -- the\n"
               "rule predicts bench_sec_ablation's no-merge cliff statically\n");

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util.h"
 #include "cosim/scoreboard.h"
 #include "designs/macpipe.h"
 #include "designs/memsys.h"
@@ -58,9 +59,11 @@ LaneStats laneStats(const std::vector<designs::MacOp>& ops,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smokeMode(argc, argv);
   std::printf("=== FIG2: timing alignment between SLM and RTL ===\n\n");
-  const auto ops = makeOps(400);
+  if (smoke) std::printf("(--smoke: tiny workloads, no timing claims)\n\n");
+  const auto ops = makeOps(smoke ? 64 : 400);
 
   std::printf("macpipe: dual-lane MAC, one op per un-stalled cycle\n");
   std::printf("  %-8s %-12s %-12s %-10s %-22s\n", "stall p", "fast lat",
@@ -98,7 +101,7 @@ int main() {
   }
 
   std::printf("\nmemsys: flat-array SLM (0-latency) vs cache RTL\n");
-  const auto trace = workload::makeMemTrace(2000, 0xf2);
+  const auto trace = workload::makeMemTrace(smoke ? 200 : 2000, 0xf2);
   const auto golden = designs::memGolden(trace);
   const auto run = designs::runCache(trace);
   std::map<std::uint64_t, std::uint64_t> histogram;

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "designs/fpadd.h"
 #include "fp/softfloat.h"
 #include "sec/engine.h"
@@ -47,9 +48,11 @@ void runSec(fp::Format fmt, bool constrained) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smokeMode(argc, argv);
   std::printf("=== CLM-FP: IEEE SLM vs hardware-FP RTL, constrained SEC "
               "===\n\n");
+  if (smoke) std::printf("(--smoke: minifloat only, no timing claims)\n\n");
 
   // --- divergence census (minifloat, exhaustive) ----------------------------
   const fp::Format mini = fp::Format::minifloat();
@@ -85,10 +88,12 @@ int main() {
   runSec(mini, false);
   runSec(mini, true);
 
-  const fp::Format half = fp::Format::binary16();
-  std::printf("\nbinary16 (the technique at a production-like width):\n");
-  runSec(half, false);
-  runSec(half, true);
+  if (!smoke) {
+    const fp::Format half = fp::Format::binary16();
+    std::printf("\nbinary16 (the technique at a production-like width):\n");
+    runSec(half, false);
+    runSec(half, true);
+  }
 
   // --- the multiplier: same technique, different safe band -------------------
   std::printf("\nmultiplier (minifloat; exponent band keeps products "

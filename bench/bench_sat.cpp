@@ -9,6 +9,7 @@
 #include <random>
 #include <vector>
 
+#include "bench_util.h"
 #include "sat/solver.h"
 
 using namespace dfv::sat;
@@ -98,4 +99,23 @@ BENCHMARK(BM_IncrementalAssumptions);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (dfv::benchutil::smokeMode(argc, argv)) {
+    // Smallest instance of each family, minimal repetitions: a wiring
+    // check, not a measurement.  (static: the library keeps pointers into
+    // argv beyond Initialize.)
+    static char arg0[] = "bench_sat";
+    static char argMin[] = "--benchmark_min_time=0.001";
+    static char argFilter[] =
+        "--benchmark_filter=PigeonholeUnsat/5$|"
+        "Random3SatPhaseTransition/50$|IncrementalAssumptions";
+    static char* smokeArgv[] = {arg0, argMin, argFilter, nullptr};
+    int smokeArgc = 3;
+    benchmark::Initialize(&smokeArgc, smokeArgv);
+  } else {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "cosim/wrapped_rtl.h"
 #include "designs/fir.h"
 #include "rtl/lower.h"
@@ -31,8 +32,12 @@ double secsSince(Clock::time_point start) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smokeMode(argc, argv);
   std::printf("=== ABL-SEC: engine ablation + mutation kill matrix ===\n\n");
+  if (smoke)
+    std::printf("(--smoke: first mutants only, short stream, no timing "
+                "claims)\n\n");
 
   // --- Part 1: structural aliasing ablation ---------------------------------
   std::printf("inductive-step cost for the FIR block (7 coupling "
@@ -41,28 +46,39 @@ int main() {
   for (bool structural : {true, false}) {
     ir::Context ctx;
     auto setup = designs::makeFirSecProblem(ctx, designs::FirBug::kNone);
+    sec::SecOptions o;
+    o.boundTransactions = 2;
+    o.tryInduction = true;
+    o.structuralAliasing = structural;
+    if (smoke) {
+      // The CNF arm takes tens of seconds at full depth; a conflict budget
+      // keeps the smoke run short (the cut-off shows as bounded-equivalent
+      // instead of proven).
+      o.bmcBudget.maxConflicts = 2000;
+      o.inductionBudget.maxConflicts = 2000;
+    }
     const auto t0 = Clock::now();
-    auto r = sec::checkEquivalence(
-        *setup.problem, {.boundTransactions = 2,
-                         .tryInduction = true,
-                         .structuralAliasing = structural});
-    std::printf("  %-34s %9.3fs %14llu   -> %s\n",
+    auto r = sec::checkEquivalence(*setup.problem, o);
+    std::printf("  %-34s %9.3fs %14llu   -> %s%s\n",
                 structural ? "structural (shared variables)"
                            : "CNF equality constraints",
                 secsSince(t0),
                 static_cast<unsigned long long>(r.stats.satConflicts),
-                sec::verdictName(r.verdict));
+                sec::verdictName(r.verdict),
+                r.stats.induction.budgetExhausted ? " (budget cut-off)" : "");
   }
   std::printf("  (identical verdicts; the structural form is what makes "
               "datapath induction scale)\n\n");
 
   // --- Part 2: mutation kill matrix ------------------------------------------
   const rtl::Module golden = designs::makeFirRtl(designs::FirBug::kNone);
-  const std::size_t sites = rtl::countMutationSites(golden);
+  const std::size_t allSites = rtl::countMutationSites(golden);
+  const std::size_t sites = smoke && allSites > 4 ? 4 : allSites;
   std::printf("mutation study: %zu single-edit mutants of the FIR RTL\n",
               sites);
 
-  const auto stimulus = workload::makeSampleStream(2000, 0xabl / 1);
+  const auto stimulus =
+      workload::makeSampleStream(smoke ? 200 : 2000, 0xabl / 1);
   std::vector<std::int8_t> sx;
   for (const auto& s : stimulus)
     sx.push_back(static_cast<std::int8_t>(s.toInt64()));
@@ -121,8 +137,11 @@ int main() {
   }
   std::printf("  %-28s %5u / %zu kills   (%.2fs total)\n",
               "SEC (no testbench)", secKills, sites, secTime);
-  std::printf("  %-28s %5u / %zu kills   (%.2fs total)\n",
-              "cosim (2000-sample stream)", cosimKills, sites, cosimTime);
+  char cosimLabel[40];
+  std::snprintf(cosimLabel, sizeof cosimLabel, "cosim (%zu-sample stream)",
+                stimulus.size());
+  std::printf("  %-28s %5u / %zu kills   (%.2fs total)\n", cosimLabel,
+              cosimKills, sites, cosimTime);
   std::printf("  functionally masked mutants : %u\n", masked);
   std::printf("  soundness disagreements     : %u (must be 0)\n",
               disagreements);

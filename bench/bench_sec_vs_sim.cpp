@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "bench_util.h"
 #include "cosim/wrapped_rtl.h"
 #include "designs/fir.h"
 #include "sec/engine.h"
@@ -97,12 +98,15 @@ const char* bugName(designs::FirBug bug) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smokeMode(argc, argv);
   std::printf("=== CLM-SECFIND: time-to-find for injected RTL bugs ===\n\n");
+  if (smoke)
+    std::printf("(--smoke: tiny simulation budget, no timing claims)\n\n");
   std::printf("%-20s | %-26s | %-26s | %s\n", "bug",
               "cosim, typical workload", "cosim, full-range workload",
               "SEC (no testbench)");
-  constexpr std::size_t kBudget = 100'000;
+  const std::size_t kBudget = smoke ? 2'000 : 100'000;
   for (auto bug : {designs::FirBug::kNone,
                    designs::FirBug::kWrongCoefficient,
                    designs::FirBug::kDroppedTap,

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "bitvec/hdl_int.h"
 #include "cosim/wrapped_rtl.h"
 #include "designs/conv.h"
@@ -153,14 +154,20 @@ std::uint64_t convRtl(const workload::Image& img,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smokeMode(argc, argv);
   std::printf("=== CLM-SPEED: SLM vs RTL simulation throughput "
               "(paper: 10x-1000x) ===\n\n");
+  if (smoke)
+    std::printf("(--smoke: tiny streams; the speedup column is "
+                "meaningless at this size)\n\n");
   std::uint64_t sinkValue = 0;
   auto& sink = sinkValue;  // written through and returned: not elided
 
   {  // FIR
-    const std::size_t kUntimedN = 2'000'000, kCycleN = 400'000, kRtlN = 40'000;
+    const std::size_t kUntimedN = smoke ? 20'000 : 2'000'000;
+    const std::size_t kCycleN = smoke ? 4'000 : 400'000;
+    const std::size_t kRtlN = smoke ? 400 : 40'000;
     auto bvStream = workload::makeSampleStream(kRtlN, 1);
     std::vector<std::int8_t> untimedSamples, cycleSamples;
     for (const auto& s : workload::makeSampleStream(kUntimedN, 1))
@@ -183,10 +190,14 @@ int main() {
 
   {  // conv3x3
     const auto kernel = designs::ConvKernel::sharpen();
-    const auto imgBig = workload::makeTestImage(256, 256, 7);
-    const auto imgMid = workload::makeTestImage(128, 128, 7);
-    const auto imgSmall = workload::makeTestImage(64, 64, 7);
-    const unsigned kUntimedReps = 40, kCycleReps = 4;
+    const auto imgBig = workload::makeTestImage(smoke ? 64 : 256,
+                                                smoke ? 64 : 256, 7);
+    const auto imgMid = workload::makeTestImage(smoke ? 32 : 128,
+                                                smoke ? 32 : 128, 7);
+    const auto imgSmall = workload::makeTestImage(smoke ? 16 : 64,
+                                                  smoke ? 16 : 64, 7);
+    const unsigned kUntimedReps = smoke ? 2 : 40;
+    const unsigned kCycleReps = smoke ? 1 : 4;
 
     Row rows[3];
     auto t0 = Clock::now();

@@ -1,0 +1,19 @@
+// Shared handling for the bench binaries' --smoke flag.
+//
+// Every bench accepts --smoke: run the same code paths with tiny parameters
+// so the binary doubles as a wiring check (registered as `bench-smoke`
+// labeled ctest entries).  Smoke output makes no timing claims — only the
+// full runs produce the tables EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstring>
+
+namespace dfv::benchutil {
+
+inline bool smokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  return false;
+}
+
+}  // namespace dfv::benchutil

@@ -9,14 +9,17 @@ namespace dfv::core {
 std::vector<std::string> PlanReport::failingBlocks() const {
   std::vector<std::string> out;
   for (const auto& b : blocks)
-    if (!b.passed && !b.skippedUnchanged) out.push_back(b.block);
+    if (!b.passed && !b.inconclusive && !b.skippedUnchanged)
+      out.push_back(b.block);
   return out;
 }
 
 std::string PlanReport::summary() const {
   std::ostringstream os;
   os << verified << " verified, " << skipped << " skipped, " << failed
-     << " failed in " << totalSeconds << "s";
+     << " failed";
+  if (inconclusive > 0) os << ", " << inconclusive << " inconclusive";
+  os << " in " << totalSeconds << "s";
   if (blocked > 0) os << " (" << blocked << " blocked by DRC)";
   return os.str();
 }
@@ -89,7 +92,9 @@ BlockResult VerificationPlan::runEntry(Entry& e) {
   }
   if (e.method == Method::kSec) {
     const sec::SecResult sr = e.secRunner();
-    r.passed = sr.verdict != sec::Verdict::kNotEquivalent;
+    r.inconclusive = sr.verdict == sec::Verdict::kInconclusive;
+    r.passed = sr.verdict == sec::Verdict::kProvenEquivalent ||
+               sr.verdict == sec::Verdict::kBoundedEquivalent;
     r.detail = sec::verdictName(sr.verdict);
     if (sr.cex.has_value()) r.detail += ": " + sr.cex->summary();
   } else {
@@ -115,7 +120,10 @@ PlanReport VerificationPlan::runAll() {
   for (Entry& e : blocks_) {
     BlockResult r = runEntry(e);
     report.totalSeconds += r.seconds;
-    ++(r.passed ? report.verified : report.failed);
+    if (r.inconclusive)
+      ++report.inconclusive;
+    else
+      ++(r.passed ? report.verified : report.failed);
     if (r.blockedByDrc) ++report.blocked;
     report.blocks.push_back(std::move(r));
   }
@@ -138,7 +146,10 @@ PlanReport VerificationPlan::runIncremental() {
     }
     BlockResult r = runEntry(e);
     report.totalSeconds += r.seconds;
-    ++(r.passed ? report.verified : report.failed);
+    if (r.inconclusive)
+      ++report.inconclusive;
+    else
+      ++(r.passed ? report.verified : report.failed);
     if (r.blockedByDrc) ++report.blocked;
     report.blocks.push_back(std::move(r));
   }

@@ -13,6 +13,7 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
   os << "{\"plan\":\"" << jsonEscape(planName) << "\",";
   os << "\"summary\":{\"verified\":" << report.verified
      << ",\"skipped\":" << report.skipped << ",\"failed\":" << report.failed
+     << ",\"inconclusive\":" << report.inconclusive
      << ",\"blocked\":" << report.blocked
      << ",\"total_seconds\":" << report.totalSeconds
      << ",\"all_passed\":" << (report.allPassed() ? "true" : "false") << "},";
@@ -22,6 +23,7 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
     if (i > 0) os << ',';
     const char* status = b.skippedUnchanged ? "skipped"
                          : b.blockedByDrc   ? "blocked"
+                         : b.inconclusive   ? "inconclusive"
                          : b.passed         ? "pass"
                                             : "fail";
     os << "{\"name\":\"" << jsonEscape(b.block) << "\",\"method\":\""

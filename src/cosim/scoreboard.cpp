@@ -8,20 +8,66 @@ namespace dfv::cosim {
 
 std::string Mismatch::describe() const {
   std::ostringstream os;
-  os << "item " << index << ": expected " << expected.toString(16) << " (@"
-     << refTime << "), got " << actual.toString(16) << " (@" << dutTime
-     << ")";
+  switch (kind) {
+    case Kind::kValueMismatch:
+      os << "item " << index << ": expected " << expected.toString(16)
+         << " (@" << refTime << "), got " << actual.toString(16) << " (@"
+         << dutTime << ")";
+      break;
+    case Kind::kUnexpectedDut:
+      os << "item " << index << ": unexpected DUT value "
+         << actual.toString(16) << " (@" << dutTime
+         << "); nothing pending on the reference side";
+      break;
+    case Kind::kMissingDut:
+      os << "item " << index << ": expected " << expected.toString(16)
+         << " (@" << refTime << "), never observed from the DUT";
+      break;
+  }
   return os.str();
 }
 
 namespace {
 void recordSkew(ScoreboardStats& stats, std::int64_t skew,
-                std::uint64_t matchedSoFar) {
+                std::uint64_t pairedSoFar) {
   const std::int64_t absSkew = skew < 0 ? -skew : skew;
   stats.maxSkew = std::max(stats.maxSkew, absSkew);
-  // Running mean over matches.
+  // Running mean over paired items (matched or value-mismatched).
   stats.meanSkew += (static_cast<double>(absSkew) - stats.meanSkew) /
-                    static_cast<double>(matchedSoFar);
+                    static_cast<double>(pairedSoFar);
+}
+
+Mismatch valueMismatch(std::uint64_t index, std::uint64_t refTime,
+                       std::uint64_t dutTime, bv::BitVector expected,
+                       bv::BitVector actual) {
+  Mismatch m;
+  m.kind = Mismatch::Kind::kValueMismatch;
+  m.index = index;
+  m.refTime = refTime;
+  m.dutTime = dutTime;
+  m.expected = std::move(expected);
+  m.actual = std::move(actual);
+  return m;
+}
+
+Mismatch unexpectedDut(std::uint64_t index, std::uint64_t dutTime,
+                       bv::BitVector actual) {
+  Mismatch m;
+  m.kind = Mismatch::Kind::kUnexpectedDut;
+  m.index = index;
+  m.dutTime = dutTime;
+  m.actual = std::move(actual);
+  return m;
+}
+
+Mismatch missingDut(std::uint64_t index, std::uint64_t refTime,
+                    bv::BitVector expected) {
+  Mismatch m;
+  m.kind = Mismatch::Kind::kMissingDut;
+  m.index = index;
+  m.refTime = refTime;
+  m.expected = std::move(expected);
+  return m;
 }
 }  // namespace
 
@@ -37,22 +83,38 @@ void CycleExactScoreboard::observe(std::uint64_t cycle,
   auto it = expected_.find(cycle);
   if (it == expected_.end()) {
     ++dutOnly_;
-    mismatches_.push_back(Mismatch{cycle, cycle, cycle,
-                                   bv::BitVector(value.width()), value});
+    mismatches_.push_back(unexpectedDut(cycle, cycle, value));
     return;
   }
+  // Paired by cycle: the skew is zero by construction, recorded anyway so
+  // all three scoreboards expose the same per-paired-item policy.
+  skews_.push_back(0);
+  recordSkew(stats_, 0, static_cast<std::uint64_t>(skews_.size()));
   if (it->second == value) {
     ++stats_.matched;
   } else {
     ++stats_.mismatched;
-    mismatches_.push_back(Mismatch{cycle, cycle, cycle, it->second, value});
+    mismatches_.push_back(valueMismatch(cycle, cycle, cycle,
+                                        std::move(it->second), value));
   }
   expected_.erase(it);
 }
 
 ScoreboardStats CycleExactScoreboard::finish() {
-  stats_.pendingRef = expected_.size();
-  stats_.pendingDut = dutOnly_;
+  if (!finished_) {
+    finished_ = true;
+    stats_.pendingRef = expected_.size();
+    stats_.pendingDut = dutOnly_;
+    // Deterministic order for the flush records.
+    std::vector<std::uint64_t> cycles;
+    cycles.reserve(expected_.size());
+    for (const auto& [cycle, value] : expected_) cycles.push_back(cycle);
+    std::sort(cycles.begin(), cycles.end());
+    for (std::uint64_t cycle : cycles)
+      mismatches_.push_back(
+          missingDut(cycle, cycle, std::move(expected_.at(cycle))));
+    expected_.clear();
+  }
   return stats_;
 }
 
@@ -66,29 +128,35 @@ void InOrderScoreboard::observe(const bv::BitVector& value,
                                 std::uint64_t dutTime) {
   if (queue_.empty()) {
     ++dutOnly_;
-    mismatches_.push_back(Mismatch{streamIndex_++, 0, dutTime,
-                                   bv::BitVector(value.width()), value});
+    mismatches_.push_back(unexpectedDut(streamIndex_++, dutTime, value));
     return;
   }
-  const Pending ref = std::move(queue_.front());
+  Pending ref = std::move(queue_.front());
   queue_.pop_front();
   const std::int64_t skew = static_cast<std::int64_t>(dutTime) -
                             static_cast<std::int64_t>(ref.time);
   skews_.push_back(skew);
+  recordSkew(stats_, skew, static_cast<std::uint64_t>(skews_.size()));
   if (ref.value == value) {
     ++stats_.matched;
-    recordSkew(stats_, skew, stats_.matched);
   } else {
     ++stats_.mismatched;
-    mismatches_.push_back(
-        Mismatch{streamIndex_, ref.time, dutTime, ref.value, value});
+    mismatches_.push_back(valueMismatch(streamIndex_, ref.time, dutTime,
+                                        std::move(ref.value), value));
   }
   ++streamIndex_;
 }
 
 ScoreboardStats InOrderScoreboard::finish() {
-  stats_.pendingRef = queue_.size();
-  stats_.pendingDut = dutOnly_;
+  if (!finished_) {
+    finished_ = true;
+    stats_.pendingRef = queue_.size();
+    stats_.pendingDut = dutOnly_;
+    for (auto& ref : queue_)
+      mismatches_.push_back(
+          missingDut(streamIndex_++, ref.time, std::move(ref.value)));
+    queue_.clear();
+  }
   return stats_;
 }
 
@@ -111,8 +179,7 @@ void OutOfOrderScoreboard::observe(std::uint64_t tag,
   auto it = pending_.find(tag);
   if (it == pending_.end()) {
     ++dutOnly_;
-    mismatches_.push_back(
-        Mismatch{tag, 0, dutTime, bv::BitVector(value.width()), value});
+    mismatches_.push_back(unexpectedDut(tag, dutTime, value));
     return;
   }
   if (it->second.seq != nextExpectedSeq_) ++reordered_;
@@ -120,20 +187,35 @@ void OutOfOrderScoreboard::observe(std::uint64_t tag,
   nextExpectedSeq_ = std::max(nextExpectedSeq_, it->second.seq + 1);
   const std::int64_t skew = static_cast<std::int64_t>(dutTime) -
                             static_cast<std::int64_t>(it->second.time);
+  skews_.push_back(skew);
+  recordSkew(stats_, skew, static_cast<std::uint64_t>(skews_.size()));
   if (it->second.value == value) {
     ++stats_.matched;
-    recordSkew(stats_, skew, stats_.matched);
   } else {
     ++stats_.mismatched;
-    mismatches_.push_back(
-        Mismatch{tag, it->second.time, dutTime, it->second.value, value});
+    mismatches_.push_back(valueMismatch(tag, it->second.time, dutTime,
+                                        std::move(it->second.value), value));
   }
   pending_.erase(it);
 }
 
 ScoreboardStats OutOfOrderScoreboard::finish() {
-  stats_.pendingRef = pending_.size();
-  stats_.pendingDut = dutOnly_;
+  if (!finished_) {
+    finished_ = true;
+    stats_.pendingRef = pending_.size();
+    stats_.pendingDut = dutOnly_;
+    // Flush in expectation order so the records are deterministic.
+    std::vector<const std::pair<const std::uint64_t, Pending>*> left;
+    left.reserve(pending_.size());
+    for (const auto& entry : pending_) left.push_back(&entry);
+    std::sort(left.begin(), left.end(), [](const auto* a, const auto* b) {
+      return a->second.seq < b->second.seq;
+    });
+    for (const auto* entry : left)
+      mismatches_.push_back(
+          missingDut(entry->first, entry->second.time, entry->second.value));
+    pending_.clear();
+  }
   return stats_;
 }
 

@@ -14,8 +14,11 @@
 //   OutOfOrderScoreboard — matching by tag inside a bounded window (needed
 //     when the RTL completes operations out of order, §3.2).
 //
-// All scoreboards record per-item latency skew so benches can report the
-// Fig 2 timing-alignment distributions.
+// All scoreboards record per-item latency skew — one entry per *paired*
+// reference/DUT item, whether the values matched or not — so benches can
+// report the Fig 2 timing-alignment distributions; one-sided items
+// (unexpected or missing on the DUT side) contribute no skew.  The same
+// policy holds for the maxSkew/meanSkew aggregates.
 #pragma once
 
 #include <cstdint>
@@ -32,11 +35,24 @@ namespace dfv::cosim {
 
 /// A mismatch record.
 struct Mismatch {
-  std::uint64_t index = 0;     ///< stream index or tag
-  std::uint64_t refTime = 0;   ///< when the reference produced it
-  std::uint64_t dutTime = 0;   ///< when the DUT produced it
-  bv::BitVector expected;
-  bv::BitVector actual;
+  /// What kind of disagreement this record captures.  Only kValueMismatch
+  /// carries both sides; the one-sided kinds leave the absent side's value
+  /// default-constructed and its timestamp zero rather than fabricating
+  /// data.
+  enum class Kind {
+    kValueMismatch,  ///< paired reference/DUT item with differing values
+    kUnexpectedDut,  ///< the DUT produced an item nothing expected
+    kMissingDut,     ///< a reference item the DUT never produced
+  };
+
+  Kind kind = Kind::kValueMismatch;
+  std::uint64_t index = 0;     ///< stream index, cycle, or tag
+  std::uint64_t refTime = 0;   ///< when the reference produced it (not
+                               ///< meaningful for kUnexpectedDut)
+  std::uint64_t dutTime = 0;   ///< when the DUT produced it (not meaningful
+                               ///< for kMissingDut)
+  bv::BitVector expected;      ///< default-constructed for kUnexpectedDut
+  bv::BitVector actual;        ///< default-constructed for kMissingDut
 
   std::string describe() const;
 };
@@ -47,8 +63,8 @@ struct ScoreboardStats {
   std::uint64_t mismatched = 0;
   std::uint64_t pendingRef = 0;   ///< reference values never observed
   std::uint64_t pendingDut = 0;   ///< DUT values never expected
-  std::int64_t maxSkew = 0;       ///< max |dutTime - refTime| over matches
-  double meanSkew = 0.0;
+  std::int64_t maxSkew = 0;  ///< max |dutTime - refTime| over paired items
+  double meanSkew = 0.0;     ///< mean |dutTime - refTime| over paired items
 
   bool clean() const {
     return mismatched == 0 && pendingRef == 0 && pendingDut == 0;
@@ -60,15 +76,21 @@ class CycleExactScoreboard {
  public:
   void expect(std::uint64_t cycle, bv::BitVector value);
   void observe(std::uint64_t cycle, const bv::BitVector& value);
-  /// Call when the run ends; flushes unmatched expectations into stats.
+  /// Call when the run ends; flushes unmatched expectations into stats and
+  /// into kMissingDut mismatch records.
   ScoreboardStats finish();
   const std::vector<Mismatch>& mismatches() const { return mismatches_; }
+  /// Per paired item (dutTime - refTime); identically zero here since
+  /// pairing is by cycle, kept for policy uniformity across scoreboards.
+  const std::vector<std::int64_t>& skews() const { return skews_; }
 
  private:
   std::unordered_map<std::uint64_t, bv::BitVector> expected_;
   std::vector<Mismatch> mismatches_;
+  std::vector<std::int64_t> skews_;
   ScoreboardStats stats_;
   std::uint64_t dutOnly_ = 0;
+  bool finished_ = false;
 };
 
 /// Stream-order comparison; timing recorded but not enforced.
@@ -78,7 +100,8 @@ class InOrderScoreboard {
   void observe(const bv::BitVector& value, std::uint64_t dutTime = 0);
   ScoreboardStats finish();
   const std::vector<Mismatch>& mismatches() const { return mismatches_; }
-  /// Per-match (dutTime - refTime), for latency-distribution reporting.
+  /// Per paired item (dutTime - refTime), for latency-distribution
+  /// reporting; value mismatches pair too and are included.
   const std::vector<std::int64_t>& skews() const { return skews_; }
 
  private:
@@ -92,6 +115,7 @@ class InOrderScoreboard {
   ScoreboardStats stats_;
   std::uint64_t streamIndex_ = 0;
   std::uint64_t dutOnly_ = 0;
+  bool finished_ = false;
 };
 
 /// Tag-matched comparison for out-of-order completion.
@@ -109,6 +133,8 @@ class OutOfOrderScoreboard {
                std::uint64_t dutTime = 0);
   ScoreboardStats finish();
   const std::vector<Mismatch>& mismatches() const { return mismatches_; }
+  /// Per paired item (dutTime - refTime), in observation order.
+  const std::vector<std::int64_t>& skews() const { return skews_; }
   std::size_t outstanding() const { return pending_.size(); }
   /// Number of observations that arrived in a different order than their
   /// expectations (a direct measure of §3.2 out-of-orderness).
@@ -123,11 +149,13 @@ class OutOfOrderScoreboard {
   std::size_t window_;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::vector<Mismatch> mismatches_;
+  std::vector<std::int64_t> skews_;
   ScoreboardStats stats_;
   std::uint64_t expectSeq_ = 0;
   std::uint64_t nextExpectedSeq_ = 0;
   std::uint64_t reordered_ = 0;
   std::uint64_t dutOnly_ = 0;
+  bool finished_ = false;
 };
 
 }  // namespace dfv::cosim

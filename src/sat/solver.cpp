@@ -1,6 +1,7 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <ostream>
 
@@ -366,13 +367,38 @@ void Solver::reduceDb() {
   learnts_ = std::move(kept);
 }
 
-Result Solver::solve(const std::vector<Lit>& assumptions) {
+Result Solver::solve(const std::vector<Lit>& assumptions,
+                     const Budget& budget) {
   conflict_.clear();
   model_.clear();
   if (!okay_) return Result::kUnsat;
   for (Lit a : assumptions)
     DFV_CHECK_MSG(static_cast<std::size_t>(a.var()) < assigns_.size(),
                   "assumption uses unallocated variable");
+
+  // Budget accounting is relative to this call; cumulative stats_ provide
+  // the baselines.  The wall clock is sampled only every few conflicts /
+  // decisions so an unlimited run pays nothing for the feature.
+  const std::uint64_t conflicts0 = stats_.conflicts;
+  const std::uint64_t propagations0 = stats_.propagations;
+  const auto wallStart = std::chrono::steady_clock::now();
+  std::uint32_t budgetTick = 0;
+  auto budgetExpired = [&]() -> bool {
+    if (budget.maxConflicts != 0 &&
+        stats_.conflicts - conflicts0 >= budget.maxConflicts)
+      return true;
+    if (budget.maxPropagations != 0 &&
+        stats_.propagations - propagations0 >= budget.maxPropagations)
+      return true;
+    if (budget.maxSeconds > 0.0 && (++budgetTick & 63u) == 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wallStart)
+              .count();
+      if (elapsed >= budget.maxSeconds) return true;
+    }
+    return false;
+  };
 
   int restartCount = 0;
   std::uint64_t conflictBudget =
@@ -406,10 +432,18 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       varDecayActivity();
       claDecayActivity();
+      if (!budget.unlimited() && budgetExpired()) {
+        backtrackTo(0);
+        return Result::kUnknown;
+      }
       continue;
     }
 
     // No conflict.
+    if (!budget.unlimited() && budgetExpired()) {
+      backtrackTo(0);
+      return Result::kUnknown;
+    }
     if (conflictsThisRestart >= conflictBudget) {
       ++stats_.restarts;
       ++restartCount;

@@ -57,8 +57,23 @@ enum class LBool : std::uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
 
 inline LBool lboolOf(bool b) { return b ? LBool::kTrue : LBool::kFalse; }
 
-/// Outcome of a solve() call.
-enum class Result { kSat, kUnsat };
+/// Outcome of a solve() call.  kUnknown is only possible when a Budget was
+/// given and a cap expired before the search concluded.
+enum class Result { kSat, kUnsat, kUnknown };
+
+/// Per-call resource caps.  Each field of value zero means "no cap".  When
+/// any cap expires mid-search, solve() backtracks to decision level 0 and
+/// returns Result::kUnknown; the solver (including everything learnt so
+/// far) remains valid for further addClause()/solve() calls.
+struct Budget {
+  std::uint64_t maxConflicts = 0;     ///< conflicts within this call
+  std::uint64_t maxPropagations = 0;  ///< propagations within this call
+  double maxSeconds = 0.0;            ///< wall-clock for this call
+
+  bool unlimited() const {
+    return maxConflicts == 0 && maxPropagations == 0 && maxSeconds <= 0.0;
+  }
+};
 
 /// Solver statistics (cumulative across solve() calls).
 struct SolverStats {
@@ -92,7 +107,13 @@ class Solver {
   }
 
   /// Decides satisfiability under the given assumptions.
-  Result solve(const std::vector<Lit>& assumptions = {});
+  Result solve(const std::vector<Lit>& assumptions = {}) {
+    return solve(assumptions, Budget{});
+  }
+
+  /// Decides satisfiability under the given assumptions and resource caps.
+  /// Returns kUnknown if the budget expires first (see Budget).
+  Result solve(const std::vector<Lit>& assumptions, const Budget& budget);
 
   /// After kSat: the model value of a variable / literal.
   bool modelValue(Var v) const {

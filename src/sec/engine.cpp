@@ -13,6 +13,7 @@ const char* verdictName(Verdict v) {
     case Verdict::kProvenEquivalent: return "proven-equivalent";
     case Verdict::kBoundedEquivalent: return "bounded-equivalent";
     case Verdict::kNotEquivalent: return "NOT-equivalent";
+    case Verdict::kInconclusive: return "inconclusive";
   }
   DFV_UNREACHABLE("bad verdict");
 }
@@ -314,6 +315,28 @@ void replayCounterexample(const SecProblem& problem, Counterexample& cex) {
   }
 }
 
+/// Runs one budgeted solve and folds its cost into `phase` (several solves
+/// may share one phase entry, e.g. the vacuity check and transaction 0).
+sat::Result solveIntoPhase(sat::Solver& solver,
+                           const std::vector<sat::Lit>& assumptions,
+                           const sat::Budget& budget, PhaseStats& phase) {
+  const sat::SolverStats before = solver.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  const sat::Result r = solver.solve(assumptions, budget);
+  const sat::SolverStats& after = solver.stats();
+  phase.seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  phase.conflicts += after.conflicts - before.conflicts;
+  phase.decisions += after.decisions - before.decisions;
+  phase.propagations += after.propagations - before.propagations;
+  phase.restarts += after.restarts - before.restarts;
+  phase.learntClauses += after.learntClauses - before.learntClauses;
+  phase.deletedClauses += after.deletedClauses - before.deletedClauses;
+  if (r == sat::Result::kUnknown) phase.budgetExhausted = true;
+  return r;
+}
+
 }  // namespace
 
 SecResult checkEquivalence(const SecProblem& problem,
@@ -334,7 +357,11 @@ SecResult checkEquivalence(const SecProblem& problem,
   std::vector<std::vector<aig::Word>> txnVarWords;  // [txn][var]
 
   auto finishStats = [&] {
-    result.stats.aigNodes = g.numNodes();
+    // Both graphs count: the induction step builds a second AIG (gi below)
+    // whose size result.stats.inductionAigNodes carries by then.
+    result.stats.bmcAigNodes = g.numNodes();
+    result.stats.aigNodes =
+        result.stats.bmcAigNodes + result.stats.inductionAigNodes;
     result.stats.satConflicts += solver.stats().conflicts;
     result.stats.satDecisions += solver.stats().decisions;
     result.stats.seconds =
@@ -362,11 +389,20 @@ SecResult checkEquivalence(const SecProblem& problem,
       for (ir::NodeRef c : problem.constraints())
         enc.assertTrue(frame.blast(c)[0]);
     }
+    PhaseStats phase;
     // Vacuity guard (first transaction only — constraints repeat): an
     // unsatisfiable constraint set would make every check pass trivially,
     // the formal counterpart of a testbench that generates no stimulus.
     if (t == 0 && !problem.constraints().empty()) {
-      DFV_CHECK_MSG(solver.solve() == sat::Result::kSat,
+      const sat::Result vr =
+          solveIntoPhase(solver, {}, options.bmcBudget, phase);
+      if (vr == sat::Result::kUnknown) {
+        result.stats.bmcTransactions.push_back(phase);
+        result.verdict = Verdict::kInconclusive;
+        finishStats();
+        return result;
+      }
+      DFV_CHECK_MSG(vr == sat::Result::kSat,
                     "SEC constraints are unsatisfiable: every property "
                     "would hold vacuously (over-constrained input space)");
     }
@@ -387,7 +423,17 @@ SecResult checkEquivalence(const SecProblem& problem,
     }
     result.stats.transactionsChecked = t + 1;
 
-    if (solver.solve({enc.satLit(anyDiff)}) == sat::Result::kSat) {
+    const sat::Result br = solveIntoPhase(solver, {enc.satLit(anyDiff)},
+                                          options.bmcBudget, phase);
+    result.stats.bmcTransactions.push_back(phase);
+    if (br == sat::Result::kUnknown) {
+      // Budget expired with neither equivalence nor a counterexample at
+      // this depth: the only honest verdict.
+      result.verdict = Verdict::kInconclusive;
+      finishStats();
+      return result;
+    }
+    if (br == sat::Result::kSat) {
       // Counterexample: identify which check fired, extract, replay.
       Counterexample cex;
       cex.failingTransaction = t;
@@ -517,7 +563,13 @@ SecResult checkEquivalence(const SecProblem& problem,
           violation =
               gi.makeOr(violation, aig::negate(frame.blast(inv)[0]));
       }
-      closed = solverI.solve({encI.satLit(violation)}) == sat::Result::kUnsat;
+      const sat::Result ir = solveIntoPhase(solverI, {encI.satLit(violation)},
+                                            options.inductionBudget,
+                                            result.stats.induction);
+      // kUnknown leaves `closed` false: the bounded verdict is sound on its
+      // own, so an induction cutoff only forgoes the upgrade to proven.
+      closed = ir == sat::Result::kUnsat;
+      result.stats.inductionAigNodes = gi.numNodes();
       result.stats.satConflicts += solverI.stats().conflicts;
       result.stats.satDecisions += solverI.stats().decisions;
     }

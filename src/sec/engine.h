@@ -29,6 +29,7 @@ enum class Verdict {
   kProvenEquivalent,    ///< BMC clean and inductive step closed
   kBoundedEquivalent,   ///< BMC clean for k transactions; induction failed
   kNotEquivalent,       ///< concrete counterexample found
+  kInconclusive,        ///< a resource budget expired before BMC finished
 };
 
 const char* verdictName(Verdict v);
@@ -53,14 +54,36 @@ struct Counterexample {
   std::string summary() const;
 };
 
+/// Telemetry for one solver phase (one BMC transaction, or the inductive
+/// step): SAT-statistic deltas attributable to that phase's solve calls,
+/// plus their wall-clock time.  Populated whether or not the phase hit its
+/// budget, so an interrupted run still reports how far it got.
+struct PhaseStats {
+  double seconds = 0.0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learntClauses = 0;
+  std::uint64_t deletedClauses = 0;
+  bool budgetExhausted = false;  ///< a solve in this phase returned kUnknown
+};
+
 struct SecStats {
   unsigned transactionsChecked = 0;
-  std::size_t aigNodes = 0;
+  std::size_t aigNodes = 0;           ///< total across both graphs
+  std::size_t bmcAigNodes = 0;        ///< the BMC unrolling graph
+  std::size_t inductionAigNodes = 0;  ///< the induction graph (0 if unused)
   std::uint64_t satConflicts = 0;
   std::uint64_t satDecisions = 0;
   double seconds = 0.0;
   bool inductionAttempted = false;
   bool inductionClosed = false;
+  /// One entry per BMC transaction attempted, in order.  Transaction 0 also
+  /// accounts for the constraint-vacuity solve.
+  std::vector<PhaseStats> bmcTransactions;
+  /// The inductive-step solve (zeroed when induction never ran).
+  PhaseStats induction{};
 };
 
 struct SecResult {
@@ -79,11 +102,22 @@ struct SecOptions {
   /// exposed so bench_sec_ablation can quantify the optimization (see
   /// DESIGN.md §7).  Verdicts are identical either way.
   bool structuralAliasing = true;
+  /// Resource cap applied to each BMC solve (one per transaction, plus the
+  /// constraint-vacuity check).  Default-constructed = unlimited.  When a
+  /// BMC solve is cut off the engine stops and returns kInconclusive —
+  /// neither equivalence nor a counterexample is known at that depth.
+  sat::Budget bmcBudget{};
+  /// Resource cap for the inductive-step solve.  When it is cut off the
+  /// bounded verdict (which is already sound) stands, and
+  /// stats.induction.budgetExhausted records the failed upgrade.
+  sat::Budget inductionBudget{};
 };
 
 /// Runs the equivalence check.  Throws CheckError on malformed problems
 /// (e.g. no output checks) and if a counterexample fails to replay — that
-/// would indicate an engine bug, never a model property.
+/// would indicate an engine bug, never a model property.  Budget exhaustion
+/// is not an error: the run returns Verdict::kInconclusive (or the sound
+/// bounded verdict, for an induction-only cutoff) with per-phase stats.
 SecResult checkEquivalence(const SecProblem& problem,
                            const SecOptions& options = {});
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/report.h"
+
 namespace dfv::core {
 namespace {
 
@@ -82,6 +84,37 @@ TEST(VerificationPlan, FailuresAlwaysRerunAndLocalize) {
   auto r4 = plan.runIncremental();
   EXPECT_EQ(r4.skipped, 1u);
   EXPECT_EQ(calls, 3);
+}
+
+TEST(VerificationPlan, InconclusiveIsItsOwnOutcome) {
+  VerificationPlan plan("soc");
+  int stalled = 0, good = 0;
+  plan.addSecBlock("stalled", 1,
+                   CountingSec{&stalled, sec::Verdict::kInconclusive});
+  plan.addSecBlock("good", 1,
+                   CountingSec{&good, sec::Verdict::kProvenEquivalent});
+  auto r1 = plan.runAll();
+  // Inconclusive is neither verified nor failed, but it does spoil the plan.
+  EXPECT_EQ(r1.inconclusive, 1u);
+  EXPECT_EQ(r1.verified, 1u);
+  EXPECT_EQ(r1.failed, 0u);
+  EXPECT_FALSE(r1.allPassed());
+  EXPECT_TRUE(r1.failingBlocks().empty());
+  EXPECT_NE(r1.summary().find("1 inconclusive"), std::string::npos);
+  EXPECT_FALSE(r1.blocks[0].passed);
+  EXPECT_TRUE(r1.blocks[0].inconclusive);
+  // An inconclusive block is never treated as clean: it reruns even with an
+  // unchanged digest, while the verified block is skipped.
+  auto r2 = plan.runIncremental();
+  EXPECT_EQ(stalled, 2);
+  EXPECT_EQ(good, 1);
+  EXPECT_EQ(r2.inconclusive, 1u);
+  EXPECT_EQ(r2.skipped, 1u);
+  // Report JSON carries the distinct status and summary counter.
+  const std::string json = toJson(plan.name(), r2);
+  EXPECT_NE(json.find("\"inconclusive\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"inconclusive\""), std::string::npos);
+  EXPECT_NE(json.find("\"all_passed\":false"), std::string::npos);
 }
 
 TEST(VerificationPlan, CosimBlocksAndMixedPlans) {

@@ -93,6 +93,132 @@ TEST(OutOfOrderScoreboard, ValueMismatchByTag) {
   EXPECT_EQ(sb.mismatches()[0].index, 7u);
 }
 
+TEST(MismatchKinds, OneSidedRecordsDoNotFabricateData) {
+  InOrderScoreboard sb;
+  sb.expect(u8(10), /*refTime=*/3);   // matched
+  sb.expect(u8(20), 4);               // value mismatch
+  sb.expect(u8(30), 5);               // DUT never produces it
+  sb.observe(u8(10), 7);
+  sb.observe(u8(21), 8);
+  auto stats = sb.finish();
+  EXPECT_EQ(stats.pendingRef, 1u);
+
+  ASSERT_EQ(sb.mismatches().size(), 2u);
+  const Mismatch& vm = sb.mismatches()[0];
+  EXPECT_EQ(vm.kind, Mismatch::Kind::kValueMismatch);
+  EXPECT_EQ(vm.expected.toUint64(), 20u);
+  EXPECT_EQ(vm.actual.toUint64(), 21u);
+  EXPECT_EQ(vm.refTime, 4u);
+  EXPECT_EQ(vm.dutTime, 8u);
+  EXPECT_NE(vm.describe().find("expected"), std::string::npos);
+  EXPECT_NE(vm.describe().find("got"), std::string::npos);
+
+  // The item the DUT never produced is flushed by finish() with only the
+  // reference side populated — no fabricated all-zero "actual"/dutTime.
+  const Mismatch& md = sb.mismatches()[1];
+  EXPECT_EQ(md.kind, Mismatch::Kind::kMissingDut);
+  EXPECT_EQ(md.expected.toUint64(), 30u);
+  EXPECT_EQ(md.refTime, 5u);
+  EXPECT_EQ(md.actual, bv::BitVector());  // left default-constructed
+  EXPECT_NE(md.describe().find("never observed"), std::string::npos);
+
+  // finish() is idempotent: a second call neither re-flushes nor re-counts.
+  auto again = sb.finish();
+  EXPECT_EQ(again.pendingRef, 1u);
+  EXPECT_EQ(sb.mismatches().size(), 2u);
+}
+
+TEST(MismatchKinds, UnexpectedDutItemsAreTheirOwnKind) {
+  InOrderScoreboard sb;
+  sb.observe(u8(42), /*dutTime=*/9);  // nothing expected at all
+  auto stats = sb.finish();
+  EXPECT_EQ(stats.pendingDut, 1u);
+  EXPECT_EQ(stats.mismatched, 0u);
+  ASSERT_EQ(sb.mismatches().size(), 1u);
+  const Mismatch& ud = sb.mismatches()[0];
+  EXPECT_EQ(ud.kind, Mismatch::Kind::kUnexpectedDut);
+  EXPECT_EQ(ud.actual.toUint64(), 42u);
+  EXPECT_EQ(ud.dutTime, 9u);
+  EXPECT_EQ(ud.expected, bv::BitVector());  // left default-constructed
+  EXPECT_NE(ud.describe().find("unexpected DUT value"), std::string::npos);
+}
+
+TEST(MismatchKinds, CycleExactAndOutOfOrderFlushDeterministically) {
+  CycleExactScoreboard ce;
+  ce.expect(9, u8(3));
+  ce.expect(4, u8(1));   // inserted out of cycle order on purpose
+  ce.expect(7, u8(2));
+  auto ceStats = ce.finish();
+  EXPECT_EQ(ceStats.pendingRef, 3u);
+  ASSERT_EQ(ce.mismatches().size(), 3u);  // flushed sorted by cycle
+  EXPECT_EQ(ce.mismatches()[0].index, 4u);
+  EXPECT_EQ(ce.mismatches()[1].index, 7u);
+  EXPECT_EQ(ce.mismatches()[2].index, 9u);
+  for (const auto& m : ce.mismatches())
+    EXPECT_EQ(m.kind, Mismatch::Kind::kMissingDut);
+
+  OutOfOrderScoreboard oo;
+  oo.expect(50, u8(5), /*refTime=*/1);
+  oo.expect(40, u8(4), 2);
+  oo.observe(50, u8(5), 3);
+  auto ooStats = oo.finish();
+  EXPECT_EQ(ooStats.pendingRef, 1u);
+  ASSERT_EQ(oo.mismatches().size(), 1u);  // flushed in expectation order
+  EXPECT_EQ(oo.mismatches()[0].kind, Mismatch::Kind::kMissingDut);
+  EXPECT_EQ(oo.mismatches()[0].index, 40u);
+  EXPECT_EQ(oo.mismatches()[0].refTime, 2u);
+}
+
+TEST(SkewPolicy, AllThreeScoreboardsCountPairedItemsUniformly) {
+  // Value mismatches are still *paired* items: they carry a real skew and
+  // must be included in the per-item record and the mean/max aggregates.
+  InOrderScoreboard io;
+  io.expect(u8(1), 0);
+  io.expect(u8(2), 0);
+  io.observe(u8(1), 4);    // matched, skew 4
+  io.observe(u8(99), 10);  // value mismatch, skew 10
+  auto ioStats = io.finish();
+  ASSERT_EQ(io.skews().size(), 2u);
+  EXPECT_EQ(io.skews()[1], 10);
+  EXPECT_EQ(ioStats.maxSkew, 10);
+  EXPECT_DOUBLE_EQ(ioStats.meanSkew, 7.0);
+
+  // One-sided items contribute no skew entry.
+  InOrderScoreboard oneSided;
+  oneSided.expect(u8(1), 0);
+  oneSided.observe(u8(1), 2);
+  oneSided.observe(u8(5), 100);  // unexpected DUT item
+  auto osStats = oneSided.finish();
+  ASSERT_EQ(oneSided.skews().size(), 1u);
+  EXPECT_EQ(osStats.maxSkew, 2);
+
+  // Out-of-order records per-item skews too (it previously never did).
+  OutOfOrderScoreboard oo;
+  oo.expect(1, u8(10), 0);
+  oo.expect(2, u8(20), 0);
+  oo.observe(2, u8(21), 6);  // mismatch by tag, skew 6
+  oo.observe(1, u8(10), 3);  // matched, skew 3
+  auto ooStats = oo.finish();
+  ASSERT_EQ(oo.skews().size(), 2u);
+  EXPECT_EQ(oo.skews()[0], 6);
+  EXPECT_EQ(oo.skews()[1], 3);
+  EXPECT_EQ(ooStats.maxSkew, 6);
+  EXPECT_DOUBLE_EQ(ooStats.meanSkew, 4.5);
+
+  // Cycle-exact pairing is by equal cycle, so skews exist and are all zero.
+  CycleExactScoreboard ce;
+  ce.expect(1, u8(1));
+  ce.expect(2, u8(2));
+  ce.observe(1, u8(1));
+  ce.observe(2, u8(9));  // value mismatch, still paired
+  auto ceStats = ce.finish();
+  ASSERT_EQ(ce.skews().size(), 2u);
+  EXPECT_EQ(ce.skews()[0], 0);
+  EXPECT_EQ(ce.skews()[1], 0);
+  EXPECT_EQ(ceStats.maxSkew, 0);
+  EXPECT_DOUBLE_EQ(ceStats.meanSkew, 0.0);
+}
+
 /// A 2-stage pipelined streaming block: out = (in * 3 + 1), valid piped
 /// along, with an optional stall that freezes the pipeline.
 rtl::Module makeStreamingMac(bool withStall) {

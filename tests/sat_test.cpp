@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <sstream>
 #include <vector>
@@ -196,6 +197,188 @@ TEST(SatSolver, DimacsExport) {
               text.find("3 -2 0") != std::string::npos)
       << text;
   EXPECT_NE(text.find("-1 0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Resource budgets.
+// ---------------------------------------------------------------------------
+
+TEST(SatBudget, ConflictCapReturnsUnknownAndSolverStaysUsable) {
+  Solver s;
+  addPigeonhole(s, 7);  // needs far more than 20 conflicts
+  Budget tiny;
+  tiny.maxConflicts = 20;
+  EXPECT_EQ(s.solve({}, tiny), Result::kUnknown);
+  const std::uint64_t afterFirst = s.stats().conflicts;
+  EXPECT_GE(afterFirst, 20u);
+  // The solver (and what it learnt) must remain valid: an unlimited re-solve
+  // completes with the true verdict.
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatBudget, PropagationCapReturnsUnknown) {
+  Solver s;
+  addPigeonhole(s, 7);
+  Budget tiny;
+  tiny.maxPropagations = 50;
+  EXPECT_EQ(s.solve({}, tiny), Result::kUnknown);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatBudget, WallClockCapReturnsUnknown) {
+  Solver s;
+  addPigeonhole(s, 8);  // roughly half a second unconstrained
+  Budget tiny;
+  tiny.maxSeconds = 0.005;
+  EXPECT_EQ(s.solve({}, tiny), Result::kUnknown);
+}
+
+TEST(SatBudget, UnlimitedBudgetIsDefaultBehavior) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar();
+  s.addClause(pos(a), pos(b));
+  EXPECT_TRUE(Budget{}.unlimited());
+  EXPECT_EQ(s.solve({}, Budget{}), Result::kSat);
+  EXPECT_EQ(s.solve({neg(a), neg(b)}, Budget{}), Result::kUnsat);
+}
+
+TEST(SatBudget, GenerousBudgetDoesNotChangeVerdicts) {
+  std::mt19937 rng(321);
+  Budget generous;
+  generous.maxConflicts = 1u << 20;
+  generous.maxSeconds = 60.0;
+  for (int instance = 0; instance < 20; ++instance) {
+    constexpr int kN = 12;
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < static_cast<int>(kN * 4.3); ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k)
+        cl.emplace_back(static_cast<Var>(rng() % kN), (rng() & 1) != 0);
+      clauses.push_back(cl);
+    }
+    Solver plain, budgeted;
+    for (int v = 0; v < kN; ++v) {
+      plain.newVar();
+      budgeted.newVar();
+    }
+    bool okPlain = true, okBudgeted = true;
+    for (auto& cl : clauses) {
+      okPlain = plain.addClause(cl) && okPlain;
+      okBudgeted = budgeted.addClause(cl) && okBudgeted;
+    }
+    const Result rPlain = okPlain ? plain.solve() : Result::kUnsat;
+    const Result rBudgeted =
+        okBudgeted ? budgeted.solve({}, generous) : Result::kUnsat;
+    EXPECT_EQ(rPlain, rBudgeted) << "instance " << instance;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental interface: unsat cores and restart/reduceDb stress.
+// ---------------------------------------------------------------------------
+
+namespace {
+/// True iff `clauses` restricted by `assumptions` has a satisfying
+/// assignment over `n` variables (exhaustive check, n <= 20).
+bool bruteForceSatUnder(int n, const std::vector<std::vector<Lit>>& clauses,
+                        const std::vector<Lit>& assumptions) {
+  for (std::uint32_t m = 0; m < (1u << n); ++m) {
+    bool ok = true;
+    for (Lit a : assumptions)
+      if (((m >> a.var()) & 1u) == (a.negated() ? 1u : 0u)) {
+        ok = false;
+        break;
+      }
+    for (const auto& cl : clauses) {
+      if (!ok) break;
+      bool some = false;
+      for (Lit l : cl)
+        if (((m >> l.var()) & 1u) != (l.negated() ? 1u : 0u)) some = true;
+      ok = some;
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+}  // namespace
+
+TEST(SatIncremental, RotatingAssumptionsMatchEnumerationAndCoresAreGenuine) {
+  // One solver per instance, many solve() calls with rotating assumption
+  // sets.  Every verdict is checked against exhaustive enumeration; every
+  // UNSAT core is checked to be (a) a subset of the negated assumptions and
+  // (b) itself sufficient — re-solving under only the core stays UNSAT.
+  std::mt19937 rng(911);
+  for (int n : {8, 10, 12}) {
+    for (int instance = 0; instance < 6; ++instance) {
+      std::vector<std::vector<Lit>> clauses;
+      for (int c = 0; c < static_cast<int>(n * 4.0); ++c) {
+        std::vector<Lit> cl;
+        for (int k = 0; k < 3; ++k)
+          cl.emplace_back(static_cast<Var>(rng() % static_cast<unsigned>(n)),
+                          (rng() & 1) != 0);
+        clauses.push_back(cl);
+      }
+      Solver s;
+      for (int v = 0; v < n; ++v) s.newVar();
+      for (auto& cl : clauses) s.addClause(cl);
+      for (int round = 0; round < 25; ++round) {
+        std::vector<Lit> assumptions;
+        const int k = 1 + static_cast<int>(rng() % 4);
+        std::vector<bool> used(static_cast<std::size_t>(n), false);
+        for (int i = 0; i < k; ++i) {
+          const Var v = static_cast<Var>(rng() % static_cast<unsigned>(n));
+          if (used[static_cast<std::size_t>(v)]) continue;
+          used[static_cast<std::size_t>(v)] = true;
+          assumptions.emplace_back(v, (rng() & 1) != 0);
+        }
+        const bool expected = bruteForceSatUnder(n, clauses, assumptions);
+        const Result r = s.solve(assumptions);
+        ASSERT_EQ(r == Result::kSat, expected)
+            << "n=" << n << " instance=" << instance << " round=" << round;
+        if (r == Result::kSat) {
+          for (Lit a : assumptions) EXPECT_TRUE(s.modelValue(a));
+          for (const auto& cl : clauses) {
+            bool some = false;
+            for (Lit l : cl) some = some || s.modelValue(l);
+            EXPECT_TRUE(some);
+          }
+        } else {
+          const std::vector<Lit> core = s.conflictAssumptions();
+          for (Lit c : core) {
+            EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), ~c),
+                      assumptions.end())
+                << "core literal is not a negated assumption";
+          }
+          std::vector<Lit> coreOnly;
+          for (Lit c : core) coreOnly.push_back(~c);
+          EXPECT_EQ(s.solve(coreOnly), Result::kUnsat)
+              << "the reported core is not sufficient for UNSAT";
+          EXPECT_FALSE(bruteForceSatUnder(n, clauses, coreOnly));
+        }
+      }
+    }
+  }
+}
+
+TEST(SatIncremental, RestartAndReduceDbStressUnderRotatingAssumptions) {
+  // A pigeonhole instance solved repeatedly under rotating assumption sets:
+  // hard enough to force restarts and learnt-clause reduction, and UNSAT
+  // under any placement assumptions, so every verdict is known a priori.
+  Solver s;
+  const int holes = 8, pigeons = holes + 1;
+  addPigeonhole(s, holes);  // vars are p[i][j] = i * holes + j
+  auto pv = [&](int i, int j) { return static_cast<Var>(i * holes + j); };
+  for (int round = 0; round < 6; ++round) {
+    // Pin a rotating pair of pigeons into rotating holes; the instance
+    // stays UNSAT (the principle is independent of any partial placement).
+    std::vector<Lit> assumptions = {
+        pos(pv(round % pigeons, round % holes)),
+        pos(pv((round + 3) % pigeons, (round + 1) % holes))};
+    EXPECT_EQ(s.solve(assumptions), Result::kUnsat) << "round " << round;
+  }
+  EXPECT_GT(s.stats().restarts, 0u) << "stress must trigger restarts";
+  EXPECT_GT(s.stats().deletedClauses, 0u) << "stress must trigger reduceDb";
+  EXPECT_GT(s.stats().learntClauses, s.stats().deletedClauses);
 }
 
 // ---------------------------------------------------------------------------

@@ -341,6 +341,82 @@ TEST(SecEngine, FreeInputsAreUniversallyQuantified) {
   EXPECT_EQ(r.verdict, Verdict::kProvenEquivalent);
 }
 
+TEST(SecEngine, AigNodeCountCoversBothGraphs) {
+  // The induction step builds its own AIG; stats must report both graphs
+  // and their sum, not silently drop the induction side.
+  ChecksumFixture f;
+  ir::NodeRef inv = f.ctx.eq(f.slm.findState("s.csum")->current,
+                             f.rtl.findState("r.csum")->current);
+  f.problem->addCouplingInvariant(inv);
+  SecResult r = checkEquivalence(*f.problem, {.boundTransactions = 2});
+  EXPECT_EQ(r.verdict, Verdict::kProvenEquivalent);
+  ASSERT_TRUE(r.stats.inductionAttempted);
+  EXPECT_GT(r.stats.bmcAigNodes, 0u);
+  EXPECT_GT(r.stats.inductionAigNodes, 0u);
+  EXPECT_EQ(r.stats.aigNodes,
+            r.stats.bmcAigNodes + r.stats.inductionAigNodes);
+}
+
+TEST(SecEngine, BmcBudgetExhaustionIsInconclusive) {
+  // A budget the first BMC solve cannot fit in: the engine must stop with
+  // kInconclusive — no counterexample, no throw — and still report the
+  // telemetry of the phase it was in.
+  Fig1Fixture f(/*buggyNarrowTmp=*/true);
+  SecOptions o;
+  o.boundTransactions = 2;
+  o.bmcBudget.maxPropagations = 1;
+  SecResult r = checkEquivalence(*f.problem, o);
+  EXPECT_EQ(r.verdict, Verdict::kInconclusive);
+  EXPECT_FALSE(r.cex.has_value());
+  EXPECT_EQ(r.stats.transactionsChecked, 1u);
+  ASSERT_EQ(r.stats.bmcTransactions.size(), 1u);
+  EXPECT_TRUE(r.stats.bmcTransactions[0].budgetExhausted);
+  EXPECT_GT(r.stats.bmcTransactions[0].propagations, 0u);
+  EXPECT_GT(r.stats.aigNodes, 0u);
+}
+
+TEST(SecEngine, InductionBudgetCutoffKeepsSoundBoundedVerdict) {
+  // Without the coupling invariant the inductive step needs a real solve
+  // (it is satisfiable from unequal states).  Cutting that solve off must
+  // not downgrade the sound bounded verdict — only the upgrade is lost.
+  ChecksumFixture f;
+  SecOptions o;
+  o.boundTransactions = 3;
+  o.inductionBudget.maxPropagations = 1;
+  SecResult r = checkEquivalence(*f.problem, o);
+  EXPECT_EQ(r.verdict, Verdict::kBoundedEquivalent);
+  EXPECT_TRUE(r.stats.inductionAttempted);
+  EXPECT_FALSE(r.stats.inductionClosed);
+  EXPECT_TRUE(r.stats.induction.budgetExhausted);
+  EXPECT_GT(r.stats.induction.propagations, 0u);
+  EXPECT_GT(r.stats.inductionAigNodes, 0u);
+  // Per-phase entries exist for every BMC transaction that ran clean.
+  ASSERT_EQ(r.stats.bmcTransactions.size(), 3u);
+  for (const auto& phase : r.stats.bmcTransactions)
+    EXPECT_FALSE(phase.budgetExhausted);
+}
+
+TEST(SecEngine, GenerousBudgetsDoNotChangeVerdicts) {
+  // With budgets far above what the problems need, verdicts and
+  // counterexamples are identical to unbudgeted runs.
+  SecOptions generous;
+  generous.boundTransactions = 2;
+  generous.bmcBudget.maxConflicts = 1u << 20;
+  generous.bmcBudget.maxSeconds = 60.0;
+  generous.inductionBudget = generous.bmcBudget;
+  {
+    Fig1Fixture f(/*buggyNarrowTmp=*/false);
+    EXPECT_EQ(checkEquivalence(*f.problem, generous).verdict,
+              Verdict::kProvenEquivalent);
+  }
+  {
+    Fig1Fixture f(/*buggyNarrowTmp=*/true);
+    SecResult r = checkEquivalence(*f.problem, generous);
+    ASSERT_EQ(r.verdict, Verdict::kNotEquivalent);
+    EXPECT_TRUE(r.cex.has_value());
+  }
+}
+
 TEST(SecEngine, CexOnLaterTransactionExercisesDepth) {
   // Sides agree on transaction 0 (both output 0 from reset) and diverge
   // from transaction 1 on: state-dependent divergence needs BMC depth >= 2.
