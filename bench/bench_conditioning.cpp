@@ -165,17 +165,21 @@ void printAnalyzabilityTable() {
 int main(int argc, char** argv) {
   std::printf("=== CLM-COND: conditioning guidelines cost nothing at "
               "simulation time ===\n\n");
+  // This binary takes only the repo-wide --smoke / --json flags; the argv
+  // handed to the library is rebuilt from them.  (static: the library keeps
+  // pointers into argv beyond Initialize.)
+  static char arg0[] = "bench_conditioning";
+  static char argMin[] = "--benchmark_min_time=0.001";
+  std::vector<char*> args = {arg0};
   if (dfv::benchutil::smokeMode(argc, argv)) {
     std::printf("(--smoke: minimal repetitions, no timing claims)\n\n");
-    // static: the library keeps pointers into argv beyond Initialize.
-    static char arg0[] = "bench_conditioning";
-    static char argMin[] = "--benchmark_min_time=0.001";
-    static char* smokeArgv[] = {arg0, argMin, nullptr};
-    int smokeArgc = 2;
-    benchmark::Initialize(&smokeArgc, smokeArgv);
-  } else {
-    benchmark::Initialize(&argc, argv);
+    args.push_back(argMin);
   }
+  for (char* extra : dfv::benchutil::benchmarkJsonArgs(argc, argv))
+    args.push_back(extra);
+  int benchArgc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&benchArgc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   printAnalyzabilityTable();
   return 0;

@@ -114,6 +114,7 @@ ConvWinSetup makeConvWinProblem(ir::Context& ctx) {
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "drc");
   std::printf("=== CLM-DRC: design-rule checking across the suite ===\n\n");
   if (smoke)
     std::printf("(--smoke: few mutants, tiny SEC budget, no timing "
@@ -187,6 +188,7 @@ int main(int argc, char** argv) {
     seedRow("memsys", drc::runDrc(in));
   }
   std::printf("seeds dirty: %u (must be 0)\n\n", dirtySeeds);
+  report.beginRow("seed_matrix").field("dirtySeeds", dirtySeeds);
 
   // ----- part 2: mutants and crafted bugs ---------------------------------
   std::printf("--- mutant/bug matrix (FIR mutants + injected bugs) ---\n");
@@ -268,6 +270,10 @@ int main(int argc, char** argv) {
   }
   std::printf("%u variants: DRC flagged %u, SEC killed %u\n\n", total,
               drcFlagged, secKilled);
+  report.beginRow("variant_matrix")
+      .field("variants", total)
+      .field("drcFlagged", drcFlagged)
+      .field("secKilled", secKilled);
 
   // ----- part 3: the structural-merge prediction, confirmed ---------------
   std::printf("--- sec-guard-accumulation: prediction vs measured SEC ---\n");
@@ -296,8 +302,15 @@ int main(int argc, char** argv) {
     std::printf("%-36s %-9s %12s %18s  %s\n", c.name,
                 r.fired(drc::Rule::kSecGuardAccumulation) ? "FLAG" : "clean",
                 secsStr, sec::verdictName(b.verdict), firedList(r).c_str());
+    report.beginRow("guard_accumulation")
+        .field("model", c.name)
+        .field("flagged", r.fired(drc::Rule::kSecGuardAccumulation))
+        .field("seconds", b.seconds)
+        .field("budgetExhausted", b.budgetExhausted)
+        .field("verdict", sec::verdictName(b.verdict));
   }
   std::printf("\nthe flagged shape is the one the solver pays for -- the\n"
               "rule predicts bench_sec_ablation's no-merge cliff statically\n");
+  report.write();
   return dirtySeeds == 0 ? 0 : 1;
 }

@@ -51,6 +51,7 @@ int groupingInt(int a, int b, int c) { return a + b + c; }
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "fig1_associativity");
   std::printf("=== FIG1: addition is non-associative in finite precision "
               "===\n\n");
   if (smoke) std::printf("(--smoke: strided sweep, no timing claims)\n\n");
@@ -96,6 +97,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(intMasksG1),
               100.0 * static_cast<double>(intMasksG1) /
                   static_cast<double>(total));
+  report.beginRow("sweep")
+      .field("cases", total)
+      .field("groupingsDiverge", groupingsDiverge)
+      .field("intMasks", intMasksG1);
 
   // --- SEC produces a witness automatically ---------------------------------
   std::printf("\nSEC on (9-bit-wide SLM, 8-bit-tmp RTL):\n");
@@ -136,5 +141,9 @@ int main(int argc, char** argv) {
                 r.cex->slmValue.toSignedDecimalString().c_str(),
                 r.cex->rtlValue.toSignedDecimalString().c_str());
   }
+  report.beginRow("sec_witness")
+      .field("verdict", sec::verdictName(r.verdict))
+      .field("cexFound", r.cex.has_value());
+  report.write();
   return 0;
 }

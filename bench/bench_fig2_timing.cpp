@@ -61,6 +61,7 @@ LaneStats laneStats(const std::vector<designs::MacOp>& ops,
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "fig2_timing");
   std::printf("=== FIG2: timing alignment between SLM and RTL ===\n\n");
   if (smoke) std::printf("(--smoke: tiny workloads, no timing claims)\n\n");
   const auto ops = makeOps(smoke ? 64 : 400);
@@ -98,6 +99,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sb.reorderedCount()),
                 "out-of-order (tags)",
                 mism == 0 ? ", clean" : ", NOT CLEAN");
+    report.beginRow("macpipe_stalls")
+        .field("stall", buf)
+        .field("fastMeanLatency", fast.mean)
+        .field("slowMeanLatency", slow.mean)
+        .field("reordered", sb.reorderedCount())
+        .field("mismatched", mism);
   }
 
   std::printf("\nmemsys: flat-array SLM (0-latency) vs cache RTL\n");
@@ -140,5 +147,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ce.matched), golden.size(),
               ce.clean() ? "clean" : "FAILS (as §3.2 predicts: the SLM is "
                                      "not cycle accurate)");
+  report.beginRow("memsys_scoreboards")
+      .field("readHits", run.readHits)
+      .field("readMisses", run.readMisses)
+      .field("inOrderClean", io.clean())
+      .field("inOrderMaxSkew", io.maxSkew)
+      .field("cycleExactClean", ce.clean());
+  report.write();
   return 0;
 }

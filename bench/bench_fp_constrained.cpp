@@ -27,6 +27,8 @@ double secsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+benchutil::JsonReport* gReport = nullptr;
+
 void runSec(fp::Format fmt, bool constrained) {
   ir::Context ctx;
   auto setup = designs::makeFpAddSecProblem(ctx, fmt, constrained);
@@ -37,6 +39,14 @@ void runSec(fp::Format fmt, bool constrained) {
               fmt.exp, fmt.man, constrained ? "constrained" : "unconstrained",
               sec::verdictName(r.verdict), secs,
               static_cast<unsigned long long>(r.stats.satConflicts));
+  gReport->beginRow("adder_sec")
+      .field("exp", fmt.exp)
+      .field("man", fmt.man)
+      .field("constrained", constrained)
+      .field("verdict", sec::verdictName(r.verdict))
+      .field("seconds", secs)
+      .field("conflicts", r.stats.satConflicts)
+      .field("cexFound", r.cex.has_value());
   if (r.cex.has_value()) {
     const auto& vars = r.cex->txnVarValues[0];
     const fp::SoftFloat wa(fmt, vars[0].toUint64());
@@ -50,6 +60,8 @@ void runSec(fp::Format fmt, bool constrained) {
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "fp_constrained");
+  gReport = &report;
   std::printf("=== CLM-FP: IEEE SLM vs hardware-FP RTL, constrained SEC "
               "===\n\n");
   if (smoke) std::printf("(--smoke: minifloat only, no timing claims)\n\n");
@@ -77,6 +89,12 @@ int main(int argc, char** argv) {
   }
   std::printf("minifloat exhaustive census (65536 operand pairs):\n");
   std::printf("  agree: %u   diverge: %u\n", agree, diverge);
+  report.beginRow("census")
+      .field("agree", agree)
+      .field("diverge", diverge)
+      .field("bySubnormal", bySub)
+      .field("byInfNan", byInfNan)
+      .field("byOverflow", byOvf);
   std::printf("  divergence cause: subnormal %u, inf/nan %u, overflow %u, "
               "top-exponent-encoding %u\n\n",
               bySub, byInfNan, byOvf, diverge - bySub - byInfNan - byOvf);
@@ -123,10 +141,17 @@ int main(int argc, char** argv) {
     }
     const auto t0 = Clock::now();
     auto r = sec::checkEquivalence(p, {.boundTransactions = 1});
+    const double secs = secsSince(t0);
     std::printf("  4/3 %-13s: %-20s %8.3fs  %8llu conflicts\n",
                 constrained ? "constrained" : "unconstrained",
-                sec::verdictName(r.verdict), secsSince(t0),
+                sec::verdictName(r.verdict), secs,
                 static_cast<unsigned long long>(r.stats.satConflicts));
+    report.beginRow("multiplier_sec")
+        .field("constrained", constrained)
+        .field("verdict", sec::verdictName(r.verdict))
+        .field("seconds", secs)
+        .field("conflicts", r.stats.satConflicts);
   }
+  report.write();
   return 0;
 }

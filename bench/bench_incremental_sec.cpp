@@ -106,6 +106,7 @@ core::VerificationPlan makePlan() {
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "incremental_sec");
   std::printf("=== CLM-INCR: full vs incremental re-verification ===\n\n");
   if (smoke) std::printf("(--smoke: first two edits only, no timing claims)\n\n");
   // The edit script: (block, digest, description); edit 3 plants a bug.
@@ -161,10 +162,22 @@ int main(int argc, char** argv) {
                 e + 1, edit.what, fullSecs, incrSecs,
                 fullSecs / (incrSecs > 0 ? incrSecs : 1e-9),
                 result.c_str(), incrReport.verified + incrReport.failed);
+    report.beginRow("edit")
+        .field("edit", e + 1)
+        .field("change", edit.what)
+        .field("fullSeconds", fullSecs)
+        .field("incrSeconds", incrSecs)
+        .field("allPassed", incrReport.allPassed())
+        .field("reverified", incrReport.verified + incrReport.failed);
   }
   std::printf("\ncumulative over %zu edits: full %.2fs vs incremental %.2fs "
               "(%.1fx) -- the paper's §4.1 claim\n",
               editCount, fullTotal, incrTotal,
               fullTotal / (incrTotal > 0 ? incrTotal : 1e-9));
+  report.beginRow("cumulative")
+      .field("edits", editCount)
+      .field("fullSeconds", fullTotal)
+      .field("incrSeconds", incrTotal);
+  report.write();
   return 0;
 }

@@ -100,22 +100,26 @@ BENCHMARK(BM_IncrementalAssumptions);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // This binary takes only the repo-wide --smoke / --json flags; the argv
+  // handed to the library is rebuilt from them.  (static: the library keeps
+  // pointers into argv beyond Initialize.)
+  static char arg0[] = "bench_sat";
+  static char argMin[] = "--benchmark_min_time=0.001";
+  static char argFilter[] =
+      "--benchmark_filter=PigeonholeUnsat/5$|"
+      "Random3SatPhaseTransition/50$|IncrementalAssumptions";
+  std::vector<char*> args = {arg0};
   if (dfv::benchutil::smokeMode(argc, argv)) {
     // Smallest instance of each family, minimal repetitions: a wiring
-    // check, not a measurement.  (static: the library keeps pointers into
-    // argv beyond Initialize.)
-    static char arg0[] = "bench_sat";
-    static char argMin[] = "--benchmark_min_time=0.001";
-    static char argFilter[] =
-        "--benchmark_filter=PigeonholeUnsat/5$|"
-        "Random3SatPhaseTransition/50$|IncrementalAssumptions";
-    static char* smokeArgv[] = {arg0, argMin, argFilter, nullptr};
-    int smokeArgc = 3;
-    benchmark::Initialize(&smokeArgc, smokeArgv);
-  } else {
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    // check, not a measurement.
+    args.push_back(argMin);
+    args.push_back(argFilter);
   }
+  for (char* extra : dfv::benchutil::benchmarkJsonArgs(argc, argv))
+    args.push_back(extra);
+  int benchArgc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&benchArgc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

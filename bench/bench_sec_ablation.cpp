@@ -2,44 +2,253 @@
 // mutation-based qualification of the whole flow (extensions beyond the
 // paper; see DESIGN.md §7).
 //
-// Part 1 — structural invariant aliasing: the inductive step can apply an
-// equality-shaped coupling invariant either structurally (shared symbolic
-// variables; the internal-equivalence-point technique) or as CNF
+// Part 1 — fraig × structuralAliasing matrix across the design suite: SAT
+// sweeping (SecOptions::fraig) and structural invariant aliasing are the
+// engine's two merging layers; the matrix attributes wall time, miter node
+// reduction, and fraig SAT-call cost to each combination.  Verdicts must
+// agree wherever both arms finish within budget.
+//
+// Part 2 — strash reserve + hash-mixing micro-bench: Aig::reserve() sized
+// from the unrolling vs growing the table incrementally.
+//
+// Part 3 — structural invariant aliasing detail: the inductive step can
+// apply an equality-shaped coupling invariant either structurally (shared
+// symbolic variables; the internal-equivalence-point technique) or as CNF
 // constraints.  Verdicts are identical; cost is not.
 //
-// Part 2 — mutant kill matrix: every single-edit mutant of the FIR RTL is
+// Part 4 — mutant kill matrix: every single-edit mutant of the FIR RTL is
 // checked by SEC and by randomized co-simulation; reports kill rates and
 // cross-validates the verdicts (a mutant distinguished by simulation can
 // never be proven equivalent).
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "cosim/wrapped_rtl.h"
+#include "designs/conv.h"
 #include "designs/fir.h"
+#include "designs/fpadd.h"
+#include "designs/gcd.h"
 #include "rtl/lower.h"
 #include "rtl/mutate.h"
 #include "sec/engine.h"
+#include "slmc/elaborate.h"
 #include "workload/workload.h"
 
 using namespace dfv;
 using Clock = std::chrono::steady_clock;
 
 namespace {
+
 double secsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// Keeps a design setup (context-owned transition systems + problem) alive
+/// while exposing just the SecProblem.
+template <typename Setup>
+std::shared_ptr<sec::SecProblem> hold(std::shared_ptr<Setup> s) {
+  return std::shared_ptr<sec::SecProblem>(s, s->problem.get());
+}
+
+struct ConvWinSetup {
+  std::unique_ptr<ir::TransitionSystem> slm;
+  std::unique_ptr<ir::TransitionSystem> rtl;
+  std::unique_ptr<sec::SecProblem> problem;
+};
+
+ConvWinSetup makeConvWinProblem(ir::Context& ctx) {
+  ConvWinSetup s;
+  const auto kernel = designs::ConvKernel::sharpen();
+  auto e = slmc::elaborate(designs::makeConvWindowSlm(kernel), ctx, "s.");
+  DFV_CHECK(e.ok);
+  s.slm = std::move(e.ts);
+  s.rtl = std::make_unique<ir::TransitionSystem>(rtl::lowerToTransitionSystem(
+      designs::makeConvWindowRtl(kernel), ctx, "r."));
+  s.problem = std::make_unique<sec::SecProblem>(ctx, *s.slm, 1, *s.rtl, 1);
+  for (unsigned i = 0; i < 9; ++i) {
+    auto v = s.problem->declareTxnVar("p" + std::to_string(i), 8);
+    s.problem->bindInput(sec::Side::kSlm, "s.p" + std::to_string(i), 0, v);
+    s.problem->bindInput(sec::Side::kRtl, "r.p" + std::to_string(i), 0, v);
+  }
+  s.problem->checkOutputs("ret", 0, "pix", 0);
+  return s;
+}
+
+struct Case {
+  const char* name;
+  unsigned bound;
+  /// Full-run wall budget per solve.  Most cases use a short leash (a cut
+  /// cell is itself the measurement); fir gets enough rope for both fraig
+  /// arms to *complete* with structuralAliasing off, which is the clean
+  /// completed-vs-completed wall-time comparison.
+  double wallBudget;
+  std::function<std::shared_ptr<sec::SecProblem>(ir::Context&)> make;
+};
+
+std::uint64_t conflictsUsed(const sec::SecStats& stats) {
+  std::uint64_t total = stats.induction.conflicts;
+  for (const auto& phase : stats.bmcTransactions) total += phase.conflicts;
+  return total;
+}
+
+/// Sums a per-phase fraig field across BMC transactions + induction.
+template <typename Get>
+auto sumPhases(const sec::SecStats& stats, Get get) {
+  auto total = get(stats.induction);
+  for (const auto& phase : stats.bmcTransactions) total += get(phase);
+  return total;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "sec_ablation");
   std::printf("=== ABL-SEC: engine ablation + mutation kill matrix ===\n\n");
   if (smoke)
     std::printf("(--smoke: first mutants only, short stream, no timing "
                 "claims)\n\n");
 
-  // --- Part 1: structural aliasing ablation ---------------------------------
+  // --- Part 1: fraig x structuralAliasing matrix ----------------------------
+  std::vector<Case> cases = {
+      {"fir", designs::kFirTaps + 2, 120.0,
+       [](ir::Context& ctx) {
+         return hold(std::make_shared<designs::FirSecSetup>(
+             designs::makeFirSecProblem(ctx, designs::FirBug::kNone)));
+       }},
+      {"conv_win", 1, 4.0,
+       [](ir::Context& ctx) {
+         return hold(std::make_shared<ConvWinSetup>(makeConvWinProblem(ctx)));
+       }},
+      {"gcd", 1, 4.0,
+       [](ir::Context& ctx) {
+         return hold(std::make_shared<designs::GcdSecSetup>(
+             designs::makeGcdSecProblem(ctx)));
+       }},
+      {"fpadd", 1, 4.0,
+       [](ir::Context& ctx) {
+         return hold(std::make_shared<designs::FpAddSecSetup>(
+             designs::makeFpAddSecProblem(ctx, fp::Format::minifloat(),
+                                          /*constrainToSafeBand=*/true)));
+       }},
+      {"gcd_breakif", 1, 4.0,
+       [](ir::Context& ctx) {
+         return hold(std::make_shared<designs::GcdSecSetup>(
+             designs::makeGcdBreakIfSecProblem(ctx)));
+       }},
+  };
+  if (smoke) cases = {cases[0], cases[4]};  // fir + the hard shape
+
+  std::printf("--- fraig x structuralAliasing matrix (wall budget per solve: "
+              "%s) ---\n",
+              smoke ? "2s" : "4s; 120s for fir so every arm completes");
+  std::printf("%-12s %-6s %-6s %8s %10s %10s %9s %8s %10s  %s\n", "design",
+              "alias", "fraig", "sec(s)", "cone(pre)", "cone(post)",
+              "fraigSAT", "merged", "conflicts", "verdict");
+  unsigned verdictMismatches = 0;
+  for (const Case& c : cases) {
+    sec::Verdict arm0 = sec::Verdict::kInconclusive;
+    bool arm0Cut = true;
+    for (const bool aliasing : {true, false}) {
+      for (const bool fraig : {true, false}) {
+        ir::Context ctx;
+        auto problem = c.make(ctx);
+        sec::SecOptions o;
+        o.boundTransactions = c.bound;
+        o.structuralAliasing = aliasing;
+        o.fraig = fraig;
+        // The slowest arms (CNF invariants, no sweeping) would otherwise run
+        // unbounded; a per-case wall budget keeps the matrix finite and an
+        // INCONCLUSIVE cell is itself the measurement.
+        o.bmcBudget.maxSeconds = smoke ? 2.0 : c.wallBudget;
+        o.inductionBudget.maxSeconds = smoke ? 2.0 : c.wallBudget;
+        const auto t0 = Clock::now();
+        const auto r = sec::checkEquivalence(*problem, o);
+        const double secs = secsSince(t0);
+        const auto pre = sumPhases(
+            r.stats, [](const sec::PhaseStats& p) { return p.fraigNodesBefore; });
+        const auto post = sumPhases(
+            r.stats, [](const sec::PhaseStats& p) { return p.fraigNodesAfter; });
+        const bool cut = r.stats.induction.budgetExhausted ||
+                         sumPhases(r.stats, [](const sec::PhaseStats& p) {
+                           return static_cast<int>(p.budgetExhausted);
+                         }) > 0;
+        char preBuf[16] = "-", postBuf[16] = "-";
+        if (fraig) {
+          std::snprintf(preBuf, sizeof preBuf, "%zu", pre);
+          std::snprintf(postBuf, sizeof postBuf, "%zu", post);
+        }
+        std::printf("%-12s %-6s %-6s %8.3f %10s %10s %9llu %8zu %10llu  %s\n",
+                    c.name, aliasing ? "on" : "off", fraig ? "on" : "off",
+                    secs, preBuf, postBuf,
+                    static_cast<unsigned long long>(r.stats.fraigSatCalls),
+                    r.stats.fraigMergedNodes,
+                    static_cast<unsigned long long>(conflictsUsed(r.stats)),
+                    sec::verdictName(r.verdict));
+        report.beginRow("fraig_matrix")
+            .field("design", c.name)
+            .field("aliasing", aliasing)
+            .field("fraig", fraig)
+            .field("seconds", secs)
+            .field("fraigNodesBefore", pre)
+            .field("fraigNodesAfter", post)
+            .field("fraigSatCalls", r.stats.fraigSatCalls)
+            .field("fraigMergedNodes", r.stats.fraigMergedNodes)
+            .field("fraigTimeMs", r.stats.fraigTimeMs)
+            .field("conflicts", conflictsUsed(r.stats))
+            .field("budgetCut", cut)
+            .field("verdict", sec::verdictName(r.verdict));
+        // Fraig must never change a verdict: compare the two fraig arms per
+        // aliasing setting, but only when neither was cut off by budget.
+        if (fraig) {
+          arm0 = r.verdict;
+          arm0Cut = cut;
+        } else if (!arm0Cut && !cut && r.verdict != arm0) {
+          ++verdictMismatches;
+          std::printf("  !! VERDICT CHANGED by fraig on %s\n", c.name);
+        }
+      }
+    }
+  }
+  std::printf("(INCONCLUSIVE = wall budget hit; fraig may rescue an arm but "
+              "must never flip a\n completed verdict — mismatches: %u, must "
+              "be 0)\n\n",
+              verdictMismatches);
+
+  // --- Part 2: strash reserve + hash mixing ---------------------------------
+  {
+    const std::size_t chain = smoke ? 20000 : 1000000;
+    std::printf("--- Aig::reserve + strash mixing (xor chain, %zu steps) "
+                "---\n",
+                chain);
+    for (const bool reserve : {false, true}) {
+      aig::Aig a;
+      if (reserve) a.reserve(3 * chain + 4);
+      const auto t0 = Clock::now();
+      aig::Lit acc = a.makeInput("x");
+      const aig::Lit y = a.makeInput("y");
+      for (std::size_t i = 0; i < chain; ++i) acc = a.makeXor(acc, y);
+      const double secs = secsSince(t0);
+      std::printf("  %-12s %8.3fs  nodes=%-9zu buckets=%zu\n",
+                  reserve ? "reserved" : "growing", secs, a.numNodes(),
+                  a.strashBucketCount());
+      report.beginRow("strash_reserve")
+          .field("reserved", reserve)
+          .field("seconds", secs)
+          .field("nodes", a.numNodes())
+          .field("buckets", a.strashBucketCount());
+    }
+    std::printf("  (reserve removes every mid-build rehash; splitmix64 "
+                "mixing keeps probe chains O(1))\n\n");
+  }
+
+  // --- Part 3: structural aliasing detail (FIR induction) -------------------
   std::printf("inductive-step cost for the FIR block (7 coupling "
               "invariants):\n");
   std::printf("  %-34s %10s %14s\n", "invariant handling", "time", "conflicts");
@@ -59,18 +268,23 @@ int main(int argc, char** argv) {
     }
     const auto t0 = Clock::now();
     auto r = sec::checkEquivalence(*setup.problem, o);
+    const double secs = secsSince(t0);
     std::printf("  %-34s %9.3fs %14llu   -> %s%s\n",
                 structural ? "structural (shared variables)"
                            : "CNF equality constraints",
-                secsSince(t0),
-                static_cast<unsigned long long>(r.stats.satConflicts),
+                secs, static_cast<unsigned long long>(r.stats.satConflicts),
                 sec::verdictName(r.verdict),
                 r.stats.induction.budgetExhausted ? " (budget cut-off)" : "");
+    report.beginRow("aliasing_detail")
+        .field("structural", structural)
+        .field("seconds", secs)
+        .field("conflicts", r.stats.satConflicts)
+        .field("verdict", sec::verdictName(r.verdict));
   }
   std::printf("  (identical verdicts; the structural form is what makes "
               "datapath induction scale)\n\n");
 
-  // --- Part 2: mutation kill matrix ------------------------------------------
+  // --- Part 4: mutation kill matrix ------------------------------------------
   const rtl::Module golden = designs::makeFirRtl(designs::FirBug::kNone);
   const std::size_t allSites = rtl::countMutationSites(golden);
   const std::size_t sites = smoke && allSites > 4 ? 4 : allSites;
@@ -145,5 +359,14 @@ int main(int argc, char** argv) {
   std::printf("  functionally masked mutants : %u\n", masked);
   std::printf("  soundness disagreements     : %u (must be 0)\n",
               disagreements);
-  return disagreements == 0 ? 0 : 1;
+  report.beginRow("mutation_matrix")
+      .field("sites", sites)
+      .field("secKills", secKills)
+      .field("cosimKills", cosimKills)
+      .field("masked", masked)
+      .field("disagreements", disagreements)
+      .field("secSeconds", secTime)
+      .field("cosimSeconds", cosimTime);
+  report.write();
+  return disagreements == 0 && verdictMismatches == 0 ? 0 : 1;
 }

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "designs/conv.h"
 #include "designs/fir.h"
 #include "designs/fpadd.h"
@@ -105,9 +106,8 @@ const char* shortVerdict(sec::Verdict v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "sec_budget");
 
   std::printf("=== SEC-BUDGET: time-to-verdict under resource budgets ===\n");
   if (smoke) std::printf("(--smoke: tiny parameters, no timing claims)\n");
@@ -147,10 +147,18 @@ int main(int argc, char** argv) {
     const auto t0 = Clock::now();
     const auto r = sec::checkEquivalence(*problem,
                                          {.boundTransactions = c.bound});
-    std::printf("%-10s %9.3f %10llu %9zu %9zu  %s\n", c.name, secsSince(t0),
+    const double secs = secsSince(t0);
+    std::printf("%-10s %9.3f %10llu %9zu %9zu  %s\n", c.name, secs,
                 static_cast<unsigned long long>(conflictsUsed(r.stats)),
                 r.stats.bmcAigNodes, r.stats.inductionAigNodes,
                 sec::verdictName(r.verdict));
+    report.beginRow("baseline")
+        .field("design", c.name)
+        .field("seconds", secs)
+        .field("conflicts", conflictsUsed(r.stats))
+        .field("aigBmc", r.stats.bmcAigNodes)
+        .field("aigInduction", r.stats.inductionAigNodes)
+        .field("verdict", sec::verdictName(r.verdict));
   }
   std::printf("\n");
 
@@ -179,10 +187,16 @@ int main(int argc, char** argv) {
       o.inductionBudget.maxConflicts = b;
       const auto t0 = Clock::now();
       const auto r = sec::checkEquivalence(*problem, o);
+      const double secs = secsSince(t0);
       char cell[32];
       std::snprintf(cell, sizeof cell, "%s/%.2fs", shortVerdict(r.verdict),
-                    secsSince(t0));
+                    secs);
       std::printf(" %18s", cell);
+      report.beginRow("conflict_frontier")
+          .field("design", c.name)
+          .field("maxConflicts", b)
+          .field("seconds", secs)
+          .field("verdict", shortVerdict(r.verdict));
     }
     std::printf("\n");
   }
@@ -215,13 +229,21 @@ int main(int argc, char** argv) {
     }
     char label[32];
     std::snprintf(label, sizeof label, "%.2fs", budgetSecs);
-    std::printf("%-12s %9.3f %12llu %10llu %9llu %9llu  %s\n", label,
-                secsSince(t0),
+    const double secs = secsSince(t0);
+    std::printf("%-12s %9.3f %12llu %10llu %9llu %9llu  %s\n", label, secs,
                 static_cast<unsigned long long>(conflictsUsed(r.stats)),
                 static_cast<unsigned long long>(restarts),
                 static_cast<unsigned long long>(learnt),
                 static_cast<unsigned long long>(deleted),
                 sec::verdictName(r.verdict));
+    report.beginRow("wall_budget")
+        .field("budgetSeconds", budgetSecs)
+        .field("seconds", secs)
+        .field("conflicts", conflictsUsed(r.stats))
+        .field("restarts", restarts)
+        .field("learntClauses", learnt)
+        .field("deletedClauses", deleted)
+        .field("verdict", sec::verdictName(r.verdict));
   }
   std::printf("(bench_drc needed a forked child and SIGKILL for this shape; "
               "the in-engine budget\n returns inconclusive with telemetry "
@@ -243,9 +265,14 @@ int main(int argc, char** argv) {
     std::printf("  %-24s -> %-16s (cex: %s)\n",
                 budgeted ? "1-propagation budget" : "unlimited",
                 sec::verdictName(r.verdict), r.cex.has_value() ? "yes" : "no");
+    report.beginRow("budget_masking")
+        .field("budgeted", budgeted)
+        .field("verdict", sec::verdictName(r.verdict))
+        .field("cexFound", r.cex.has_value());
   }
   std::printf("(a starved budget reports INCONCLUSIVE, never a false "
               "\"equivalent\" -- the plan\n layer keeps it distinct from "
               "pass so a starved block cannot greenlight a tapeout)\n");
+  report.write();
   return 0;
 }

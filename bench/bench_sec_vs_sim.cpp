@@ -100,6 +100,7 @@ const char* bugName(designs::FirBug bug) {
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "sec_vs_sim");
   std::printf("=== CLM-SECFIND: time-to-find for injected RTL bugs ===\n\n");
   if (smoke)
     std::printf("(--smoke: tiny simulation budget, no timing claims)\n\n");
@@ -129,8 +130,19 @@ int main(int argc, char** argv) {
                   sec::verdictName(formal.verdict), formal.seconds);
     std::printf("%-20s | %-26s | %-26s | %s\n", bugName(bug), quietBuf,
                 loudBuf, secBuf);
+    report.beginRow("time_to_find")
+        .field("bug", bugName(bug))
+        .field("quietFound", quiet.stimuli.has_value())
+        .field("quietStimuli", quiet.stimuli.value_or(0))
+        .field("quietSeconds", quiet.seconds)
+        .field("loudFound", loud.stimuli.has_value())
+        .field("loudStimuli", loud.stimuli.value_or(0))
+        .field("loudSeconds", loud.seconds)
+        .field("secVerdict", sec::verdictName(formal.verdict))
+        .field("secSeconds", formal.seconds);
   }
   std::printf("\n(narrow accumulator: a correct-by-typical-workload design "
               "that only formal input coverage exposes)\n");
+  report.write();
   return 0;
 }

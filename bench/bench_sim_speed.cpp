@@ -38,6 +38,8 @@ struct Row {
   double seconds;
 };
 
+benchutil::JsonReport* gReport = nullptr;
+
 void printRows(const char* design, const Row* rows, std::size_t n) {
   std::printf("%s:\n", design);
   std::printf("  %-22s %12s %10s %12s %9s\n", "abstraction level", "items",
@@ -48,6 +50,13 @@ void printRows(const char* design, const Row* rows, std::size_t n) {
     const double rate = static_cast<double>(rows[i].items) / rows[i].seconds;
     std::printf("  %-22s %12zu %10.3f %12.0f %8.1fx\n", rows[i].level,
                 rows[i].items, rows[i].seconds, rate, rate / rtlRate);
+    gReport->beginRow("throughput")
+        .field("design", design)
+        .field("level", rows[i].level)
+        .field("items", rows[i].items)
+        .field("seconds", rows[i].seconds)
+        .field("itemsPerSec", rate)
+        .field("vsRtl", rate / rtlRate);
   }
   std::printf("\n");
 }
@@ -156,6 +165,8 @@ std::uint64_t convRtl(const workload::Image& img,
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport report(argc, argv, "sim_speed");
+  gReport = &report;
   std::printf("=== CLM-SPEED: SLM vs RTL simulation throughput "
               "(paper: 10x-1000x) ===\n\n");
   if (smoke)
@@ -215,5 +226,6 @@ int main(int argc, char** argv) {
     rows[2] = {"RTL simulation", imgSmall.pixels.size(), secsSince(t0)};
     printRows("conv3x3 (items = pixels)", rows, 3);
   }
+  report.write();
   return sink == 0xdead ? 1 : 0;  // defeat optimizer
 }

@@ -36,6 +36,20 @@ class Aig {
     isInput_.push_back(false);
   }
 
+  /// Pre-sizes the node storage and the strash table for ~`nodes` nodes.
+  /// The BMC engine knows how many transactions it will unroll and how big
+  /// one transaction's frame is, so it can avoid the rehash-and-copy churn
+  /// of growing a multi-million-entry table incrementally.
+  void reserve(std::size_t nodes) {
+    fanin0_.reserve(nodes);
+    fanin1_.reserve(nodes);
+    isInput_.reserve(nodes);
+    strash_.reserve(nodes);
+  }
+
+  /// Current strash bucket count (telemetry for reserve()'s effect).
+  std::size_t strashBucketCount() const { return strash_.bucket_count(); }
+
   /// Creates a primary input; returns its positive literal.
   Lit makeInput(std::string name = "");
 
@@ -74,6 +88,11 @@ class Aig {
   const std::string& inputName(std::uint32_t node) const {
     return inputNames_.at(node);
   }
+  /// Input name, or `def` for unnamed inputs (inputName throws on those).
+  std::string inputNameOr(std::uint32_t node, std::string def = "") const {
+    auto it = inputNames_.find(node);
+    return it == inputNames_.end() ? std::move(def) : it->second;
+  }
 
   /// Reference simulation: values for ALL nodes given input-node values
   /// (indexed by node id; non-input positions ignored).  Used by property
@@ -89,8 +108,17 @@ class Aig {
  private:
   struct PairHash {
     std::size_t operator()(const std::pair<Lit, Lit>& p) const {
-      return std::hash<std::uint64_t>()(
-          (static_cast<std::uint64_t>(p.first) << 32) | p.second);
+      // splitmix64 finalizer.  libstdc++'s hash<uint64_t> is the identity,
+      // which makes (a<<32)|b keys collide structurally: sequentially
+      // allocated fanin pairs land in neighboring buckets and long probe
+      // chains form as the table fills.  Proper avalanche keeps the strash
+      // at O(1) across the multi-million-node BMC unrollings.
+      std::uint64_t x =
+          (static_cast<std::uint64_t>(p.first) << 32) | p.second;
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
     }
   };
 

@@ -23,6 +23,8 @@
 //   dfv::designs / dfv::workload — reference design pairs and stimulus
 #pragma once
 
+#include "aig/cnf.h"                // IWYU pragma: export
+#include "aig/fraig.h"              // IWYU pragma: export
 #include "bitvec/bitvector.h"       // IWYU pragma: export
 #include "bitvec/hdl_int.h"         // IWYU pragma: export
 #include "core/plan.h"              // IWYU pragma: export

@@ -136,6 +136,27 @@ class Solver {
   /// formed the final conflict — an unsat core over assumptions.
   const std::vector<Lit>& conflictAssumptions() const { return conflict_; }
 
+  /// Phase saving: every backtrack records the polarity each variable held,
+  /// and pickBranchLit() re-decides that polarity first.  The store is a
+  /// plain member, so phases persist across restarts AND across incremental
+  /// solve() calls — a sequence of related queries (the fraig pass, a BMC
+  /// loop) re-enters the part of the search space the previous solve ended
+  /// in instead of re-deriving it from the default-false polarity.
+  ///
+  /// setPhase seeds the saved polarity explicitly (e.g. from simulation
+  /// signatures, so the first descent tracks a known-consistent assignment);
+  /// it is a hint only and never affects soundness.
+  void setPhase(Var v, bool value) {
+    DFV_CHECK_MSG(static_cast<std::size_t>(v) < phase_.size(),
+                  "setPhase on unallocated variable " << v);
+    phase_[static_cast<std::size_t>(v)] = lboolOf(value);
+  }
+  bool savedPhase(Var v) const {
+    DFV_CHECK_MSG(static_cast<std::size_t>(v) < phase_.size(),
+                  "savedPhase on unallocated variable " << v);
+    return phase_[static_cast<std::size_t>(v)] == LBool::kTrue;
+  }
+
   const SolverStats& stats() const { return stats_; }
 
   /// Convenience: a literal that is always true / always false.

@@ -1,6 +1,7 @@
 #include "sec/engine.h"
 
 #include <chrono>
+#include <memory>
 #include <sstream>
 #include <unordered_map>
 
@@ -236,19 +237,146 @@ class Unroller {
   std::vector<FreeInput> freeInputs_;
 };
 
-bv::BitVector extractWord(aig::CnfEncoder& enc, const sat::Solver& solver,
-                          const aig::Word& w) {
+/// Runs one budgeted solve and folds its cost into `phase` (several solves
+/// may share one phase entry, e.g. the vacuity check and transaction 0).
+sat::Result solveIntoPhase(sat::Solver& solver,
+                           const std::vector<sat::Lit>& assumptions,
+                           const sat::Budget& budget, PhaseStats& phase) {
+  const sat::SolverStats before = solver.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  const sat::Result r = solver.solve(assumptions, budget);
+  const sat::SolverStats& after = solver.stats();
+  phase.seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  phase.conflicts += after.conflicts - before.conflicts;
+  phase.decisions += after.decisions - before.decisions;
+  phase.propagations += after.propagations - before.propagations;
+  phase.restarts += after.restarts - before.restarts;
+  phase.learntClauses += after.learntClauses - before.learntClauses;
+  phase.deletedClauses += after.deletedClauses - before.deletedClauses;
+  if (r == sat::Result::kUnknown) phase.budgetExhausted = true;
+  return r;
+}
+
+/// The solver interface the engine drives, in one of two modes:
+///  * incremental (SecOptions::fraig off): one persistent solver + lazy
+///    encoder over the unrolling graph; asserted facts become clauses
+///    immediately.  This path is identical to the pre-fraig engine.
+///  * fraig (the default): asserted facts accumulate as AIG literals; each
+///    solve first SAT-sweeps the cone of everything that solve can see
+///    (aig::Fraig), then runs on the sweep's own solver, so the rewritten —
+///    typically much smaller — cone is already clausified and the sweep's
+///    learnt clauses, equivalence units and saved phases are reused.  Model
+///    extraction maps unrolling-graph literals through the sweep's node map,
+///    so counterexamples are exact.
+class Miter {
+ public:
+  Miter(aig::Aig& g, const SecOptions& options) : g_(g), options_(options) {
+    if (!options_.fraig) {
+      solver_ = std::make_unique<sat::Solver>();
+      enc_ = std::make_unique<aig::CnfEncoder>(g_, *solver_);
+    }
+  }
+
+  void assertTrue(aig::Lit l) {
+    if (!options_.fraig)
+      enc_->assertTrue(l);
+    else
+      asserted_.push_back(l);
+  }
+
+  /// Solves the accumulated assertions, assuming `query` unless it is
+  /// aig::kTrue (the constraint-vacuity form of the question).
+  sat::Result solve(aig::Lit query, const sat::Budget& budget,
+                    PhaseStats& phase) {
+    if (!options_.fraig) {
+      std::vector<sat::Lit> assumptions;
+      if (query != aig::kTrue) assumptions.push_back(enc_->satLit(query));
+      return solveIntoPhase(*solver_, assumptions, budget, phase);
+    }
+    std::vector<aig::Lit> roots = asserted_;
+    if (query != aig::kTrue) roots.push_back(query);
+    // The sweep proves its merges through the same solver the main solve
+    // runs on, so the clausified cone, the proven-equivalence units, the
+    // learnt clauses and the saved phases all carry over instead of being
+    // re-derived from scratch.
+    fraigAig_ = std::make_unique<aig::Aig>();
+    solver_ = std::make_unique<sat::Solver>();
+    enc_ = std::make_unique<aig::CnfEncoder>(*fraigAig_, *solver_);
+    fraiged_ = std::make_unique<aig::Fraig::Result>(
+        aig::Fraig(options_.fraigOptions).run(g_, roots, *fraigAig_, *enc_));
+    const aig::FraigStats& fs = fraiged_->stats;
+    phase.fraigNodesBefore += fs.nodesBefore;
+    phase.fraigNodesAfter += fs.nodesAfter;
+    phase.fraigMergedNodes += fs.mergedNodes;
+    phase.fraigSatCalls += fs.satCalls;
+    phase.fraigTimeMs += fs.seconds * 1e3;
+    fraigMerged_ += fs.mergedNodes;
+    fraigSatCalls_ += fs.satCalls;
+    fraigTimeMs_ += fs.seconds * 1e3;
+    for (std::size_t i = 0; i < asserted_.size(); ++i)
+      enc_->assertTrue(fraiged_->roots[i]);
+    std::vector<sat::Lit> assumptions;
+    if (query != aig::kTrue)
+      assumptions.push_back(enc_->satLit(fraiged_->roots.back()));
+    const sat::Result r = solveIntoPhase(*solver_, assumptions, budget, phase);
+    // The solver is transient in this mode: bank its cost before the next
+    // solve replaces it.
+    conflicts_ += solver_->stats().conflicts;
+    decisions_ += solver_->stats().decisions;
+    return r;
+  }
+
+  /// After kSat: the model value of an unrolling-graph literal (mapped
+  /// through the last sweep in fraig mode).
+  bool modelOf(aig::Lit l, bool def) {
+    if (options_.fraig) {
+      if (!fraiged_->isMapped(l)) return def;
+      l = fraiged_->map(l);
+    }
+    return solver_->modelValueOr(enc_->satLit(l), def);
+  }
+
+  /// Folds this miter's total solver + fraig cost into the run stats.
+  void foldInto(SecStats& stats) const {
+    if (!options_.fraig) {
+      stats.satConflicts += solver_->stats().conflicts;
+      stats.satDecisions += solver_->stats().decisions;
+    } else {
+      stats.satConflicts += conflicts_;
+      stats.satDecisions += decisions_;
+    }
+    stats.fraigMergedNodes += fraigMerged_;
+    stats.fraigSatCalls += fraigSatCalls_;
+    stats.fraigTimeMs += fraigTimeMs_;
+  }
+
+ private:
+  aig::Aig& g_;
+  const SecOptions& options_;
+  std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<aig::CnfEncoder> enc_;
+  std::vector<aig::Lit> asserted_;               // fraig mode only
+  std::unique_ptr<aig::Aig> fraigAig_;           // last solve's rebuilt graph
+  std::unique_ptr<aig::Fraig::Result> fraiged_;  // last solve's sweep
+  std::uint64_t conflicts_ = 0, decisions_ = 0;
+  std::size_t fraigMerged_ = 0;
+  std::uint64_t fraigSatCalls_ = 0;
+  double fraigTimeMs_ = 0.0;
+};
+
+bv::BitVector extractWord(Miter& miter, const aig::Word& w) {
   bv::BitVector v(static_cast<unsigned>(w.size()));
   for (std::size_t i = 0; i < w.size(); ++i)
-    v.setBit(static_cast<unsigned>(i),
-             solver.modelValueOr(enc.satLit(w[i]), false));
+    v.setBit(static_cast<unsigned>(i), miter.modelOf(w[i], false));
   return v;
 }
 
 /// Builds the complete concrete stimulus for one side from the model.
 std::vector<std::vector<std::vector<ir::Value>>> extractSideInputs(
     const SecProblem& problem, Side side, const Unroller& unroller,
-    aig::CnfEncoder& enc, const sat::Solver& solver,
+    Miter& miter,
     const std::vector<std::vector<bv::BitVector>>& txnVarValues,
     unsigned numTxns) {
   const ir::TransitionSystem& ts = problem.side(side);
@@ -278,7 +406,7 @@ std::vector<std::vector<std::vector<ir::Value>>> extractSideInputs(
   for (const FreeInput& f : unroller.freeInputs()) {
     if (f.txn >= numTxns) continue;
     result[f.txn][f.cycle][f.inputIndex] =
-        ir::Value(extractWord(enc, solver, f.word));
+        ir::Value(extractWord(miter, f.word));
   }
   return result;
 }
@@ -315,28 +443,6 @@ void replayCounterexample(const SecProblem& problem, Counterexample& cex) {
   }
 }
 
-/// Runs one budgeted solve and folds its cost into `phase` (several solves
-/// may share one phase entry, e.g. the vacuity check and transaction 0).
-sat::Result solveIntoPhase(sat::Solver& solver,
-                           const std::vector<sat::Lit>& assumptions,
-                           const sat::Budget& budget, PhaseStats& phase) {
-  const sat::SolverStats before = solver.stats();
-  const auto t0 = std::chrono::steady_clock::now();
-  const sat::Result r = solver.solve(assumptions, budget);
-  const sat::SolverStats& after = solver.stats();
-  phase.seconds +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  phase.conflicts += after.conflicts - before.conflicts;
-  phase.decisions += after.decisions - before.decisions;
-  phase.propagations += after.propagations - before.propagations;
-  phase.restarts += after.restarts - before.restarts;
-  phase.learntClauses += after.learntClauses - before.learntClauses;
-  phase.deletedClauses += after.deletedClauses - before.deletedClauses;
-  if (r == sat::Result::kUnknown) phase.budgetExhausted = true;
-  return r;
-}
-
 }  // namespace
 
 SecResult checkEquivalence(const SecProblem& problem,
@@ -346,8 +452,7 @@ SecResult checkEquivalence(const SecProblem& problem,
 
   SecResult result;
   aig::Aig g;
-  sat::Solver solver;
-  aig::CnfEncoder enc(g, solver);
+  Miter miter(g, options);
 
   Unroller slm(problem, Side::kSlm, g);
   Unroller rtl(problem, Side::kRtl, g);
@@ -362,8 +467,7 @@ SecResult checkEquivalence(const SecProblem& problem,
     result.stats.bmcAigNodes = g.numNodes();
     result.stats.aigNodes =
         result.stats.bmcAigNodes + result.stats.inductionAigNodes;
-    result.stats.satConflicts += solver.stats().conflicts;
-    result.stats.satDecisions += solver.stats().decisions;
+    miter.foldInto(result.stats);
     result.stats.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       startTime)
@@ -387,7 +491,7 @@ SecResult checkEquivalence(const SecProblem& problem,
       for (std::size_t i = 0; i < problem.txnVars().size(); ++i)
         frame.bindScalar(problem.txnVars()[i], vars[i]);
       for (ir::NodeRef c : problem.constraints())
-        enc.assertTrue(frame.blast(c)[0]);
+        miter.assertTrue(frame.blast(c)[0]);
     }
     PhaseStats phase;
     // Vacuity guard (first transaction only — constraints repeat): an
@@ -395,7 +499,7 @@ SecResult checkEquivalence(const SecProblem& problem,
     // the formal counterpart of a testbench that generates no stimulus.
     if (t == 0 && !problem.constraints().empty()) {
       const sat::Result vr =
-          solveIntoPhase(solver, {}, options.bmcBudget, phase);
+          miter.solve(aig::kTrue, options.bmcBudget, phase);
       if (vr == sat::Result::kUnknown) {
         result.stats.bmcTransactions.push_back(phase);
         result.verdict = Verdict::kInconclusive;
@@ -423,8 +527,7 @@ SecResult checkEquivalence(const SecProblem& problem,
     }
     result.stats.transactionsChecked = t + 1;
 
-    const sat::Result br = solveIntoPhase(solver, {enc.satLit(anyDiff)},
-                                          options.bmcBudget, phase);
+    const sat::Result br = miter.solve(anyDiff, options.bmcBudget, phase);
     result.stats.bmcTransactions.push_back(phase);
     if (br == sat::Result::kUnknown) {
       // Budget expired with neither equivalence nor a counterexample at
@@ -437,21 +540,33 @@ SecResult checkEquivalence(const SecProblem& problem,
       // Counterexample: identify which check fired, extract, replay.
       Counterexample cex;
       cex.failingTransaction = t;
-      for (std::size_t c = 0; c < problem.checks().size(); ++c) {
-        if (solver.modelValueOr(enc.satLit(checkDiffs[c]), false)) {
-          cex.check = problem.checks()[c];
-          break;
+      // Identify which check fired.  The per-check diff literals may have no
+      // model variable of their own (polarity-aware encoding only clausifies
+      // what a root needs, and fraiging can reroute the solved cone around
+      // them), so evaluate the unrolling graph under the extracted input
+      // assignment — inputs always map, and ones outside the solved cone are
+      // unconstrained, so their default is consistent with the model.
+      {
+        std::unordered_map<std::uint32_t, bool> inputVals;
+        for (const std::uint32_t in : g.inputs())
+          inputVals[in] = miter.modelOf(in << 1, false);
+        const std::vector<bool> nodeVals = g.evaluate(inputVals);
+        for (std::size_t c = 0; c < problem.checks().size(); ++c) {
+          if (aig::Aig::litValue(nodeVals, checkDiffs[c])) {
+            cex.check = problem.checks()[c];
+            break;
+          }
         }
       }
       for (unsigned tt = 0; tt <= t; ++tt) {
         std::vector<bv::BitVector> vals;
         for (const auto& w : txnVarWords[tt])
-          vals.push_back(extractWord(enc, solver, w));
+          vals.push_back(extractWord(miter, w));
         cex.txnVarValues.push_back(std::move(vals));
       }
-      cex.slmInputs = extractSideInputs(problem, Side::kSlm, slm, enc, solver,
+      cex.slmInputs = extractSideInputs(problem, Side::kSlm, slm, miter,
                                         cex.txnVarValues, t + 1);
-      cex.rtlInputs = extractSideInputs(problem, Side::kRtl, rtl, enc, solver,
+      cex.rtlInputs = extractSideInputs(problem, Side::kRtl, rtl, miter,
                                         cex.txnVarValues, t + 1);
       replayCounterexample(problem, cex);
       result.verdict = Verdict::kNotEquivalent;
@@ -460,7 +575,13 @@ SecResult checkEquivalence(const SecProblem& problem,
       return result;
     }
     // Outputs proven equal at this depth: assert it to help deeper frames.
-    enc.assertTrue(aig::negate(anyDiff));
+    miter.assertTrue(aig::negate(anyDiff));
+    if (t == 0 && options.boundTransactions > 1) {
+      // One transaction's frame is now in the graph: pre-size the node
+      // vectors and the strash table for the whole unrolling so they stop
+      // rehash-growing (bench_sec_ablation measures the bucket counts).
+      g.reserve(g.numNodes() * options.boundTransactions);
+    }
   }
 
   result.verdict = Verdict::kBoundedEquivalent;
@@ -482,8 +603,7 @@ SecResult checkEquivalence(const SecProblem& problem,
     }
     if (closed) {
       aig::Aig gi;
-      sat::Solver solverI;
-      aig::CnfEncoder encI(gi, solverI);
+      Miter miterI(gi, options);
       Unroller slmI(problem, Side::kSlm, gi);
       Unroller rtlI(problem, Side::kRtl, gi);
       slmI.initSymbolic("ind.");
@@ -529,7 +649,7 @@ SecResult checkEquivalence(const SecProblem& problem,
         slmI.bindStateLeaves(frame);
         rtlI.bindStateLeaves(frame);
         for (ir::NodeRef inv : cnfInvariants)
-          encI.assertTrue(frame.blast(inv)[0]);
+          miterI.assertTrue(frame.blast(inv)[0]);
       }
       // One symbolic transaction.
       std::vector<aig::Word> vars;
@@ -540,7 +660,7 @@ SecResult checkEquivalence(const SecProblem& problem,
         for (std::size_t i = 0; i < problem.txnVars().size(); ++i)
           frame.bindScalar(problem.txnVars()[i], vars[i]);
         for (ir::NodeRef c : problem.constraints())
-          encI.assertTrue(frame.blast(c)[0]);
+          miterI.assertTrue(frame.blast(c)[0]);
       }
       slmI.runTransaction(0, vars);
       rtlI.runTransaction(0, vars);
@@ -563,15 +683,13 @@ SecResult checkEquivalence(const SecProblem& problem,
           violation =
               gi.makeOr(violation, aig::negate(frame.blast(inv)[0]));
       }
-      const sat::Result ir = solveIntoPhase(solverI, {encI.satLit(violation)},
-                                            options.inductionBudget,
-                                            result.stats.induction);
+      const sat::Result ir = miterI.solve(violation, options.inductionBudget,
+                                          result.stats.induction);
       // kUnknown leaves `closed` false: the bounded verdict is sound on its
       // own, so an induction cutoff only forgoes the upgrade to proven.
       closed = ir == sat::Result::kUnsat;
       result.stats.inductionAigNodes = gi.numNodes();
-      result.stats.satConflicts += solverI.stats().conflicts;
-      result.stats.satDecisions += solverI.stats().decisions;
+      miterI.foldInto(result.stats);
     }
     result.stats.inductionClosed = closed;
     if (closed) result.verdict = Verdict::kProvenEquivalent;

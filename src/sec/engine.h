@@ -19,6 +19,7 @@
 
 #include "aig/bitblast.h"
 #include "aig/cnf.h"
+#include "aig/fraig.h"
 #include "sat/solver.h"
 #include "sec/transaction.h"
 
@@ -67,6 +68,13 @@ struct PhaseStats {
   std::uint64_t learntClauses = 0;
   std::uint64_t deletedClauses = 0;
   bool budgetExhausted = false;  ///< a solve in this phase returned kUnknown
+  /// SAT-sweeping cost/effect for this phase's solves (all zero when
+  /// SecOptions::fraig is off).
+  std::size_t fraigNodesBefore = 0;  ///< and-nodes in the solved cone
+  std::size_t fraigNodesAfter = 0;   ///< and-nodes after merging
+  std::size_t fraigMergedNodes = 0;
+  std::uint64_t fraigSatCalls = 0;
+  double fraigTimeMs = 0.0;
 };
 
 struct SecStats {
@@ -76,6 +84,10 @@ struct SecStats {
   std::size_t inductionAigNodes = 0;  ///< the induction graph (0 if unused)
   std::uint64_t satConflicts = 0;
   std::uint64_t satDecisions = 0;
+  /// Fraig totals across all phases (see the per-phase fields for splits).
+  std::size_t fraigMergedNodes = 0;
+  std::uint64_t fraigSatCalls = 0;
+  double fraigTimeMs = 0.0;
   double seconds = 0.0;
   bool inductionAttempted = false;
   bool inductionClosed = false;
@@ -102,6 +114,17 @@ struct SecOptions {
   /// exposed so bench_sec_ablation can quantify the optimization (see
   /// DESIGN.md §7).  Verdicts are identical either way.
   bool structuralAliasing = true;
+  /// SAT-sweep (fraig) the miter cone before every BMC and induction solve:
+  /// seeded random simulation proposes candidate equivalence classes,
+  /// incremental SAT proves or refutes them, and proven-equal nodes are
+  /// merged before the solver sees the formula (see aig/fraig.h and
+  /// DESIGN.md).  Composes with structuralAliasing: aliasing makes the two
+  /// sides share state variables, fraiging then proves and merges the
+  /// internal points that became semantically equal.  Only unconditional
+  /// equivalences are merged, so verdicts are identical either way.
+  bool fraig = true;
+  /// Tuning for the fraig pass (seed, stimulus size, per-candidate budget).
+  aig::FraigOptions fraigOptions{};
   /// Resource cap applied to each BMC solve (one per transaction, plus the
   /// constraint-vacuity check).  Default-constructed = unlimited.  When a
   /// BMC solve is cut off the engine stops and returns kInconclusive —

@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <random>
 
 #include "aig/aig.h"
 #include "aig/bitblast.h"
 #include "aig/cnf.h"
+#include "aig/fraig.h"
 #include "ir/eval.h"
 
 namespace dfv::aig {
@@ -282,6 +284,186 @@ TEST(Blast, CnfFindsTheOneDistinguishingInput) {
   ir::Env env{{a, ir::Value(va)}};
   EXPECT_NE(ir::Evaluator::evaluate(lhs, env).scalar,
             ir::Evaluator::evaluate(rhsBad, env).scalar);
+}
+
+// ---------------------------------------------------------------------------
+// Polarity-aware CNF vs full Tseitin: differential equisatisfiability.
+// ---------------------------------------------------------------------------
+
+/// A random AIG built from and/or/xor/mux over randomly complemented
+/// literals.  Returns `numRoots` random root literals.
+std::vector<Lit> buildRandomAig(Aig& g, std::mt19937_64& rng,
+                                unsigned numInputs, unsigned numOps,
+                                unsigned numRoots) {
+  std::vector<Lit> pool = {kFalse, kTrue};
+  for (unsigned i = 0; i < numInputs; ++i)
+    pool.push_back(g.makeInput("i" + std::to_string(i)));
+  auto pick = [&] {
+    Lit l = pool[rng() % pool.size()];
+    return (rng() & 1) ? negate(l) : l;
+  };
+  for (unsigned i = 0; i < numOps; ++i) {
+    const Lit a = pick();
+    const Lit b = pick();
+    switch (rng() % 4) {
+      case 0: pool.push_back(g.makeAnd(a, b)); break;
+      case 1: pool.push_back(g.makeOr(a, b)); break;
+      case 2: pool.push_back(g.makeXor(a, b)); break;
+      default: pool.push_back(g.makeMux(a, b, pick())); break;
+    }
+  }
+  std::vector<Lit> roots;
+  for (unsigned i = 0; i < numRoots; ++i) roots.push_back(pick());
+  return roots;
+}
+
+/// Evaluates the graph under the dense input assignment `bits` (bit i of
+/// `bits` is the value of the i-th input, in g.inputs() order).
+std::vector<bool> evalUnderBits(const Aig& g, std::uint64_t bits) {
+  std::unordered_map<std::uint32_t, bool> inputVals;
+  std::size_t i = 0;
+  for (const std::uint32_t in : g.inputs())
+    inputVals[in] = (bits >> i++) & 1;
+  return g.evaluate(inputVals);
+}
+
+TEST(CnfStyle, PlaistedGreenbaumEquisatisfiableWithTseitin) {
+  std::mt19937_64 rng(0xc4f1);
+  for (int iter = 0; iter < 40; ++iter) {
+    Aig g;
+    const auto roots =
+        buildRandomAig(g, rng, 4 + rng() % 4, 10 + rng() % 40, 3);
+    for (const Lit root : roots) {
+      sat::Solver spg, sts;
+      CnfEncoder pg(g, spg, CnfStyle::kPlaistedGreenbaum);
+      CnfEncoder ts(g, sts, CnfStyle::kTseitin);
+      pg.assertTrue(root);
+      ts.assertTrue(root);
+      const sat::Result rpg = spg.solve();
+      ASSERT_EQ(rpg, sts.solve()) << "iter " << iter << " root " << root;
+      // One-sided clauses can never outnumber the two-sided encoding.
+      EXPECT_LE(pg.clausesEmitted(), ts.clausesEmitted());
+      if (rpg != sat::Result::kSat) continue;
+      // The PG model must certify the asserted root on the real circuit.
+      std::unordered_map<std::uint32_t, bool> inputVals;
+      for (const std::uint32_t in : g.inputs())
+        inputVals[in] = spg.modelValueOr(pg.satLit(in << 1), false);
+      EXPECT_TRUE(Aig::litValue(g.evaluate(inputVals), root))
+          << "iter " << iter << " root " << root;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fraig: SAT sweeping must preserve semantics exactly, deterministically,
+// under any budget.
+// ---------------------------------------------------------------------------
+
+struct FraigRun {
+  Aig out;
+  sat::Solver solver;
+  std::unique_ptr<CnfEncoder> enc;
+  Fraig::Result res;
+
+  FraigRun(const Aig& src, const std::vector<Lit>& roots,
+           FraigOptions options = {}) {
+    enc = std::make_unique<CnfEncoder>(out, solver);
+    res = Fraig(options).run(src, roots, out, *enc);
+  }
+};
+
+TEST(Fraig, RandomAigsPreserveSemanticsExhaustively) {
+  std::mt19937_64 rng(0xf4a16);
+  for (int iter = 0; iter < 30; ++iter) {
+    Aig g;
+    const unsigned numInputs = 3 + rng() % 6;  // <= 8: exhaustive is cheap
+    const auto roots = buildRandomAig(g, rng, numInputs, 15 + rng() % 60, 4);
+    FraigRun run(g, roots);
+    ASSERT_EQ(run.res.roots.size(), roots.size());
+    for (std::uint64_t bits = 0; bits < (1ULL << numInputs); ++bits) {
+      const auto srcVals = evalUnderBits(g, bits);
+      const auto outVals = evalUnderBits(run.out, bits);
+      for (std::size_t r = 0; r < roots.size(); ++r) {
+        ASSERT_EQ(Aig::litValue(srcVals, roots[r]),
+                  Aig::litValue(outVals, run.res.roots[r]))
+            << "iter " << iter << " root " << r << " bits " << bits;
+      }
+    }
+  }
+}
+
+TEST(Fraig, DeterministicAcrossRuns) {
+  std::mt19937_64 rng(0xde7e);
+  Aig g;
+  const auto roots = buildRandomAig(g, rng, 8, 120, 4);
+  FraigRun a(g, roots);
+  FraigRun b(g, roots);
+  EXPECT_EQ(a.res.roots, b.res.roots);
+  EXPECT_EQ(a.res.nodeMap, b.res.nodeMap);
+  EXPECT_EQ(a.res.stats.mergedNodes, b.res.stats.mergedNodes);
+  EXPECT_EQ(a.res.stats.satCalls, b.res.stats.satCalls);
+  EXPECT_EQ(a.out.numNodes(), b.out.numNodes());
+}
+
+TEST(Fraig, TinyBudgetIsStillSound) {
+  // With an absurdly small per-candidate budget most proofs expire; the
+  // sweep must stay semantics-preserving (it just merges less).
+  std::mt19937_64 rng(0x71b7);
+  FraigOptions options;
+  options.candidateBudget = sat::Budget{/*maxConflicts=*/1, 0, 0.0};
+  for (int iter = 0; iter < 10; ++iter) {
+    Aig g;
+    const unsigned numInputs = 4 + rng() % 4;
+    const auto roots = buildRandomAig(g, rng, numInputs, 40 + rng() % 40, 3);
+    FraigRun run(g, roots, options);
+    for (std::uint64_t bits = 0; bits < (1ULL << numInputs); ++bits) {
+      const auto srcVals = evalUnderBits(g, bits);
+      const auto outVals = evalUnderBits(run.out, bits);
+      for (std::size_t r = 0; r < roots.size(); ++r)
+        ASSERT_EQ(Aig::litValue(srcVals, roots[r]),
+                  Aig::litValue(outVals, run.res.roots[r]));
+    }
+  }
+}
+
+TEST(Fraig, MergesStructurallyDistinctEquivalentArithmetic) {
+  // a+b and a-(-b) blast to different structures that strashing cannot
+  // merge; the sweep must prove every output bit pair onto one literal.
+  ir::Context ctx;
+  ir::NodeRef a = ctx.input("a", 6);
+  ir::NodeRef b = ctx.input("b", 6);
+  Aig g;
+  BitBlaster blaster(g);
+  blaster.bindScalar(a, blaster.freshWord(6, "a"));
+  blaster.bindScalar(b, blaster.freshWord(6, "b"));
+  const Word w1 = blaster.blast(ctx.add(a, b));
+  const Word w2 = blaster.blast(ctx.sub(a, ctx.neg(b)));
+  std::vector<Lit> roots;
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    roots.push_back(w1[i]);
+    roots.push_back(w2[i]);
+  }
+  FraigRun run(g, roots);
+  for (std::size_t i = 0; i < w1.size(); ++i)
+    EXPECT_EQ(run.res.roots[2 * i], run.res.roots[2 * i + 1]) << "bit " << i;
+  EXPECT_LT(run.res.stats.nodesAfter, run.res.stats.nodesBefore);
+  EXPECT_GT(run.res.stats.provenEquiv, 0u);
+}
+
+TEST(Fraig, SharedSolverRemainsUsableAfterSweep) {
+  // The caller's follow-up query runs on the sweep's solver; proven merges
+  // asserted as units must not contaminate an unrelated satisfiable query.
+  Aig g;
+  const Lit x = g.makeInput("x");
+  const Lit y = g.makeInput("y");
+  const Lit f1 = g.makeAnd(x, y);
+  const Lit f2 = negate(g.makeOr(negate(x), negate(y)));  // strash-equal
+  const Lit probe = g.makeXor(x, y);
+  FraigRun run(g, {f1, f2, probe});
+  EXPECT_EQ(run.res.roots[0], run.res.roots[1]);
+  const sat::Lit q = run.enc->satLit(run.res.roots[2]);
+  EXPECT_EQ(run.solver.solve({q}), sat::Result::kSat);
+  EXPECT_EQ(run.solver.solve({~q}), sat::Result::kSat);
 }
 
 }  // namespace

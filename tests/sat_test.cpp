@@ -457,5 +457,61 @@ TEST(SatSolver, LargerRandomSatInstancesComplete) {
   }
 }
 
+TEST(SatPhase, SavedPhaseMatchesModelAfterSolve) {
+  // Phase saving records the last assignment of every variable; after a SAT
+  // answer the saved phases and the model must agree (the model IS the last
+  // assignment).
+  std::mt19937 rng(11);
+  for (int iter = 0; iter < 20; ++iter) {
+    Solver s;
+    constexpr int kN = 40;
+    for (int v = 0; v < kN; ++v) s.newVar();
+    for (int c = 0; c < kN * 3; ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k)
+        cl.emplace_back(static_cast<Var>(rng() % kN), (rng() & 1) != 0);
+      s.addClause(cl);
+    }
+    if (s.solve() != Result::kSat) continue;
+    for (Var v = 0; v < kN; ++v)
+      EXPECT_EQ(s.savedPhase(v), s.modelValue(v)) << "var " << v;
+  }
+}
+
+TEST(SatPhase, SetPhaseSteersUnconstrainedVariables) {
+  // Decisions branch on the saved polarity, so seeding phases fully
+  // determines the model of an unconstrained formula.
+  Solver s;
+  constexpr int kN = 32;
+  for (int v = 0; v < kN; ++v) s.newVar();
+  for (Var v = 0; v < kN; ++v) {
+    EXPECT_FALSE(s.savedPhase(v));  // newVar seeds phase false
+    s.setPhase(v, (v % 3) == 0);
+  }
+  ASSERT_EQ(s.solve(), Result::kSat);
+  for (Var v = 0; v < kN; ++v)
+    EXPECT_EQ(s.modelValue(v), (v % 3) == 0) << "var " << v;
+}
+
+TEST(SatPhase, PhasesPersistAcrossIncrementalSolves) {
+  Solver s;
+  const Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+  s.addClause(pos(a), pos(b));  // c is free
+  s.setPhase(c, true);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(c));
+  // Re-seed the free variable the other way; the next solve follows it.
+  s.setPhase(c, false);
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.modelValue(c));
+}
+
+TEST(SatPhase, PhaseAccessOnUnallocatedVariableIsAContractViolation) {
+  Solver s;
+  s.newVar();
+  EXPECT_THROW(s.setPhase(5, true), CheckError);
+  EXPECT_THROW((void)s.savedPhase(5), CheckError);
+}
+
 }  // namespace
 }  // namespace dfv::sat
