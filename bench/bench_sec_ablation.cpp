@@ -34,6 +34,8 @@
 #include "designs/fir.h"
 #include "designs/fpadd.h"
 #include "designs/gcd.h"
+#include "designs/histo.h"
+#include "designs/truncsum.h"
 #include "rtl/lower.h"
 #include "rtl/mutate.h"
 #include "sec/engine.h"
@@ -220,6 +222,107 @@ int main(int argc, char** argv) {
               "must never flip a\n completed verdict — mismatches: %u, must "
               "be 0)\n\n",
               verdictMismatches);
+
+  // --- Part 1b: absint preprocessing on/off ---------------------------------
+  //
+  // Word-level abstract interpretation (SecOptions::absint) rewrites both
+  // sides before bit-blasting the BMC unrolling.  Verdicts must be identical
+  // on and off; the AIG delta is the payoff (or, when a one-sided rewrite
+  // trades away cross-side structural sharing, the cost — both are
+  // measurements, which is why this is an ablation).
+  {
+    std::vector<Case> aiCases = {
+        {"fir", 2, 30.0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::FirSecSetup>(
+               designs::makeFirSecProblem(ctx, designs::FirBug::kNone)));
+         }},
+        {"conv_win", 1, 4.0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<ConvWinSetup>(makeConvWinProblem(ctx)));
+         }},
+        {"gcd", 1, 4.0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::GcdSecSetup>(
+               designs::makeGcdSecProblem(ctx)));
+         }},
+        {"fpadd", 1, 4.0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::FpAddSecSetup>(
+               designs::makeFpAddSecProblem(ctx, fp::Format::minifloat(),
+                                            /*constrainToSafeBand=*/true)));
+         }},
+        {"truncsum", 2, 4.0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::TruncsumSecSetup>(
+               designs::makeTruncsumSecProblem(ctx)));
+         }},
+        {"histo", 6, 8.0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::HistoSecSetup>(
+               designs::makeHistoSecProblem(ctx)));
+         }},
+    };
+    if (smoke) aiCases = {aiCases[4], aiCases[5]};  // the absint-built pair
+
+    std::printf("--- absint preprocessing on/off ---\n");
+    std::printf("%-12s %-6s %8s %10s %7s %7s %7s %6s  %s\n", "design",
+                "absint", "sec(s)", "aig(bmc)", "folded", "pruned", "narrow",
+                "bits", "verdict");
+    for (const Case& c : aiCases) {
+      sec::Verdict onVerdict = sec::Verdict::kInconclusive;
+      bool onCut = true;
+      for (const bool absint : {true, false}) {
+        ir::Context ctx;
+        auto problem = c.make(ctx);
+        sec::SecOptions o;
+        o.boundTransactions = c.bound;
+        o.absint = absint;
+        o.bmcBudget.maxSeconds = smoke ? 2.0 : c.wallBudget;
+        o.inductionBudget.maxSeconds = smoke ? 2.0 : c.wallBudget;
+        const auto t0 = Clock::now();
+        const auto r = sec::checkEquivalence(*problem, o);
+        const double secs = secsSince(t0);
+        const auto& ai = r.stats.absint;
+        const bool cut = r.stats.induction.budgetExhausted ||
+                         sumPhases(r.stats, [](const sec::PhaseStats& p) {
+                           return static_cast<int>(p.budgetExhausted);
+                         }) > 0;
+        std::printf("%-12s %-6s %8.3f %10zu %7llu %7llu %7llu %6llu  %s\n",
+                    c.name, absint ? "on" : "off", secs, r.stats.bmcAigNodes,
+                    static_cast<unsigned long long>(ai.nodesFolded),
+                    static_cast<unsigned long long>(ai.muxesPruned),
+                    static_cast<unsigned long long>(ai.opsNarrowed),
+                    static_cast<unsigned long long>(ai.bitsNarrowed),
+                    sec::verdictName(r.verdict));
+        report.beginRow("absint_matrix")
+            .field("design", c.name)
+            .field("absint", absint)
+            .field("seconds", secs)
+            .field("bmcAigNodes", r.stats.bmcAigNodes)
+            .field("inductionAigNodes", r.stats.inductionAigNodes)
+            .field("nodesFolded", ai.nodesFolded)
+            .field("muxesPruned", ai.muxesPruned)
+            .field("opsNarrowed", ai.opsNarrowed)
+            .field("bitsNarrowed", ai.bitsNarrowed)
+            .field("tsNodesBefore", ai.tsNodesBefore)
+            .field("tsNodesAfter", ai.tsNodesAfter)
+            .field("absintSeconds", ai.seconds)
+            .field("budgetCut", cut)
+            .field("verdict", sec::verdictName(r.verdict));
+        if (absint) {
+          onVerdict = r.verdict;
+          onCut = cut;
+        } else if (!onCut && !cut && r.verdict != onVerdict) {
+          ++verdictMismatches;
+          std::printf("  !! VERDICT CHANGED by absint on %s\n", c.name);
+        }
+      }
+    }
+    std::printf("(facts are reachable-from-reset: applied to the BMC "
+                "unrolling only, never the\n induction step — identical "
+                "verdicts by construction, mismatches count above)\n\n");
+  }
 
   // --- Part 2: strash reserve + hash mixing ---------------------------------
   {

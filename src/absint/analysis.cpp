@@ -1,0 +1,713 @@
+#include "absint/analysis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace dfv::absint {
+namespace {
+
+using bv::BitVector;
+using ir::Node;
+using ir::NodeRef;
+using ir::Op;
+
+BitVector bvOne(unsigned w) { return BitVector::fromUint(w, 1); }
+
+// ----- transfer functions -------------------------------------------------
+//
+// Each takes operand Facts (none bottom — the caller propagates bottom) and
+// returns an over-approximation of the op.  Interval and known-bits parts
+// are computed independently and combined with meet; the intersection of two
+// over-approximations of a non-empty set is never empty.
+
+/// Exact known-bits for a + b (or a - b = a + ~b + 1): walk the bits tracking
+/// the set of possible carries.
+KnownBits addKnownBits(const Fact& a, const Fact& b, bool isSub) {
+  const unsigned w = a.width();
+  KnownBits out{BitVector(w), BitVector(w)};
+  bool cCan0 = !isSub, cCan1 = isSub;  // carry-in: 0 for add, 1 for a + ~b + 1
+  for (unsigned i = 0; i < w; ++i) {
+    const bool aCan0 = !a.kb().ones.bit(i), aCan1 = !a.kb().zeros.bit(i);
+    // For subtraction the second operand is ~b, so its possible bit values
+    // are b's, inverted.
+    const bool bCan0 =
+        isSub ? !b.kb().zeros.bit(i) : !b.kb().ones.bit(i);
+    const bool bCan1 =
+        isSub ? !b.kb().ones.bit(i) : !b.kb().zeros.bit(i);
+    bool sCan0 = false, sCan1 = false, coCan0 = false, coCan1 = false;
+    for (int ai = 0; ai < 2; ++ai) {
+      if (!(ai ? aCan1 : aCan0)) continue;
+      for (int bi = 0; bi < 2; ++bi) {
+        if (!(bi ? bCan1 : bCan0)) continue;
+        for (int ci = 0; ci < 2; ++ci) {
+          if (!(ci ? cCan1 : cCan0)) continue;
+          const int sum = ai + bi + ci;
+          ((sum & 1) ? sCan1 : sCan0) = true;
+          ((sum >= 2) ? coCan1 : coCan0) = true;
+        }
+      }
+    }
+    if (!sCan1) out.zeros.setBit(i, true);
+    if (!sCan0) out.ones.setBit(i, true);
+    cCan0 = coCan0;
+    cCan1 = coCan1;
+  }
+  return out;
+}
+
+Fact transferAddSub(const Fact& a, const Fact& b, bool isSub) {
+  const unsigned w = a.width();
+  const KnownBits kb = addKnownBits(a, b, isSub);
+  Fact f = Fact::knownBits(kb.zeros, kb.ones);
+  if (!isSub) {
+    // Sum bounds at w+1 bits; if both carry out identically the mod-2^w
+    // images stay ordered.
+    const BitVector lo = a.iv().lo.zext(w + 1) + b.iv().lo.zext(w + 1);
+    const BitVector hi = a.iv().hi.zext(w + 1) + b.iv().hi.zext(w + 1);
+    if (lo.bit(w) == hi.bit(w))
+      f = f.meet(Fact::interval(lo.trunc(w), hi.trunc(w)));
+  } else {
+    // Never borrows, or always borrows: either way the endpoint images are
+    // ordered (lo+b.lo <= hi+b.hi).
+    if (b.iv().hi.ule(a.iv().lo) || a.iv().hi.ult(b.iv().lo))
+      f = f.meet(
+          Fact::interval(a.iv().lo - b.iv().hi, a.iv().hi - b.iv().lo));
+  }
+  return f;
+}
+
+Fact transferMul(const Fact& a, const Fact& b) {
+  const unsigned w = a.width();
+  if (a.isConstant() && b.isConstant())
+    return Fact::constant(a.constantValue() * b.constantValue());
+  Fact f = Fact::top(w);
+  if (bitLength(a.iv().hi.mulFull(b.iv().hi)) <= w)
+    f = f.meet(Fact::interval(a.iv().lo * b.iv().lo, a.iv().hi * b.iv().hi));
+  const unsigned tz = std::min(
+      w, a.provenTrailingZeros() + b.provenTrailingZeros());
+  if (tz > 0) {
+    BitVector zeros(w);
+    for (unsigned i = 0; i < tz; ++i) zeros.setBit(i, true);
+    f = f.meet(Fact::knownBits(zeros, BitVector(w)));
+  }
+  return f;
+}
+
+Fact transferUDiv(const Fact& a, const Fact& b) {
+  const unsigned w = a.width();
+  Fact r = Fact::bottom(w);
+  if (!b.iv().hi.isZero()) {
+    const BitVector bLo = b.iv().lo.isZero() ? bvOne(w) : b.iv().lo;
+    r = r.join(
+        Fact::interval(a.iv().lo.udiv(b.iv().hi), a.iv().hi.udiv(bLo)));
+  }
+  if (b.iv().lo.isZero())  // totalized: x udiv 0 = all-ones
+    r = r.join(Fact::constant(BitVector::allOnes(w)));
+  return r;
+}
+
+Fact transferURem(const Fact& a, const Fact& b) {
+  const unsigned w = a.width();
+  Fact r = Fact::bottom(w);
+  if (!b.iv().hi.isZero())
+    r = r.join(Fact::interval(
+        BitVector(w), umin(a.iv().hi, b.iv().hi - bvOne(w))));
+  if (b.iv().lo.isZero())  // totalized: x urem 0 = x
+    r = r.join(a);
+  return r;
+}
+
+bool signProvenZero(const Fact& f) {
+  return f.kb().zeros.bit(f.width() - 1);
+}
+bool signProvenOne(const Fact& f) { return f.kb().ones.bit(f.width() - 1); }
+
+Fact transferBitwise(Op op, const Fact& a, const Fact& b) {
+  const unsigned w = a.width();
+  KnownBits kb{BitVector(w), BitVector(w)};
+  Fact f = Fact::top(w);
+  switch (op) {
+    case Op::kAnd:
+      kb.zeros = a.kb().zeros | b.kb().zeros;
+      kb.ones = a.kb().ones & b.kb().ones;
+      f = Fact::knownBits(kb.zeros, kb.ones);
+      // x & y is no larger than either operand.
+      f = f.meet(Fact::interval(BitVector(w),
+                                umin(a.iv().hi, b.iv().hi)));
+      break;
+    case Op::kOr:
+      kb.zeros = a.kb().zeros & b.kb().zeros;
+      kb.ones = a.kb().ones | b.kb().ones;
+      f = Fact::knownBits(kb.zeros, kb.ones);
+      // x | y is no smaller than either operand.
+      f = f.meet(Fact::interval(umax(a.iv().lo, b.iv().lo),
+                                BitVector::allOnes(w)));
+      break;
+    case Op::kXor:
+      kb.zeros = (a.kb().zeros & b.kb().zeros) | (a.kb().ones & b.kb().ones);
+      kb.ones = (a.kb().zeros & b.kb().ones) | (a.kb().ones & b.kb().zeros);
+      f = Fact::knownBits(kb.zeros, kb.ones);
+      break;
+    default:
+      DFV_CHECK_MSG(false, "not a bitwise binary op");
+  }
+  return f;
+}
+
+Fact shiftByConst(Op op, const Fact& a, unsigned c) {
+  const unsigned w = a.width();
+  const BitVector allOnes = BitVector::allOnes(w);
+  Fact f = Fact::top(w);
+  switch (op) {
+    case Op::kShl: {
+      const BitVector zeros = a.kb().zeros.shl(c) | ~allOnes.shl(c);
+      f = Fact::knownBits(zeros, a.kb().ones.shl(c));
+      if (bitLength(a.iv().hi) + c <= w)
+        f = f.meet(Fact::interval(a.iv().lo.shl(c), a.iv().hi.shl(c)));
+      break;
+    }
+    case Op::kLShr: {
+      const BitVector zeros = a.kb().zeros.lshr(c) | ~allOnes.lshr(c);
+      f = Fact::knownBits(zeros, a.kb().ones.lshr(c));
+      f = f.meet(Fact::interval(a.iv().lo.lshr(c), a.iv().hi.lshr(c)));
+      break;
+    }
+    case Op::kAShr: {
+      // ashr of the masks replicates each mask's own sign bit, which is set
+      // exactly when the operand's sign is proven — so this is precise for
+      // known signs and conservative (unknown high bits) otherwise.
+      f = Fact::knownBits(a.kb().zeros.ashr(c), a.kb().ones.ashr(c));
+      if (a.iv().lo.msb() == a.iv().hi.msb())
+        f = f.meet(Fact::interval(a.iv().lo.ashr(c), a.iv().hi.ashr(c)));
+      break;
+    }
+    default:
+      DFV_CHECK_MSG(false, "not a shift op");
+  }
+  return f;
+}
+
+Fact transferShift(Op op, const Fact& a, const Fact& amt) {
+  const unsigned w = a.width();
+  // Effective shift amounts clamp at the operand width, so the amount range
+  // collapses to at most w+1 cases; join the constant-shift transfer over
+  // each one.
+  const auto clampAmt = [&](const BitVector& v) -> unsigned {
+    if (bitLength(v) > 32) return w;
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(v.toUint64(), w));
+  };
+  const unsigned lo = clampAmt(amt.iv().lo);
+  const unsigned hi = clampAmt(amt.iv().hi);
+  Fact r = Fact::bottom(w);
+  for (unsigned c = lo; c <= hi; ++c) r = r.join(shiftByConst(op, a, c));
+  return r;
+}
+
+/// Can the two facts be proven to never share a value?
+bool provenDisjoint(const Fact& a, const Fact& b) {
+  if (a.iv().hi.ult(b.iv().lo) || b.iv().hi.ult(a.iv().lo)) return true;
+  return !((a.kb().zeros & b.kb().ones) | (a.kb().ones & b.kb().zeros))
+              .isZero();
+}
+
+/// -1 unknown, else 0/1.
+int decideCompare(Op op, const Fact& a, const Fact& b) {
+  switch (op) {
+    case Op::kEq:
+      if (provenDisjoint(a, b)) return 0;
+      if (a.isConstant() && b.isConstant() &&
+          a.constantValue() == b.constantValue())
+        return 1;
+      return -1;
+    case Op::kNe: {
+      const int eq = decideCompare(Op::kEq, a, b);
+      return eq < 0 ? -1 : 1 - eq;
+    }
+    case Op::kULt:
+      if (a.iv().hi.ult(b.iv().lo)) return 1;
+      if (b.iv().hi.ule(a.iv().lo)) return 0;
+      return -1;
+    case Op::kULe:
+      if (a.iv().hi.ule(b.iv().lo)) return 1;
+      if (b.iv().hi.ult(a.iv().lo)) return 0;
+      return -1;
+    case Op::kSLt:
+    case Op::kSLe: {
+      const bool aKnown = signProvenZero(a) || signProvenOne(a);
+      const bool bKnown = signProvenZero(b) || signProvenOne(b);
+      if (!aKnown || !bKnown) return -1;
+      const bool aNeg = signProvenOne(a), bNeg = signProvenOne(b);
+      if (aNeg != bNeg) return aNeg ? 1 : 0;
+      // Same sign: two's-complement order matches unsigned order.
+      return decideCompare(op == Op::kSLt ? Op::kULt : Op::kULe, a, b);
+    }
+    default:
+      DFV_CHECK_MSG(false, "not a comparison op");
+  }
+}
+
+Fact transferExtend(Op op, const Fact& a, unsigned newWidth) {
+  const unsigned w = a.width();
+  if (newWidth == w) return a;
+  if (op == Op::kZExt) {
+    const BitVector zeros =
+        a.kb().zeros.zext(newWidth) | BitVector::allOnes(newWidth).shl(w);
+    Fact f = Fact::knownBits(zeros, a.kb().ones.zext(newWidth));
+    return f.meet(
+        Fact::interval(a.iv().lo.zext(newWidth), a.iv().hi.zext(newWidth)));
+  }
+  // Sign-extending the masks replicates each mask's sign bit — precise when
+  // the operand sign is proven, conservative otherwise.
+  Fact f = Fact::knownBits(a.kb().zeros.sext(newWidth),
+                           a.kb().ones.sext(newWidth));
+  if (a.iv().lo.msb() == a.iv().hi.msb())
+    f = f.meet(
+        Fact::interval(a.iv().lo.sext(newWidth), a.iv().hi.sext(newWidth)));
+  return f;
+}
+
+Fact transferReduction(Op op, const Fact& a) {
+  switch (op) {
+    case Op::kRedAnd:
+      if (!a.iv().hi.isAllOnes() || !(a.kb().zeros.isZero()))
+        return Fact::constant(BitVector::fromUint(1, 0));
+      if (a.iv().lo.isAllOnes())
+        return Fact::constant(BitVector::fromUint(1, 1));
+      return Fact::top(1);
+    case Op::kRedOr:
+      if (a.iv().hi.isZero()) return Fact::constant(BitVector::fromUint(1, 0));
+      if (!a.iv().lo.isZero() || !a.kb().ones.isZero())
+        return Fact::constant(BitVector::fromUint(1, 1));
+      return Fact::top(1);
+    case Op::kRedXor:
+      if (a.isConstant())
+        return Fact::constant(
+            BitVector::fromUint(1, a.constantValue().reduceXor() ? 1 : 0));
+      return Fact::top(1);
+    default:
+      DFV_CHECK_MSG(false, "not a reduction op");
+  }
+}
+
+/// Dispatch for every op except leaves and kMux (handled by the evaluator).
+Fact transfer(NodeRef n, const std::vector<Fact>& f) {
+  const unsigned w = n->type().width;
+  for (const Fact& opf : f)
+    if (opf.isBottom()) return Fact::bottom(w);
+  switch (n->op()) {
+    case Op::kAdd:
+      return transferAddSub(f[0], f[1], /*isSub=*/false);
+    case Op::kSub:
+      return transferAddSub(f[0], f[1], /*isSub=*/true);
+    case Op::kNeg:
+      return transferAddSub(Fact::constant(BitVector(w)), f[0],
+                            /*isSub=*/true);
+    case Op::kMul:
+      return transferMul(f[0], f[1]);
+    case Op::kUDiv:
+      return transferUDiv(f[0], f[1]);
+    case Op::kURem:
+      return transferURem(f[0], f[1]);
+    case Op::kSDiv:
+    case Op::kSRem:
+      // Precise only on the provably non-negative, non-zero-divisor
+      // fragment, where the signed ops coincide with the unsigned ones.
+      if (w >= 2 && signProvenZero(f[0]) && signProvenZero(f[1]) &&
+          !f[1].iv().lo.isZero())
+        return n->op() == Op::kSDiv ? transferUDiv(f[0], f[1])
+                                    : transferURem(f[0], f[1]);
+      return Fact::top(w);
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+      return transferBitwise(n->op(), f[0], f[1]);
+    case Op::kNot: {
+      Fact r = Fact::knownBits(f[0].kb().ones, f[0].kb().zeros);
+      return r.meet(Fact::interval(~f[0].iv().hi, ~f[0].iv().lo));
+    }
+    case Op::kShl:
+    case Op::kLShr:
+    case Op::kAShr:
+      return transferShift(n->op(), f[0], f[1]);
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kULt:
+    case Op::kULe:
+    case Op::kSLt:
+    case Op::kSLe: {
+      const int d = decideCompare(n->op(), f[0], f[1]);
+      return d < 0 ? Fact::top(1)
+                   : Fact::constant(BitVector::fromUint(1, d));
+    }
+    case Op::kConcat: {
+      Fact r = Fact::knownBits(
+          BitVector::concat(f[0].kb().zeros, f[1].kb().zeros),
+          BitVector::concat(f[0].kb().ones, f[1].kb().ones));
+      // value = hi * 2^wlo + lo: the parts are independent, so the bound
+      // concatenations are exact.
+      return r.meet(Fact::interval(
+          BitVector::concat(f[0].iv().lo, f[1].iv().lo),
+          BitVector::concat(f[0].iv().hi, f[1].iv().hi)));
+    }
+    case Op::kExtract: {
+      const unsigned hi = n->attr0(), lo = n->attr1();
+      Fact r = Fact::knownBits(f[0].kb().zeros.extract(hi, lo),
+                               f[0].kb().ones.extract(hi, lo));
+      if (lo == 0 && bitLength(f[0].iv().hi) <= hi + 1)
+        r = r.meet(Fact::interval(f[0].iv().lo.trunc(hi + 1),
+                                  f[0].iv().hi.trunc(hi + 1)));
+      return r;
+    }
+    case Op::kZExt:
+    case Op::kSExt:
+      return transferExtend(n->op(), f[0], n->attr0());
+    case Op::kRedAnd:
+    case Op::kRedOr:
+    case Op::kRedXor:
+      return transferReduction(n->op(), f[0]);
+    case Op::kArrayRead:
+      // Element-level fact of the array covers every element, including the
+      // element-0 read the totalized out-of-range semantics produce.
+      return f[0];
+    case Op::kArrayWrite:
+      // Each element afterwards is either an old element or the written
+      // value (out-of-range writes are no-ops, covered by the old fact).
+      return f[0].join(f[2]);
+    default:
+      DFV_CHECK_MSG(false, "unhandled op in absint transfer: "
+                               << ir::opName(n->op()));
+  }
+}
+
+/// Element-level fact of a state variable's reset value.
+Fact initFact(const ir::StateVar& sv) {
+  if (!sv.init.isArray) return Fact::constant(sv.init.scalar);
+  Fact f = Fact::bottom(sv.current->type().width);
+  for (const BitVector& elem : sv.init.array)
+    f = f.join(Fact::constant(elem));
+  return f;
+}
+
+/// Removes a single excluded constant from a fact by trimming an endpoint.
+Fact excludeConstant(const Fact& f, const BitVector& c) {
+  if (!f.contains(c)) return f;
+  if (f.isConstant()) return Fact::bottom(f.width());
+  // Non-constant, so lo < hi; the trimmed endpoint never wraps.
+  if (f.iv().lo == c)
+    return f.meet(Fact::interval(c + bvOne(f.width()), f.iv().hi));
+  if (f.iv().hi == c)
+    return f.meet(Fact::interval(f.iv().lo, c - bvOne(f.width())));
+  return f;
+}
+
+}  // namespace
+
+Fact Analysis::fact(ir::NodeRef n) const {
+  const auto it = facts_.find(n);
+  return it != facts_.end() ? it->second : Fact::top(n->type().width);
+}
+
+Fact Analysis::stateFact(ir::NodeRef currentLeaf) const {
+  DFV_CHECK_MSG(currentLeaf->op() == Op::kState,
+                "stateFact requires a state leaf");
+  const auto it = stateFacts_.find(currentLeaf);
+  return it != stateFacts_.end() ? it->second
+                                 : Fact::top(currentLeaf->type().width);
+}
+
+std::uint64_t Analysis::totalKnownBits() const {
+  std::uint64_t total = 0;
+  for (const auto& [n, f] : facts_) total += f.knownBitCount();
+  return total;
+}
+
+std::function<std::string(ir::NodeRef)> Analysis::annotator() const {
+  return [this](ir::NodeRef n) -> std::string {
+    const auto it = facts_.find(n);
+    if (it == facts_.end() || it->second.isTop()) return std::string();
+    return it->second.str();
+  };
+}
+
+Fact Analysis::evalNode(ir::NodeRef n, Scope& scope) {
+  if (scope.overlay) {
+    const auto it = scope.overlay->find(n);
+    if (it != scope.overlay->end()) return it->second;
+  }
+  if (const auto it = scope.memo.find(n); it != scope.memo.end())
+    return it->second;
+  if (scope.budget) {
+    if (*scope.budget == 0) return evalNode(n, *scope.base);
+    --*scope.budget;
+  }
+  Fact f = Fact::top(n->type().width);
+  switch (n->op()) {
+    case Op::kConst:
+      f = Fact::constant(n->constValue());
+      break;
+    case Op::kInput:
+      break;  // free: top
+    case Op::kState: {
+      const auto it = stateFacts_.find(n);
+      if (it != stateFacts_.end()) f = it->second;
+      break;
+    }
+    case Op::kMux:
+      f = evalMux(n, scope);
+      break;
+    default: {
+      std::vector<Fact> opFacts;
+      opFacts.reserve(n->operands().size());
+      for (NodeRef op : n->operands()) opFacts.push_back(evalNode(op, scope));
+      f = transfer(n, opFacts);
+      break;
+    }
+  }
+  scope.memo.emplace(n, f);
+  return f;
+}
+
+Fact Analysis::evalMux(ir::NodeRef n, Scope& scope) {
+  const Fact sel = evalNode(n->operand(0), scope);
+  if (sel.isBottom()) return Fact::bottom(n->type().width);
+  if (sel.isConstant())
+    return evalNode(n->operand(sel.constantValue().isZero() ? 2 : 1), scope);
+  std::unordered_map<ir::NodeRef, Fact> thenMap, elseMap;
+  deriveRefinements(n->operand(0), scope, thenMap, elseMap);
+  const Fact t = evalArm(n->operand(1), thenMap, scope);
+  const Fact e = evalArm(n->operand(2), elseMap, scope);
+  return t.join(e);
+}
+
+Fact Analysis::evalArm(ir::NodeRef arm,
+                       const std::unordered_map<ir::NodeRef, Fact>& refined,
+                       Scope& scope) {
+  if (refined.empty()) return evalNode(arm, scope);
+  // A contradictory refinement means the selector can't take this value on
+  // any reachable input: the arm is dead and contributes nothing to the join.
+  for (const auto& [node, f] : refined)
+    if (f.isBottom()) return Fact::bottom(arm->type().width);
+  std::unordered_map<ir::NodeRef, Fact> overlay =
+      scope.overlay ? *scope.overlay
+                    : std::unordered_map<ir::NodeRef, Fact>();
+  for (const auto& [node, f] : refined) {
+    const auto it = overlay.find(node);
+    if (it == overlay.end()) {
+      overlay.emplace(node, f);
+    } else {
+      Fact m = it->second.meet(f);
+      if (m.isBottom()) return Fact::bottom(arm->type().width);
+      it->second = m;
+    }
+  }
+  unsigned localBudget = opts_.refineBudget;
+  Scope child;
+  child.overlay = &overlay;
+  child.base = &scope;
+  child.budget = scope.budget ? scope.budget : &localBudget;
+  return evalNode(arm, child);
+}
+
+void Analysis::deriveRefinements(
+    ir::NodeRef sel, Scope& scope,
+    std::unordered_map<ir::NodeRef, Fact>& thenMap,
+    std::unordered_map<ir::NodeRef, Fact>& elseMap) {
+  if (sel->op() == Op::kNot) {
+    deriveRefinements(sel->operand(0), scope, elseMap, thenMap);
+    return;
+  }
+  if (sel->op() != Op::kEq && sel->op() != Op::kNe &&
+      sel->op() != Op::kULt && sel->op() != Op::kULe)
+    return;
+  NodeRef a = sel->operand(0), b = sel->operand(1);
+  if (a->type().isArray()) return;
+  const Fact fa = evalNode(a, scope);
+  const Fact fb = evalNode(b, scope);
+  if (fa.isBottom() || fb.isBottom()) return;
+  const unsigned w = a->type().width;
+  const BitVector zero(w), ones = BitVector::allOnes(w), one = bvOne(w);
+  const auto addRef = [&](std::unordered_map<ir::NodeRef, Fact>& m,
+                          NodeRef node, const Fact& base, const Fact& f) {
+    if (node->op() == Op::kConst) return;
+    if (f == base) return;  // no new information
+    const auto it = m.find(node);
+    if (it == m.end())
+      m.emplace(node, f);
+    else
+      it->second = it->second.meet(f);
+  };
+  switch (sel->op()) {
+    case Op::kEq:
+    case Op::kNe: {
+      auto& eqMap = sel->op() == Op::kEq ? thenMap : elseMap;
+      auto& neMap = sel->op() == Op::kEq ? elseMap : thenMap;
+      addRef(eqMap, a, fa, fa.meet(fb));
+      addRef(eqMap, b, fb, fb.meet(fa));
+      if (fb.isConstant())
+        addRef(neMap, a, fa, excludeConstant(fa, fb.constantValue()));
+      if (fa.isConstant())
+        addRef(neMap, b, fb, excludeConstant(fb, fa.constantValue()));
+      break;
+    }
+    case Op::kULt: {
+      // then: a < b — a <= b.hi-1, b >= a.lo+1; else: a >= b — mirrored.
+      addRef(thenMap, a, fa,
+             fb.iv().hi.isZero()
+                 ? Fact::bottom(w)
+                 : fa.meet(Fact::interval(zero, fb.iv().hi - one)));
+      addRef(thenMap, b, fb,
+             fa.iv().lo.isAllOnes()
+                 ? Fact::bottom(w)
+                 : fb.meet(Fact::interval(fa.iv().lo + one, ones)));
+      addRef(elseMap, a, fa, fa.meet(Fact::interval(fb.iv().lo, ones)));
+      addRef(elseMap, b, fb, fb.meet(Fact::interval(zero, fa.iv().hi)));
+      break;
+    }
+    case Op::kULe: {
+      addRef(thenMap, a, fa, fa.meet(Fact::interval(zero, fb.iv().hi)));
+      addRef(thenMap, b, fb, fb.meet(Fact::interval(fa.iv().lo, ones)));
+      addRef(elseMap, a, fa,
+             fb.iv().lo.isAllOnes()
+                 ? Fact::bottom(w)
+                 : fa.meet(Fact::interval(fb.iv().lo + one, ones)));
+      addRef(elseMap, b, fb,
+             fa.iv().hi.isZero()
+                 ? Fact::bottom(w)
+                 : fb.meet(Fact::interval(zero, fa.iv().hi - one)));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Analysis Analysis::run(const ir::TransitionSystem& ts, const Options& opts) {
+  Analysis a(opts);
+  for (const ir::StateVar& sv : ts.states())
+    a.stateFacts_.emplace(sv.current, initFact(sv));
+
+  // Widening thresholds: every scalar constant appearing in the system, per
+  // width.  A clamp's limit always shows up as such a constant, so snapping
+  // a still-growing bound to the next threshold lets saturate-at-N idioms
+  // converge to [0, N] (the mux-arm refinement then holds the line there)
+  // instead of doubling through known-bits hulls all the way to top.
+  // Widening only ever enlarges the candidate fact, so soundness is
+  // unaffected by the choice of landmarks.
+  std::unordered_map<unsigned, std::vector<BitVector>> thresholds;
+  {
+    std::vector<NodeRef> stack;
+    std::unordered_set<NodeRef> seen;
+    const auto push = [&](NodeRef n) {
+      if (n && seen.insert(n).second) stack.push_back(n);
+    };
+    for (const ir::StateVar& sv : ts.states()) push(sv.next);
+    for (const ir::OutputPort& out : ts.outputs()) {
+      push(out.expr);
+      push(out.valid);
+    }
+    for (NodeRef c : ts.constraints()) push(c);
+    while (!stack.empty()) {
+      NodeRef n = stack.back();
+      stack.pop_back();
+      if (n->op() == Op::kConst && !n->type().isArray())
+        thresholds[n->type().width].push_back(n->constValue());
+      for (NodeRef op : n->operands()) push(op);
+    }
+    for (auto& [w, v] : thresholds)
+      std::sort(v.begin(), v.end(),
+                [](const BitVector& x, const BitVector& y) { return x.ult(y); });
+  }
+
+  bool changed = true;
+  while (changed && a.iterations_ < opts.maxIterations) {
+    ++a.iterations_;
+    changed = false;
+    // Evaluate every next-state function under the current state facts (one
+    // shared memo per iteration), then join into the state facts.
+    Scope scope;
+    std::vector<Fact> nextFacts;
+    nextFacts.reserve(ts.states().size());
+    for (const ir::StateVar& sv : ts.states())
+      nextFacts.push_back(a.evalNode(sv.next, scope));
+    for (std::size_t i = 0; i < ts.states().size(); ++i) {
+      Fact& cur = a.stateFacts_.at(ts.states()[i].current);
+      Fact merged = cur.join(nextFacts[i]);
+      if (merged == cur) continue;
+      if (a.iterations_ > opts.widenAfter) {
+        // Prefer snapping the hull to the surrounding program constants
+        // (widening with thresholds); fall back to the known-bits hull,
+        // which only loses bits across joins, so either way the chain of
+        // widened facts has bounded height and the loop terminates.
+        Fact wide = Fact::knownBits(merged.kb().zeros, merged.kb().ones);
+        if (const auto it = thresholds.find(cur.width());
+            it != thresholds.end()) {
+          const std::vector<BitVector>& v = it->second;
+          const auto hi = std::find_if(
+              v.begin(), v.end(),
+              [&](const BitVector& t) { return merged.iv().hi.ule(t); });
+          if (hi != v.end()) {
+            BitVector lo(cur.width());
+            for (const BitVector& t : v) {
+              if (!t.ule(merged.iv().lo)) break;
+              lo = t;
+            }
+            wide = Fact::interval(lo, *hi);
+          }
+        }
+        merged = wide;
+        a.widened_ = true;
+        if (merged == cur) continue;
+      }
+      cur = merged;
+      changed = true;
+    }
+  }
+  if (changed) {
+    // Hit the iteration cap without stabilizing; only top is sound.
+    a.converged_ = false;
+    for (auto& [leaf, f] : a.stateFacts_) f = Fact::top(f.width());
+  }
+
+  // Final pass: record facts for every node in the next/output/constraint
+  // cones under the stabilized state facts.
+  Scope scope;
+  for (const ir::StateVar& sv : ts.states()) a.evalNode(sv.next, scope);
+  for (const ir::OutputPort& out : ts.outputs()) {
+    a.evalNode(out.expr, scope);
+    if (out.valid) a.evalNode(out.valid, scope);
+  }
+  for (ir::NodeRef c : ts.constraints()) a.evalNode(c, scope);
+  // Mux arms were evaluated in selector-refined child scopes whose memos
+  // are discarded, so a node reachable only through an arm (a saturating
+  // increment, say) has no recorded fact yet.  Evaluate every cone node in
+  // the root scope: the resulting context-free fact is sound in every
+  // context, which is what lets the simplifier rewrite the node globally.
+  {
+    std::vector<NodeRef> stack;
+    std::unordered_set<NodeRef> seen;
+    const auto push = [&](NodeRef n) {
+      if (n && seen.insert(n).second) stack.push_back(n);
+    };
+    for (const ir::StateVar& sv : ts.states()) push(sv.next);
+    for (const ir::OutputPort& out : ts.outputs()) {
+      push(out.expr);
+      push(out.valid);
+    }
+    for (NodeRef c : ts.constraints()) push(c);
+    while (!stack.empty()) {
+      NodeRef n = stack.back();
+      stack.pop_back();
+      if (scope.memo.find(n) == scope.memo.end()) a.evalNode(n, scope);
+      for (NodeRef op : n->operands()) push(op);
+    }
+  }
+  a.facts_ = std::move(scope.memo);
+  for (const auto& [leaf, f] : a.stateFacts_)
+    a.facts_.insert_or_assign(leaf, f);
+  return a;
+}
+
+}  // namespace dfv::absint

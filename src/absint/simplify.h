@@ -1,0 +1,60 @@
+// Verdict-preserving TransitionSystem simplification driven by Analysis
+// facts: constant-fold nodes proven constant, drop mux arms whose selector
+// is proven constant, and narrow add/sub/mul whose high result bits are
+// proven zero (exact, because mod-2^w' arithmetic divides mod-2^w).
+//
+// SOUNDNESS SCOPE: the facts are reachable-from-reset facts, so the
+// simplified system is equivalent to the original on every trace that
+// starts at reset — exactly what BMC unrolls.  It is NOT equivalent from an
+// arbitrary symbolic state: the SEC induction step must keep the original
+// systems (sec::Engine does; see the CLAUDE.md invariant).
+//
+// The rebuilt system lives in the *same* ir::Context, so hash-consing
+// returns the identical input/state leaves and every external binding
+// (SecProblem inputs, coupling invariants, output names) stays valid.
+#pragma once
+
+#include <cstdint>
+
+#include "absint/analysis.h"
+#include "ir/transition_system.h"
+
+namespace dfv::absint {
+
+struct SimplifyStats {
+  std::uint64_t nodesFolded = 0;   ///< non-leaf nodes replaced by constants
+  std::uint64_t muxesPruned = 0;   ///< muxes with a proven-constant selector
+  std::uint64_t opsNarrowed = 0;   ///< add/sub/mul rewritten at lower width
+  std::uint64_t bitsNarrowed = 0;  ///< total width removed by narrowing
+  std::uint64_t nodesBefore = 0;   ///< unique cone nodes before
+  std::uint64_t nodesAfter = 0;    ///< unique cone nodes after
+
+  bool changedAnything() const {
+    return nodesFolded + muxesPruned + opsNarrowed != 0;
+  }
+  SimplifyStats& operator+=(const SimplifyStats& o) {
+    nodesFolded += o.nodesFolded;
+    muxesPruned += o.muxesPruned;
+    opsNarrowed += o.opsNarrowed;
+    bitsNarrowed += o.bitsNarrowed;
+    nodesBefore += o.nodesBefore;
+    nodesAfter += o.nodesAfter;
+    return *this;
+  }
+};
+
+/// Rebuilds `ts` with the fact-driven rewrites applied.  `analysis` must
+/// have been run on `ts`.
+ir::TransitionSystem simplify(const ir::TransitionSystem& ts,
+                              const Analysis& analysis,
+                              SimplifyStats* stats = nullptr);
+
+/// Convenience: run the analysis, then simplify.
+ir::TransitionSystem analyzeAndSimplify(const ir::TransitionSystem& ts,
+                                        const Options& opts = Options(),
+                                        SimplifyStats* stats = nullptr);
+
+/// Number of unique nodes in the union of the next/output/constraint cones.
+std::uint64_t coneSize(const ir::TransitionSystem& ts);
+
+}  // namespace dfv::absint

@@ -77,7 +77,10 @@ BlockResult VerificationPlan::runEntry(Entry& e) {
   const auto start = std::chrono::steady_clock::now();
   if (e.drcRunner && drcPolicy_ != DrcPolicy::kOff) {
     r.drc = e.drcRunner();
-    if (drcPolicy_ == DrcPolicy::kBlock && r.drc->errors() > 0) {
+    const bool blocked =
+        (drcPolicy_ == DrcPolicy::kBlock && r.drc->errors() > 0) ||
+        (drcPolicy_ == DrcPolicy::kStrict && !r.drc->clean());
+    if (blocked) {
       // The pair is not verifiable as written; running the prover would
       // waste time or, worse, pass vacuously.  Fail the block up front.
       r.passed = false;

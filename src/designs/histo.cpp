@@ -1,0 +1,69 @@
+#include "designs/histo.h"
+
+#include "rtl/lower.h"
+
+namespace dfv::designs {
+
+ir::TransitionSystem makeHistoSlmTs(ir::Context& ctx) {
+  ir::TransitionSystem ts(ctx, "histo_slm");
+  const unsigned w = kHistoCountWidth;
+  ir::NodeRef cap = ctx.constantUint(w, kHistoCap);
+  std::vector<ir::NodeRef> samples(kHistoSamples);
+  for (unsigned i = 0; i < kHistoSamples; ++i)
+    samples[i] = ts.addInput("s.b" + std::to_string(i), kHistoIdxWidth);
+  for (unsigned j = 0; j < kHistoBins; ++j) {
+    ir::NodeRef bin = ts.addState("s.bin" + std::to_string(j), w, 0);
+    ir::NodeRef jConst = ctx.constantUint(kHistoIdxWidth, j);
+    // Same step shape as one RTL cycle: hit ? saturating increment : hold.
+    ir::NodeRef acc = bin;
+    for (unsigned i = 0; i < kHistoSamples; ++i) {
+      ir::NodeRef inc =
+          ctx.mux(ctx.eq(acc, cap), cap, ctx.add(acc, ctx.one(w)));
+      acc = ctx.mux(ctx.eq(samples[i], jConst), inc, acc);
+    }
+    ts.setNext(bin, acc);
+    ts.addOutput("count" + std::to_string(j), bin);
+  }
+  return ts;
+}
+
+rtl::Module makeHistoRtl() {
+  const unsigned w = kHistoCountWidth;
+  rtl::Module m("histo");
+  rtl::NetId b = m.addInput("b", kHistoIdxWidth);
+  rtl::NetId cap = m.constantUint(w, kHistoCap);
+  for (unsigned j = 0; j < kHistoBins; ++j) {
+    rtl::NetId bin = m.addDff("bin" + std::to_string(j), w, 0);
+    rtl::NetId hit = m.opEq(b, m.constantUint(kHistoIdxWidth, j));
+    rtl::NetId inc =
+        m.opMux(m.opEq(bin, cap), cap, m.opAdd(bin, m.constantUint(w, 1)));
+    m.connectDff(bin, m.opMux(hit, inc, bin));
+    m.addOutput("count" + std::to_string(j), bin);
+  }
+  return m;
+}
+
+HistoSecSetup makeHistoSecProblem(ir::Context& ctx) {
+  HistoSecSetup setup;
+  setup.slm = std::make_unique<ir::TransitionSystem>(makeHistoSlmTs(ctx));
+  setup.rtl = std::make_unique<ir::TransitionSystem>(
+      rtl::lowerToTransitionSystem(makeHistoRtl(), ctx, "r."));
+  setup.problem = std::make_unique<sec::SecProblem>(
+      ctx, *setup.slm, 1, *setup.rtl, kHistoSamples);
+  sec::SecProblem& p = *setup.problem;
+  for (unsigned i = 0; i < kHistoSamples; ++i) {
+    ir::NodeRef v = p.declareTxnVar("b" + std::to_string(i), kHistoIdxWidth);
+    p.bindInput(sec::Side::kSlm, "s.b" + std::to_string(i), 0, v);
+    p.bindInput(sec::Side::kRtl, "r.b", i, v);
+  }
+  for (unsigned j = 0; j < kHistoBins; ++j) {
+    const std::string n = std::to_string(j);
+    p.checkOutputs("count" + n, 0, "count" + n, 0);
+    p.addCouplingInvariant(
+        ctx.eq(setup.slm->findState("s.bin" + n)->current,
+               setup.rtl->findState("r.bin" + n)->current));
+  }
+  return setup;
+}
+
+}  // namespace dfv::designs

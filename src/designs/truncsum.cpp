@@ -1,0 +1,68 @@
+#include "designs/truncsum.h"
+
+#include "rtl/lower.h"
+
+namespace dfv::designs {
+
+ir::TransitionSystem makeTruncsumSlmTs(ir::Context& ctx) {
+  // Stateless: the whole transaction folds combinationally, so induction
+  // needs no coupling invariants (start reloads the RTL accumulator).
+  ir::TransitionSystem ts(ctx, "truncsum_slm");
+  const unsigned w = kTruncsumOutWidth;
+  ir::NodeRef cap = ctx.constantUint(w, kTruncsumCap);
+  ir::NodeRef acc = nullptr;
+  for (unsigned i = 0; i < kTruncsumSamples; ++i) {
+    ir::NodeRef s = ctx.zext(ts.addInput("s.s" + std::to_string(i), 8), w);
+    if (acc == nullptr) {
+      acc = s;
+      continue;
+    }
+    ir::NodeRef sum = ctx.add(acc, s);
+    acc = ctx.mux(ctx.ugt(sum, cap), cap, sum);
+  }
+  ts.addOutput("sum", acc);
+  return ts;
+}
+
+rtl::Module makeTruncsumRtl(bool narrow) {
+  const unsigned w = kTruncsumAccWidth;
+  rtl::Module m(narrow ? "truncsum_narrow" : "truncsum");
+  rtl::NetId start = m.addInput("start", 1);
+  rtl::NetId sample = m.addInput("sample", 8);
+  const unsigned regW = narrow ? kTruncsumNarrowWidth : w;
+  rtl::NetId acc = m.addDff("acc", regW, 0);
+
+  rtl::NetId sum = m.opAdd(m.opZExt(acc, w), m.opZExt(sample, w));
+  rtl::NetId cap = m.constantUint(w, kTruncsumCap);
+  rtl::NetId clamped = m.opMux(m.opULt(cap, sum), cap, sum);
+  rtl::NetId next = m.opMux(start, m.opZExt(sample, w), clamped);
+  // The bug: the register and the output bus were sized for one sample, not
+  // for the clamp's range — extract[7:0] drops live bits [10:8].
+  rtl::NetId stored = narrow ? m.opExtract(next, kTruncsumNarrowWidth - 1, 0)
+                             : next;
+  m.connectDff(acc, stored);
+  m.addOutput("sum", m.opZExt(stored, kTruncsumOutWidth));
+  return m;
+}
+
+TruncsumSecSetup makeTruncsumSecProblem(ir::Context& ctx, bool narrow) {
+  TruncsumSecSetup setup;
+  setup.slm =
+      std::make_unique<ir::TransitionSystem>(makeTruncsumSlmTs(ctx));
+  setup.rtl = std::make_unique<ir::TransitionSystem>(
+      rtl::lowerToTransitionSystem(makeTruncsumRtl(narrow), ctx, "r."));
+  setup.problem = std::make_unique<sec::SecProblem>(
+      ctx, *setup.slm, 1, *setup.rtl, kTruncsumSamples);
+  sec::SecProblem& p = *setup.problem;
+  for (unsigned i = 0; i < kTruncsumSamples; ++i) {
+    ir::NodeRef v = p.declareTxnVar("s" + std::to_string(i), 8);
+    p.bindInput(sec::Side::kSlm, "s.s" + std::to_string(i), 0, v);
+    p.bindInput(sec::Side::kRtl, "r.sample", i, v);
+    p.bindInput(sec::Side::kRtl, "r.start", i,
+                ctx.constantUint(1, i == 0 ? 1 : 0));
+  }
+  p.checkOutputs("sum", 0, "sum", kTruncsumSamples - 1);
+  return setup;
+}
+
+}  // namespace dfv::designs

@@ -1,0 +1,55 @@
+// The truncsum design pair: a saturating sample accumulator whose buggy RTL
+// narrows the datapath below the clamp's range — the §3.1.1 width-hazard
+// story told at the value-range level.
+//
+// The SLM sums four 8-bit samples into a 16-bit accumulator, clamping at
+// kTruncsumCap after every addition.  The good RTL carries an 11-bit
+// accumulator — wide enough for cap + sample, so the two folds agree at
+// every step.  The buggy RTL truncates the clamped value to 8 bits before
+// registering and driving the output: bits the abstract interpreter can
+// prove live (the clamp allows values up to 1000, ten bits) are dropped.
+// dfv::drc flags the pair *statically* — lossy-truncation on the extract,
+// sec-output-range-mismatch on the checked outputs (reachable hulls of 10
+// vs 8 bits) — and SEC produces the concrete counterexample, e.g. two loud
+// samples whose sum exceeds 255.
+#pragma once
+
+#include <memory>
+
+#include "ir/transition_system.h"
+#include "rtl/netlist.h"
+#include "sec/transaction.h"
+
+namespace dfv::designs {
+
+/// Samples per transaction (the RTL transaction window, one per cycle).
+inline constexpr unsigned kTruncsumSamples = 4;
+/// Saturation cap applied after every accumulation step.
+inline constexpr unsigned kTruncsumCap = 1000;
+/// Good RTL accumulator width: cap + one sample = 1255 < 2^11.
+inline constexpr unsigned kTruncsumAccWidth = 11;
+/// Buggy RTL datapath width: the truncation drops bits [10:8] of the clamp.
+inline constexpr unsigned kTruncsumNarrowWidth = 8;
+/// Output port width on both sides.
+inline constexpr unsigned kTruncsumOutWidth = 16;
+
+/// SLM as a transition system: stateless 1-step fold of the four sample
+/// inputs "s.s0".."s.s3"[8] at 16 bits, clamped at kTruncsumCap after each
+/// addition; output "sum"[16].
+ir::TransitionSystem makeTruncsumSlmTs(ir::Context& ctx);
+
+/// RTL: ports start/sample[8] -> sum[16].  On start loads the sample, else
+/// accumulates with the clamp; `narrow` truncates the clamped value to
+/// kTruncsumNarrowWidth bits before the register and the output (the bug).
+rtl::Module makeTruncsumRtl(bool narrow);
+
+/// Complete SEC problem: 1-step SLM vs kTruncsumSamples-cycle RTL, the
+/// output compared after the last sample.  `narrow` selects the buggy RTL.
+struct TruncsumSecSetup {
+  std::unique_ptr<ir::TransitionSystem> slm;
+  std::unique_ptr<ir::TransitionSystem> rtl;
+  std::unique_ptr<sec::SecProblem> problem;
+};
+TruncsumSecSetup makeTruncsumSecProblem(ir::Context& ctx, bool narrow = false);
+
+}  // namespace dfv::designs

@@ -12,6 +12,7 @@
 //   dfv::rtl   — structural netlists, cycle simulation, lowering
 //   dfv::slm   — coroutine-based SystemC-like modeling kernel
 //   dfv::sat   — CDCL SAT solver
+//   dfv::absint — word-level known-bits/interval abstract interpretation
 //   dfv::aig   — and-inverter graphs, CNF encoding, bit-blasting
 //   dfv::sec   — transaction-based sequential equivalence checking
 //   dfv::fp    — IEEE-754 and simplified-hardware floating point
@@ -23,6 +24,8 @@
 //   dfv::designs / dfv::workload — reference design pairs and stimulus
 #pragma once
 
+#include "absint/analysis.h"        // IWYU pragma: export
+#include "absint/simplify.h"        // IWYU pragma: export
 #include "aig/cnf.h"                // IWYU pragma: export
 #include "aig/fraig.h"              // IWYU pragma: export
 #include "bitvec/bitvector.h"       // IWYU pragma: export

@@ -1,0 +1,217 @@
+#include "drc/absint_rules.h"
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "absint/domain.h"
+#include "ir/expr.h"
+
+namespace dfv::drc {
+
+namespace {
+
+using absint::Fact;
+using bv::BitVector;
+
+class SemanticChecker {
+ public:
+  SemanticChecker(const ir::TransitionSystem& ts, const std::string& where,
+                  const absint::Options& opts, DrcReport& out)
+      : ts_(ts),
+        where_(where.empty() ? ts.name() : where),
+        analysis_(absint::Analysis::run(ts, opts)),
+        out_(out) {}
+
+  void run() {
+    for (const auto& sv : ts_.states())
+      visitCone(sv.next, "state '" + sv.name() + "'");
+    for (const auto& o : ts_.outputs()) {
+      visitCone(o.expr, "output '" + o.name + "'");
+      visitCone(o.valid, "output '" + o.name + "'");
+    }
+    for (std::size_t i = 0; i < ts_.constraints().size(); ++i)
+      visitCone(ts_.constraints()[i], "constraint#" + std::to_string(i));
+  }
+
+ private:
+  void add(Rule r, const std::string& root, std::string msg,
+           std::string evidence) {
+    // Advisory by design: modular arithmetic and intentional truncation are
+    // legitimate idioms, so single-system findings never dirty a report.
+    out_.add(r, Severity::kInfo, Layer::kIr, where_ + "/" + root,
+             std::move(msg), std::move(evidence));
+  }
+
+  void visitCone(ir::NodeRef root, const std::string& label) {
+    if (root == nullptr) return;
+    std::vector<ir::NodeRef> stack{root};
+    while (!stack.empty()) {
+      const ir::NodeRef n = stack.back();
+      stack.pop_back();
+      if (!visited_.insert(n).second) continue;
+      checkNode(n, label);
+      for (ir::NodeRef op : n->operands()) stack.push_back(op);
+    }
+  }
+
+  void checkNode(ir::NodeRef n, const std::string& root) {
+    switch (n->op()) {
+      case ir::Op::kExtract:
+        checkTruncation(n, root);
+        break;
+      case ir::Op::kAdd:
+      case ir::Op::kMul:
+        checkOverflow(n, root);
+        break;
+      case ir::Op::kArrayRead:
+        checkArrayRead(n, root);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// extract[hi:lo] dropping high bits that the analysis cannot prove zero:
+  /// some reachable value loses information.  A top operand fact carries no
+  /// signal either way, so only analyzed (non-top) operands report.
+  void checkTruncation(ir::NodeRef n, const std::string& root) {
+    const ir::NodeRef src = n->operand(0);
+    const unsigned hi = n->attr0();
+    if (hi + 1 >= src->width()) return;  // keeps the top bit: not a truncation
+    const Fact f = analysis_.fact(src);
+    if (f.isTop() || f.isBottom()) return;
+    if (absint::bitLength(f.iv().hi) <= hi + 1) return;  // dropped bits are 0
+    add(Rule::kLossyTruncation, root,
+        "extract[" + std::to_string(hi) + ":" + std::to_string(n->attr1()) +
+            "] of a " + std::to_string(src->width()) +
+            "-bit value drops high bits not proven zero",
+        f.str());
+  }
+
+  /// add/mul whose operand ranges show the mathematical result can exceed
+  /// the declared width: the op may wrap.  Suppressed when both operands are
+  /// top (nothing is known, so everything would fire).
+  void checkOverflow(ir::NodeRef n, const std::string& root) {
+    if (n->type().isArray()) return;
+    const Fact fa = analysis_.fact(n->operand(0));
+    const Fact fb = analysis_.fact(n->operand(1));
+    if (fa.isBottom() || fb.isBottom()) return;
+    if (fa.isTop() && fb.isTop()) return;
+    const unsigned w = n->width();
+    const BitVector peak = n->op() == ir::Op::kAdd
+                               ? fa.iv().hi.addFull(fb.iv().hi)
+                               : fa.iv().hi.mulFull(fb.iv().hi);
+    if (absint::bitLength(peak) <= w) return;
+    add(Rule::kPossibleOverflow, root,
+        std::string(n->op() == ir::Op::kAdd ? "add" : "mul") +
+            " may wrap at width " + std::to_string(w) +
+            " (operand ranges reach " + std::to_string(absint::bitLength(peak)) +
+            " bits)",
+        "lhs=" + fa.str() + " rhs=" + fb.str());
+  }
+
+  /// Reads of a state array whose index range escapes the array depth
+  /// (totalized semantics kick in) or escapes the hull of every write index
+  /// (the read can only see reset values).
+  void checkArrayRead(ir::NodeRef n, const std::string& root) {
+    const ir::NodeRef arr = n->operand(0);
+    if (arr->op() != ir::Op::kState) return;
+    const Fact fi = analysis_.fact(n->operand(1));
+    if (fi.isBottom()) return;
+    const unsigned iw = n->operand(1)->width();
+    const unsigned depth = arr->type().depth;
+    const std::string loc = root + "/memory '" + arr->name() + "'";
+    if (iw < 64 && (std::uint64_t{1} << iw) > depth) {
+      const BitVector maxIdx = BitVector::fromUint(iw, depth - 1);
+      if (maxIdx.ult(fi.iv().hi)) {
+        add(Rule::kUninitMemoryRead, loc,
+            "read index may exceed depth " + std::to_string(depth) +
+                " (out-of-range reads totalize)",
+            "index=" + fi.str());
+        return;
+      }
+    }
+    // Write-coverage: walk the state's next chain of array writes.
+    const ir::StateVar* sv = nullptr;
+    for (const auto& s : ts_.states())
+      if (s.current == arr) sv = &s;
+    if (sv == nullptr || sv->next == nullptr || sv->next == sv->current)
+      return;  // input array or ROM: reset values are the contract
+    ir::NodeRef chain = sv->next;
+    Fact writes = Fact::bottom(iw);
+    while (chain->op() == ir::Op::kArrayWrite) {
+      writes = writes.join(analysis_.fact(chain->operand(1)));
+      chain = chain->operand(0);
+    }
+    if (chain != sv->current || writes.isBottom()) return;  // unanalyzable
+    if (fi.refines(writes)) return;
+    add(Rule::kUninitMemoryRead, loc,
+        "read range is not covered by any write index: some reads can only "
+        "observe reset values",
+        "read=" + fi.str() + " writes=" + writes.str());
+  }
+
+  const ir::TransitionSystem& ts_;
+  std::string where_;
+  absint::Analysis analysis_;
+  DrcReport& out_;
+  std::unordered_set<ir::NodeRef> visited_;
+};
+
+}  // namespace
+
+void checkSemantics(const ir::TransitionSystem& ts, const std::string& where,
+                    DrcReport& out, const absint::Options& opts) {
+  SemanticChecker(ts, where, opts, out).run();
+}
+
+void checkSecRanges(const sec::SecProblem& problem, const std::string& where,
+                    DrcReport& out, const absint::Options& opts) {
+  const ir::TransitionSystem& slmTs = problem.side(sec::Side::kSlm);
+  const ir::TransitionSystem& rtlTs = problem.side(sec::Side::kRtl);
+  const absint::Analysis slm = absint::Analysis::run(slmTs, opts);
+  const absint::Analysis rtl = absint::Analysis::run(rtlTs, opts);
+  for (const auto& chk : problem.checks()) {
+    const auto* so = slmTs.findOutput(chk.slmOutput);
+    const auto* ro = rtlTs.findOutput(chk.rtlOutput);
+    if (so == nullptr || ro == nullptr) continue;  // sec_rules reports these
+    if (so->expr->type().isArray() || ro->expr->type().isArray()) continue;
+    const Fact fs = slm.fact(so->expr);
+    const Fact fr = rtl.fact(ro->expr);
+    if (fs.isBottom() || fr.isBottom()) continue;
+    const std::string loc =
+        where + "/check '" + chk.slmOutput + "'=='" + chk.rtlOutput + "'";
+    const std::string ev = "slm=" + fs.str() + " rtl=" + fr.str();
+    // Valid-qualified checks only compare when both valids hold, so a range
+    // gap proves nothing about the qualified equality: cap at warning.
+    const bool qualified = so->valid != nullptr || ro->valid != nullptr;
+    if (fs.meet(fr).isBottom()) {
+      // Both facts over-approximate the reachable values, so equivalent
+      // outputs always have intersecting facts: disjointness is definitive.
+      out.add(Rule::kSecOutputRangeMismatch,
+              qualified ? Severity::kWarning : Severity::kError, Layer::kSec,
+              loc,
+              "reachable value ranges are disjoint: the output check can "
+              "never hold",
+              ev);
+      continue;
+    }
+    const unsigned w = so->expr->width();
+    const unsigned bs = absint::bitLength(fs.iv().hi);
+    const unsigned br = absint::bitLength(fr.iv().hi);
+    const unsigned gap = bs > br ? bs - br : br - bs;
+    if (bs < w && br < w && gap >= 2) {
+      out.add(Rule::kSecOutputRangeMismatch, Severity::kWarning, Layer::kSec,
+              loc,
+              "effective output ranges differ by " + std::to_string(gap) +
+                  " bits (" + std::to_string(bs) + " vs " +
+                  std::to_string(br) + " of " + std::to_string(w) +
+                  "): likely truncation or width divergence",
+              ev);
+    }
+  }
+}
+
+}  // namespace dfv::drc

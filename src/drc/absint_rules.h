@@ -1,0 +1,42 @@
+// Semantic design rules driven by abstract interpretation (dfv::absint).
+//
+// The structural rules in ir_rules/rtl_rules see only graph shape; the
+// paper's §3 divergence catalog, however, is dominated by *value-range*
+// hazards: truncation that silently drops live bits, arithmetic that wraps
+// at its declared width, memories read where nothing was written, and
+// SLM/RTL output pairs whose reachable value ranges cannot even overlap.
+// These rules run absint::Analysis over each transition system and attach
+// the derived interval/known-bits fact to every diagnostic as machine-
+// checkable evidence.
+//
+// Severity calibration: the single-system rules are advisory (kInfo) —
+// modular arithmetic and intentional truncation are legitimate design
+// idioms, so they must not dirty a clean report.  The cross-side range
+// rule escalates: provably disjoint ranges on a checked output pair are an
+// error (the SEC check cannot pass), since both facts over-approximate the
+// reachable values, truly equivalent outputs always have intersecting
+// facts.
+#pragma once
+
+#include <string>
+
+#include "absint/analysis.h"
+#include "drc/diagnostics.h"
+#include "ir/transition_system.h"
+#include "sec/transaction.h"
+
+namespace dfv::drc {
+
+/// Runs the semantic (value-range) rules over one transition system:
+/// lossy-truncation, possible-overflow, uninit-memory-read.
+void checkSemantics(const ir::TransitionSystem& ts, const std::string& where,
+                    DrcReport& out,
+                    const absint::Options& opts = absint::Options());
+
+/// Cross-side rule: for every output check of `problem`, compares the
+/// absint facts of the two sampled outputs (sec-output-range-mismatch).
+void checkSecRanges(const sec::SecProblem& problem, const std::string& where,
+                    DrcReport& out,
+                    const absint::Options& opts = absint::Options());
+
+}  // namespace dfv::drc

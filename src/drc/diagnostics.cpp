@@ -27,6 +27,10 @@ const char* ruleName(Rule rule) {
     case Rule::kSecUncheckedOutput: return "sec-unchecked-output";
     case Rule::kSecGuardAccumulation: return "sec-guard-accumulation";
     case Rule::kSecMulShapeMismatch: return "sec-mul-shape-mismatch";
+    case Rule::kLossyTruncation: return "lossy-truncation";
+    case Rule::kPossibleOverflow: return "possible-overflow";
+    case Rule::kUninitMemoryRead: return "uninit-memory-read";
+    case Rule::kSecOutputRangeMismatch: return "sec-output-range-mismatch";
     case Rule::kSlmDynamicAllocation: return "slm-dynamic-allocation";
     case Rule::kSlmPointerAliasing: return "slm-pointer-aliasing";
     case Rule::kSlmNonStaticLoopBound: return "slm-non-static-loop-bound";
@@ -61,13 +65,15 @@ std::string Diagnostic::str() const {
   std::ostringstream os;
   os << severityName(severity) << '[' << ruleName(rule) << "] "
      << layerName(layer) << ' ' << location << ": " << message;
+  if (!evidence.empty()) os << " [" << evidence << ']';
   return os.str();
 }
 
 void DrcReport::add(Rule rule, Severity severity, Layer layer,
-                    std::string location, std::string message) {
+                    std::string location, std::string message,
+                    std::string evidence) {
   diags_.push_back(Diagnostic{rule, severity, layer, std::move(location),
-                              std::move(message)});
+                              std::move(message), std::move(evidence)});
 }
 
 unsigned DrcReport::count(Severity s) const {
@@ -139,7 +145,10 @@ std::string DrcReport::toJson() const {
     os << "{\"rule\":\"" << ruleName(d.rule) << "\",\"severity\":\""
        << severityName(d.severity) << "\",\"layer\":\"" << layerName(d.layer)
        << "\",\"location\":\"" << jsonEscape(d.location)
-       << "\",\"message\":\"" << jsonEscape(d.message) << "\"}";
+       << "\",\"message\":\"" << jsonEscape(d.message) << '"';
+    if (!d.evidence.empty())
+      os << ",\"evidence\":\"" << jsonEscape(d.evidence) << '"';
+    os << '}';
   }
   os << "]}";
   return os.str();

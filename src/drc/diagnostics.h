@@ -60,6 +60,12 @@ enum class Rule {
                         ///< single-test FSM guard)
   kSecMulShapeMismatch, ///< multiplier/divider shapes differ across sides,
                         ///< defeating BitBlaster::multiplier canonicalization
+  // ----- semantic (absint-driven) rules -------------------------------------
+  kLossyTruncation,     ///< truncation drops bits not proven zero
+  kPossibleOverflow,    ///< add/mul may wrap at its result width
+  kUninitMemoryRead,    ///< array read may hit elements no write reaches
+  kSecOutputRangeMismatch, ///< checked SLM/RTL outputs have provably
+                        ///< mismatched value ranges (disjoint = error)
   // ----- SLM conditioning rules (adapter over slmc::lint, §4.3) ------------
   kSlmDynamicAllocation,
   kSlmPointerAliasing,
@@ -84,8 +90,13 @@ struct Diagnostic {
   Layer layer;
   std::string location;  ///< path, e.g. "fir/rtl/net 'acc'"
   std::string message;   ///< what is wrong and what to do about it
+  /// Machine-checkable supporting facts, e.g. the absint interval/known-bits
+  /// string a semantic rule derived its claim from.  Empty for structural
+  /// rules.
+  std::string evidence;
 
-  /// "error[undriven-net] rtl fir/net 'acc': ..." — one line.
+  /// "error[undriven-net] rtl fir/net 'acc': ..." — one line, with
+  /// " [evidence]" appended when present.
   std::string str() const;
 };
 
@@ -93,7 +104,7 @@ struct Diagnostic {
 class DrcReport {
  public:
   void add(Rule rule, Severity severity, Layer layer, std::string location,
-           std::string message);
+           std::string message, std::string evidence = std::string());
   void add(Diagnostic d) { diags_.push_back(std::move(d)); }
 
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }

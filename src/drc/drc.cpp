@@ -6,12 +6,16 @@ DrcReport runDrc(const DrcInputs& inputs) {
   DrcReport report;
   for (const auto& [name, f] : inputs.slmFunctions)
     checkSlmConditioning(*f, name, report);
-  for (const auto& [name, ts] : inputs.systems)
+  for (const auto& [name, ts] : inputs.systems) {
     checkTransitionSystem(*ts, name, report);
+    checkSemantics(*ts, name, report);
+  }
   for (const auto& [name, m] : inputs.modules)
     checkNetlist(*m, name, report);
-  for (const auto& [name, p] : inputs.secProblems)
+  for (const auto& [name, p] : inputs.secProblems) {
     checkSecShape(*p, name, report);
+    checkSecRanges(*p, name, report);
+  }
   return report;
 }
 

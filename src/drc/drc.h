@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "drc/absint_rules.h"
 #include "drc/diagnostics.h"
 #include "drc/ir_rules.h"
 #include "drc/rtl_rules.h"

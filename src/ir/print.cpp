@@ -8,18 +8,27 @@ namespace dfv::ir {
 
 namespace {
 
-void printRec(std::ostringstream& os, NodeRef n, unsigned depthLeft) {
+void printRec(std::ostringstream& os, NodeRef n, unsigned depthLeft,
+              const NodeAnnotator* annotate) {
+  const auto annotation = [&] {
+    if (annotate == nullptr || !*annotate) return;
+    const std::string a = (*annotate)(n);
+    if (!a.empty()) os << "@{" << a << '}';
+  };
   switch (n->op()) {
     case Op::kConst:
       os << "(const " << n->constValue().toString(16) << ')';
+      annotation();
       return;
     case Op::kInput:
       os << "(input " << n->name() << ':' << n->width() << ')';
+      annotation();
       return;
     case Op::kState:
       os << "(state " << n->name() << ':' << n->width();
       if (n->type().isArray()) os << 'x' << n->type().depth;
       os << ')';
+      annotation();
       return;
     default:
       break;
@@ -34,9 +43,10 @@ void printRec(std::ostringstream& os, NodeRef n, unsigned depthLeft) {
   if (n->op() == Op::kZExt || n->op() == Op::kSExt) os << '>' << n->attr0();
   for (NodeRef operand : n->operands()) {
     os << ' ';
-    printRec(os, operand, depthLeft - 1);
+    printRec(os, operand, depthLeft - 1, annotate);
   }
   os << ')';
+  annotation();
 }
 
 void statsRec(NodeRef n, std::unordered_map<NodeRef, unsigned>& depths,
@@ -58,7 +68,15 @@ void statsRec(NodeRef n, std::unordered_map<NodeRef, unsigned>& depths,
 std::string printExpr(NodeRef node, unsigned maxDepth) {
   DFV_CHECK(node != nullptr);
   std::ostringstream os;
-  printRec(os, node, maxDepth);
+  printRec(os, node, maxDepth, nullptr);
+  return os.str();
+}
+
+std::string printExpr(NodeRef node, const NodeAnnotator& annotate,
+                      unsigned maxDepth) {
+  DFV_CHECK(node != nullptr);
+  std::ostringstream os;
+  printRec(os, node, maxDepth, &annotate);
   return os.str();
 }
 

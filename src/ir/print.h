@@ -5,6 +5,7 @@
 // declaration list.  Output is for humans and tests, not for parsing back.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "ir/expr.h"
@@ -12,9 +13,20 @@
 
 namespace dfv::ir {
 
+/// Optional per-node annotation hook: return a string to render the node as
+/// "(op ...)@{string}", or "" for no annotation.  Analyses above the IR
+/// layer (e.g. absint::Analysis::annotator()) provide implementations; the
+/// IR itself stays agnostic of what the annotations mean.
+using NodeAnnotator = std::function<std::string(NodeRef)>;
+
 /// Renders `node` as an S-expression, e.g. "(add (input a:8) (const 8'h01))".
 /// `maxDepth` truncates deep graphs with "...".
 std::string printExpr(NodeRef node, unsigned maxDepth = 32);
+
+/// Same, with annotations: every node whose annotator string is non-empty
+/// renders as "(op ...)@{annotation}".
+std::string printExpr(NodeRef node, const NodeAnnotator& annotate,
+                      unsigned maxDepth = 32);
 
 /// Summary counts over the node's cone.
 struct ExprStats {

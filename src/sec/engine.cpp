@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 
+#include "absint/simplify.h"
 #include "ir/eval.h"
 
 namespace dfv::sec {
@@ -70,12 +72,16 @@ struct FreeInput {
 };
 
 /// Symbolically unrolls one side of the problem, transaction by transaction.
+/// `ts` is the system to unroll — the problem's side, or an absint-
+/// simplified copy of it (same Context, so the problem's input/state leaves
+/// and output names are shared and all bindings stay valid).
 class Unroller {
  public:
-  Unroller(const SecProblem& problem, Side side, aig::Aig& g)
+  Unroller(const SecProblem& problem, Side side,
+           const ir::TransitionSystem& ts, aig::Aig& g)
       : problem_(problem),
         side_(side),
-        ts_(problem.side(side)),
+        ts_(ts),
         g_(g) {
     ts_.validate();
     for (ir::NodeRef in : ts_.inputs())
@@ -454,8 +460,37 @@ SecResult checkEquivalence(const SecProblem& problem,
   aig::Aig g;
   Miter miter(g, options);
 
-  Unroller slm(problem, Side::kSlm, g);
-  Unroller rtl(problem, Side::kRtl, g);
+  // Word-level preprocessing: simplify both sides under reachable-from-reset
+  // facts and unroll BMC from the simplified copies.  Counterexample replay
+  // and the induction step below keep using the original systems — the
+  // facts only hold on traces that start at reset.
+  const ir::TransitionSystem* slmTs = &problem.side(Side::kSlm);
+  const ir::TransitionSystem* rtlTs = &problem.side(Side::kRtl);
+  std::optional<ir::TransitionSystem> slmSimplified, rtlSimplified;
+  if (options.absint) {
+    const auto t0 = std::chrono::steady_clock::now();
+    absint::SimplifyStats ss;
+    slmSimplified =
+        absint::analyzeAndSimplify(*slmTs, options.absintOptions, &ss);
+    rtlSimplified =
+        absint::analyzeAndSimplify(*rtlTs, options.absintOptions, &ss);
+    slmTs = &*slmSimplified;
+    rtlTs = &*rtlSimplified;
+    AbsintStats& as = result.stats.absint;
+    as.applied = true;
+    as.nodesFolded = ss.nodesFolded;
+    as.muxesPruned = ss.muxesPruned;
+    as.opsNarrowed = ss.opsNarrowed;
+    as.bitsNarrowed = ss.bitsNarrowed;
+    as.tsNodesBefore = ss.nodesBefore;
+    as.tsNodesAfter = ss.nodesAfter;
+    as.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  Unroller slm(problem, Side::kSlm, *slmTs, g);
+  Unroller rtl(problem, Side::kRtl, *rtlTs, g);
   slm.initFromReset();
   rtl.initFromReset();
 
@@ -604,8 +639,10 @@ SecResult checkEquivalence(const SecProblem& problem,
     if (closed) {
       aig::Aig gi;
       Miter miterI(gi, options);
-      Unroller slmI(problem, Side::kSlm, gi);
-      Unroller rtlI(problem, Side::kRtl, gi);
+      // Always the ORIGINAL systems: absint facts are reachability facts and
+      // do not hold in the symbolic start states the induction step assumes.
+      Unroller slmI(problem, Side::kSlm, problem.side(Side::kSlm), gi);
+      Unroller rtlI(problem, Side::kRtl, problem.side(Side::kRtl), gi);
       slmI.initSymbolic("ind.");
       // Invariants of the form eq(slm-state, rtl-state) are applied
       // *structurally*: the RTL leaf reuses the SLM leaf's symbolic words,

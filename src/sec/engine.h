@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "absint/analysis.h"
 #include "aig/bitblast.h"
 #include "aig/cnf.h"
 #include "aig/fraig.h"
@@ -77,6 +78,20 @@ struct PhaseStats {
   double fraigTimeMs = 0.0;
 };
 
+/// Cost and effect of the word-level abstract-interpretation preprocessing
+/// (SecOptions::absint): both sides are analyzed and rewritten once, before
+/// the BMC unrolling is bit-blasted.
+struct AbsintStats {
+  bool applied = false;            ///< analysis ran (SecOptions::absint on)
+  std::uint64_t nodesFolded = 0;   ///< IR nodes replaced by proven constants
+  std::uint64_t muxesPruned = 0;   ///< muxes with proven-constant selectors
+  std::uint64_t opsNarrowed = 0;   ///< add/sub/mul rewritten at lower width
+  std::uint64_t bitsNarrowed = 0;  ///< total width removed by narrowing
+  std::uint64_t tsNodesBefore = 0;  ///< IR cone nodes, both sides, before
+  std::uint64_t tsNodesAfter = 0;   ///< IR cone nodes, both sides, after
+  double seconds = 0.0;             ///< analysis + rewrite wall-clock
+};
+
 struct SecStats {
   unsigned transactionsChecked = 0;
   std::size_t aigNodes = 0;           ///< total across both graphs
@@ -96,6 +111,8 @@ struct SecStats {
   std::vector<PhaseStats> bmcTransactions;
   /// The inductive-step solve (zeroed when induction never ran).
   PhaseStats induction{};
+  /// Word-level preprocessing telemetry (see SecOptions::absint).
+  AbsintStats absint{};
 };
 
 struct SecResult {
@@ -125,6 +142,19 @@ struct SecOptions {
   bool fraig = true;
   /// Tuning for the fraig pass (seed, stimulus size, per-candidate budget).
   aig::FraigOptions fraigOptions{};
+  /// Run the word-level abstract interpretation (dfv::absint) on both sides
+  /// and unroll the BMC phase from the simplified systems: nodes proven
+  /// constant fold away, muxes with proven selectors lose their dead arm,
+  /// and wrap-around arithmetic with proven-zero high bits narrows — all
+  /// before the bit-blaster sees the logic.  The rewrites are justified by
+  /// reachable-from-reset facts, which is exactly the BMC trace set, so
+  /// verdicts and counterexamples are identical with this on or off (tests
+  /// and bench_sec_ablation assert this).  The induction step reasons from
+  /// symbolic start states where those facts do not hold, so it always uses
+  /// the original systems.
+  bool absint = true;
+  /// Tuning for the analysis fixpoint (widening, refinement budget).
+  absint::Options absintOptions{};
   /// Resource cap applied to each BMC solve (one per transaction, plus the
   /// constraint-vacuity check).  Default-constructed = unlimited.  When a
   /// BMC solve is cut off the engine stops and returns kInconclusive —

@@ -12,6 +12,7 @@
 #include "designs/gcd.h"
 #include "designs/macpipe.h"
 #include "designs/memsys.h"
+#include "designs/truncsum.h"
 #include "drc/drc.h"
 #include "rtl/sim.h"
 #include "slmc/lint.h"
@@ -499,6 +500,21 @@ TEST(DrcGate, OffPolicySkipsDrcEntirely) {
   EXPECT_FALSE(report.blocks[0].drc.has_value());
 }
 
+TEST(DrcGate, StrictPolicyBlocksOnWarningsToo) {
+  // kStrict is the semantic-rule gate: a warning-only report (which kBlock
+  // waves through) must stop the block.
+  bool ran = false;
+  auto plan = makeGatedPlan(/*drcErrors=*/false, &ran);
+  plan.setDrcPolicy(core::DrcPolicy::kStrict);
+  const auto report = plan.runAll();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(report.blocked, 1u);
+  ASSERT_EQ(report.blocks.size(), 1u);
+  EXPECT_TRUE(report.blocks[0].blockedByDrc);
+  ASSERT_TRUE(report.blocks[0].drc.has_value());
+  EXPECT_EQ(report.blocks[0].drc->warnings(), 1u);
+}
+
 TEST(DrcGate, JsonCarriesBlockedStatusAndDiagnostics) {
   bool ran = false;
   auto plan = makeGatedPlan(/*drcErrors=*/true, &ran);
@@ -509,6 +525,108 @@ TEST(DrcGate, JsonCarriesBlockedStatusAndDiagnostics) {
   EXPECT_NE(js.find("\"drc\":{"), std::string::npos);
   EXPECT_NE(js.find("undriven-net"), std::string::npos);
   EXPECT_NE(js.find("\"blocked\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic (abstract-interpretation) rules
+// ---------------------------------------------------------------------------
+
+TEST(DrcSemantic, TruncsumNarrowPairFlaggedStatically) {
+  // The 8-bit register drops accumulator bits the analysis cannot prove
+  // zero, and the resulting output hulls differ by two effective bits: the
+  // checker must call the divergence before any SEC run (sec_test's
+  // SecAbsint.TruncsumNarrowPairRefutedEitherWay finds the matching
+  // counterexample dynamically).
+  ir::Context ctx;
+  const auto narrow = designs::makeTruncsumSecProblem(ctx, /*narrow=*/true);
+  const DrcReport r = drc::runDrc(*narrow.problem, "truncsum");
+  EXPECT_TRUE(r.fired(Rule::kLossyTruncation));
+  EXPECT_TRUE(r.fired(Rule::kSecOutputRangeMismatch));
+  EXPECT_FALSE(r.clean());
+  bool sawEvidence = false;
+  for (const auto& d : r.diagnostics())
+    if (d.rule == Rule::kSecOutputRangeMismatch) {
+      EXPECT_NE(d.evidence.find("slm="), std::string::npos) << d.evidence;
+      EXPECT_NE(d.str().find(d.evidence), std::string::npos) << d.str();
+      sawEvidence = true;
+    }
+  EXPECT_TRUE(sawEvidence);
+  EXPECT_NE(r.toJson().find("\"evidence\":\""), std::string::npos);
+}
+
+TEST(DrcSemantic, TruncsumGoodPairIsClean) {
+  ir::Context ctx;
+  const auto good = designs::makeTruncsumSecProblem(ctx);
+  const DrcReport r = drc::runDrc(*good.problem, "truncsum");
+  EXPECT_TRUE(r.clean()) << r.toJson();
+  EXPECT_FALSE(r.fired(Rule::kLossyTruncation));
+  EXPECT_FALSE(r.fired(Rule::kSecOutputRangeMismatch));
+}
+
+TEST(DrcSemantic, BoundedSquareReportsPossibleOverflowAsAdvisory) {
+  // s stays in [0, 10], so s*s can need 7 bits but the mul is 4 wide.  The
+  // finding is informational: modular arithmetic is a legitimate idiom, so
+  // the report must stay clean.
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "sq");
+  ir::NodeRef s = ts.addState("s", 4, 0);
+  ts.setNext(s, ctx.mux(ctx.ult(s, ctx.constantUint(4, 10)),
+                        ctx.add(s, ctx.one(4)), s));
+  ts.addOutput("out", ctx.mul(s, s));
+  DrcReport r;
+  drc::checkSemantics(ts, "sq", r);
+  EXPECT_TRUE(r.fired(Rule::kPossibleOverflow));
+  EXPECT_TRUE(r.clean());
+  // The saturating add itself stays in range and must NOT fire: 10+1 fits.
+  unsigned overflowCount = 0;
+  for (const auto& d : r.diagnostics())
+    if (d.rule == Rule::kPossibleOverflow) ++overflowCount;
+  EXPECT_EQ(overflowCount, 1u);
+}
+
+TEST(DrcSemantic, OutOfRangeMemoryIndexReported) {
+  // Depth-3 array read with a free 2-bit index: index 3 totalizes.
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "mem");
+  ir::NodeRef arr = ts.addState(
+      "m", ir::Type{8, 3},
+      ir::Value::makeArray({bv::BitVector(8), bv::BitVector(8),
+                            bv::BitVector(8)}));
+  ts.setNext(arr, arr);
+  ir::NodeRef idx = ts.addInput("i", 2);
+  ts.addOutput("out", ctx.arrayRead(arr, idx));
+  DrcReport r;
+  drc::checkSemantics(ts, "mem", r);
+  EXPECT_TRUE(r.fired(Rule::kUninitMemoryRead));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(DrcSemantic, ReadBeyondWriteCoverageReportedAndCoveredReadIsNot) {
+  // Writes only ever land at indices [0, 1] (a capped counter); a read at a
+  // free index can observe reset-only elements, a read at the counter
+  // cannot.
+  for (const bool covered : {false, true}) {
+    ir::Context ctx;
+    ir::TransitionSystem ts(ctx, "wcov");
+    ir::NodeRef arr = ts.addState(
+        "m", ir::Type{8, 4},
+        ir::Value::makeArray({bv::BitVector(8), bv::BitVector(8),
+                              bv::BitVector(8), bv::BitVector(8)}));
+    ir::NodeRef c = ts.addState("c", 2, 0);
+    ts.setNext(c, ctx.mux(ctx.ult(c, ctx.one(2)), ctx.add(c, ctx.one(2)), c));
+    ir::NodeRef data = ts.addInput("d", 8);
+    ts.setNext(arr, ctx.arrayWrite(arr, c, data));
+    ir::NodeRef idx = covered ? c : ts.addInput("i", 2);
+    ts.addOutput("out", ctx.arrayRead(arr, idx));
+    DrcReport r;
+    drc::checkSemantics(ts, "wcov", r);
+    EXPECT_EQ(r.fired(Rule::kUninitMemoryRead), !covered);
+    if (!covered) {
+      ASSERT_EQ(r.diagnostics().size(), 1u);
+      EXPECT_NE(r.diagnostics()[0].evidence.find("writes="),
+                std::string::npos);
+    }
+  }
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "designs/histo.h"
+#include "designs/truncsum.h"
 #include "rtl/lower.h"
 #include "rtl/netlist.h"
 
@@ -526,6 +528,75 @@ TEST(SecFraig, SweepMergesRegroupedAdderAndFoldsStats) {
   for (const auto& ph : ron.stats.bmcTransactions)
     if (ph.fraigNodesAfter < ph.fraigNodesBefore) sawShrink = true;
   EXPECT_TRUE(sawShrink);
+}
+
+// --- Abstract-interpretation preprocessing (SecOptions::absint) ----------
+//
+// The invariant mirrors the fraig one: absint simplification is
+// verdict-preserving (reachable-from-reset facts, applied to BMC only), so
+// every design must get the identical verdict with it on and off, and the
+// stats must record the work when it is on.
+
+TEST(SecAbsint, TruncsumGoodPairProvenEitherWay) {
+  SecOptions on, off;
+  on.absint = true;
+  off.absint = false;
+  ir::Context ctxOn, ctxOff;
+  designs::TruncsumSecSetup a = designs::makeTruncsumSecProblem(ctxOn);
+  designs::TruncsumSecSetup b = designs::makeTruncsumSecProblem(ctxOff);
+  SecResult ron = checkEquivalence(*a.problem, on);
+  SecResult roff = checkEquivalence(*b.problem, off);
+  EXPECT_EQ(ron.verdict, Verdict::kProvenEquivalent);
+  EXPECT_EQ(roff.verdict, Verdict::kProvenEquivalent);
+  EXPECT_TRUE(ron.stats.absint.applied);
+  EXPECT_FALSE(roff.stats.absint.applied);
+  // The clamp bounds the SLM fold below 2^10, so the analysis must find
+  // real narrowing work (the AIG effect is design-dependent: truncsum's
+  // rewrites hit only the SLM side, which trades away some cross-side
+  // structural sharing — bench_sec_ablation reports the per-design sizes).
+  EXPECT_GT(ron.stats.absint.opsNarrowed, 0u);
+  EXPECT_GT(ron.stats.absint.muxesPruned, 0u);
+  // Reachability facts are unsound from a symbolic start, so the induction
+  // graph must come from the *original* systems: identical with and
+  // without absint.
+  EXPECT_EQ(ron.stats.inductionAigNodes, roff.stats.inductionAigNodes);
+}
+
+TEST(SecAbsint, TruncsumNarrowPairRefutedEitherWay) {
+  // The 8-bit accumulator drops sums in [256, 510]: a real divergence the
+  // simplifier must not mask -- both modes find a replayable witness.
+  SecOptions on, off;
+  on.absint = true;
+  off.absint = false;
+  ir::Context ctxOn, ctxOff;
+  designs::TruncsumSecSetup a =
+      designs::makeTruncsumSecProblem(ctxOn, /*narrow=*/true);
+  designs::TruncsumSecSetup b =
+      designs::makeTruncsumSecProblem(ctxOff, /*narrow=*/true);
+  SecResult ron = checkEquivalence(*a.problem, on);
+  SecResult roff = checkEquivalence(*b.problem, off);
+  EXPECT_EQ(ron.verdict, Verdict::kNotEquivalent);
+  EXPECT_EQ(roff.verdict, Verdict::kNotEquivalent);
+  EXPECT_TRUE(ron.cex.has_value());
+  EXPECT_TRUE(roff.cex.has_value());
+}
+
+TEST(SecAbsint, HistoProvenEitherWayAndNarrowsEveryBin) {
+  SecOptions on, off;
+  on.absint = true;
+  off.absint = false;
+  ir::Context ctxOn, ctxOff;
+  designs::HistoSecSetup a = designs::makeHistoSecProblem(ctxOn);
+  designs::HistoSecSetup b = designs::makeHistoSecProblem(ctxOff);
+  SecResult ron = checkEquivalence(*a.problem, on);
+  SecResult roff = checkEquivalence(*b.problem, off);
+  EXPECT_EQ(ron.verdict, Verdict::kProvenEquivalent);
+  EXPECT_EQ(roff.verdict, Verdict::kProvenEquivalent);
+  // Every 16-bit bin is capped at 1000, so increments on both sides narrow
+  // by six bits each; the aggregate must show it.
+  EXPECT_GE(ron.stats.absint.opsNarrowed, 2u * designs::kHistoBins);
+  EXPECT_GT(ron.stats.absint.bitsNarrowed, 0u);
+  EXPECT_LT(ron.stats.bmcAigNodes, roff.stats.bmcAigNodes);
 }
 
 }  // namespace
