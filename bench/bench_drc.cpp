@@ -58,11 +58,13 @@ void printRow(const std::string& name, const drc::DrcReport& r) {
               r.clean() ? "clean" : "DIRTY", firedList(r).c_str());
 }
 
-/// Runs `sec::checkEquivalence` with a per-solve wall-clock budget so an
-/// unmergeable miter cannot hang the bench: past `budgetSecs` the engine
+/// Runs `sec::checkEquivalence` with per-solve conflict/propagation caps so
+/// an unmergeable miter cannot hang the bench: past the caps the engine
 /// interrupts itself and the inconclusive verdict is the measurement (the
-/// conditioned twin finishes in milliseconds, so exhausting the budget is a
-/// >1000x slowdown).  This used to need a forked child and SIGKILL.
+/// conditioned twin finishes within a few conflicts, so exhausting the caps
+/// is a >1000x slowdown).  Caps, never wall clock, so the verdict is a
+/// machine-independent fact (CLAUDE.md).  This used to need a forked child
+/// and SIGKILL.
 struct BudgetedSec {
   double seconds = 0.0;
   bool budgetExhausted = false;
@@ -71,10 +73,12 @@ struct BudgetedSec {
 
 BudgetedSec runSecWithBudget(const sec::SecProblem& problem,
                              const sec::SecOptions& options,
-                             double budgetSecs) {
+                             std::uint64_t maxConflicts,
+                             std::uint64_t maxPropagations) {
   sec::SecOptions o = options;
-  o.bmcBudget.maxSeconds = budgetSecs;
-  o.inductionBudget.maxSeconds = budgetSecs;
+  o.bmcBudget.maxConflicts = maxConflicts;
+  o.bmcBudget.maxPropagations = maxPropagations;
+  o.inductionBudget = o.bmcBudget;
   const auto t0 = Clock::now();
   const auto r = sec::checkEquivalence(problem, o);
   BudgetedSec out;
@@ -276,27 +280,40 @@ int main(int argc, char** argv) {
       .field("secKilled", secKilled);
 
   // ----- part 3: the structural-merge prediction, confirmed ---------------
+  //
+  // The flagged shape is the one the solver pays for.  Since the engine
+  // grew SAT sweeping, fraig steps over the cliff dynamically (~1 s vs the
+  // conditioned twin's milliseconds — still the costliest proof in the
+  // suite); the fraig-off arm shows the cliff the rule actually predicts:
+  // the caps exhaust with no verdict.
   std::printf("--- sec-guard-accumulation: prediction vs measured SEC ---\n");
   struct GcdCase {
     const char* name;
     designs::GcdSecSetup (*make)(ir::Context&);
+    bool fraig;
   };
   const GcdCase cases[] = {
-      {"gcd conditioned (if-guarded body)", designs::makeGcdSecProblem},
-      {"gcd breakIf (accumulated guards)", designs::makeGcdBreakIfSecProblem},
+      {"gcd conditioned (if-guarded body)", designs::makeGcdSecProblem, true},
+      {"gcd breakIf (accumulated guards)", designs::makeGcdBreakIfSecProblem,
+       true},
+      {"gcd breakIf, fraig off", designs::makeGcdBreakIfSecProblem, false},
   };
-  const double kBudgetSecs = smoke ? 0.2 : 15.0;
+  const std::uint64_t kMaxConflicts = smoke ? 2000 : 20000;
+  const std::uint64_t kMaxPropagations = smoke ? 200000 : 20000000;
   std::printf("%-36s %-9s %12s %18s  %s\n", "model", "drc", "sec(s)",
               "verdict", "fired rules");
   for (const GcdCase& c : cases) {
     ir::Context ctx;
     auto setup = c.make(ctx);
     const auto r = drc::runDrc(*setup.problem, "gcd");
-    const auto b = runSecWithBudget(*setup.problem, {.boundTransactions = 1},
-                                    kBudgetSecs);
+    sec::SecOptions o;
+    o.boundTransactions = 1;
+    o.fraig = c.fraig;
+    const auto b =
+        runSecWithBudget(*setup.problem, o, kMaxConflicts, kMaxPropagations);
     char secsStr[32];
     if (b.budgetExhausted)
-      std::snprintf(secsStr, sizeof secsStr, "> %.1f", kBudgetSecs);
+      std::snprintf(secsStr, sizeof secsStr, "%.3f (cut)", b.seconds);
     else
       std::snprintf(secsStr, sizeof secsStr, "%.3f", b.seconds);
     std::printf("%-36s %-9s %12s %18s  %s\n", c.name,
@@ -304,6 +321,7 @@ int main(int argc, char** argv) {
                 secsStr, sec::verdictName(b.verdict), firedList(r).c_str());
     report.beginRow("guard_accumulation")
         .field("model", c.name)
+        .field("fraig", c.fraig)
         .field("flagged", r.fired(drc::Rule::kSecGuardAccumulation))
         .field("seconds", b.seconds)
         .field("budgetExhausted", b.budgetExhausted)

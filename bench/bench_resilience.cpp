@@ -1,0 +1,276 @@
+// RESIL — fault -> recovery matrix and retry-ladder economics.
+//
+// The resilient runner (core/resilient.h) exists so that one stubborn or
+// crashing block cannot stall the whole consistency signal (§4.1).  This
+// bench regenerates the two tables EXPERIMENTS.md quotes:
+//
+//   1. fault -> recovery matrix — every fault site x policy x
+//      {transient, persistent} combination injected (dfv::fault) into a
+//      two-block plan; the table shows the structured outcome per block.
+//      The invariant: no combination escapes runAll() as an exception, and
+//      every injection is attributed to a block's faultInjections counter.
+//   2. retry-ladder cost — the deliberately hard designs under starvation
+//      budgets: gcd_breakif (fraig off + propagation caps: inconclusive
+//      until a rung re-enables fraig) and FIR without structural aliasing
+//      (induction cut by conflict caps: bounded until a rung's budget
+//      covers the ~204k-conflict inductive proof).  Per-attempt rows show
+//      what each rung cost and bought.
+//   3. graceful degradation — gcd_breakif with fraig withheld entirely:
+//      the ladder tops out inconclusive and the block falls back to seeded
+//      random co-simulation, passing with degraded=true in the JSON.
+//
+// Budgets here are conflict/propagation caps on purpose: verdicts are then
+// machine-independent and the tables reproduce anywhere (see CLAUDE.md).
+//
+// With --smoke: the full matrix (it is cheap) but a truncated ladder with
+// no fraig/no-aliasing rungs — a wiring check making no timing claims.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cosim/scoreboard.h"
+#include "core/report.h"
+#include "core/resilient.h"
+#include "designs/fir.h"
+#include "designs/gcd.h"
+#include "fault/fault.h"
+#include "ir/expr.h"
+
+using namespace dfv;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double secsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The matrix's guinea-pig plan: a budgeted real SEC block (gcd) with a
+/// random-cosim fallback, plus a scoreboard-backed cosim block, so every
+/// fault site is on some block's path.
+core::RetryPolicy matrixPolicy() {
+  core::RetryPolicy p;
+  p.maxAttempts = 2;
+  return p;
+}
+
+struct MatrixPlan {
+  std::unique_ptr<ir::Context> ctx = std::make_unique<ir::Context>();
+  designs::GcdSecSetup gcd;
+  core::ResilientRunner runner{"matrix", matrixPolicy()};
+
+  MatrixPlan() {
+    gcd = designs::makeGcdSecProblem(*ctx);
+    sec::SecOptions base;
+    base.bmcBudget.maxConflicts = 100000;
+    base.inductionBudget.maxConflicts = 100000;
+    runner.addSecBlock("gcd", 1, base, [this](const sec::SecOptions& o) {
+      return sec::checkEquivalence(*gcd.problem, o);
+    });
+    runner.setCosimFallback("gcd",
+                            core::makeRandomCosimFallback(*gcd.problem, 8));
+    runner.addCosimBlock("stream", 2, [](std::uint64_t) {
+      cosim::CycleExactScoreboard sb;
+      for (std::uint64_t c = 0; c < 8; ++c)
+        sb.expect(c, bv::BitVector::fromUint(8, c * 5 + 1));
+      for (std::uint64_t c = 0; c < 8; ++c)
+        sb.observe(c, bv::BitVector::fromUint(8, c * 5 + 1));
+      const auto stats = sb.finish();
+      return core::ResilientRunner::CosimOutcome{
+          stats.clean(),
+          stats.clean() ? "8 samples matched" : "scoreboard mismatch"};
+    });
+  }
+};
+
+const char* statusOf(const core::BlockResult& b) {
+  if (b.faulted) return "faulted";
+  if (b.degraded) return b.passed ? "degraded-pass" : "degraded-fail";
+  if (b.inconclusive) return "inconclusive";
+  return b.passed ? "pass" : "fail";
+}
+
+void runMatrix(benchutil::JsonReport& json) {
+  using fault::Policy;
+  using fault::Site;
+  std::printf("-- fault -> recovery matrix "
+              "(2-block plan, ladder depth 2, cosim fallback) --\n");
+  std::printf("%-22s %-18s %-10s | %-14s %-8s %5s %s\n", "site", "policy",
+              "mode", "gcd", "stream", "inj", "escaped");
+  const Site sites[] = {Site::kSolverSolve, Site::kSecBmcPhase,
+                        Site::kSecInductionPhase, Site::kCosimSample};
+  const Policy policies[] = {Policy::kThrowCheckError, Policy::kSpuriousUnknown,
+                             Policy::kExhaustBudget, Policy::kCorruptSample};
+  unsigned escapedTotal = 0;
+  for (Site site : sites) {
+    for (Policy policy : policies) {
+      for (bool persistent : {false, true}) {
+        MatrixPlan plan;
+        fault::ScopedInjector scoped(42);
+        scoped.injector().arm(site, policy, 1, persistent ? 1 : 0);
+        core::PlanReport report;
+        bool escaped = false;
+        try {
+          report = plan.runner.runAll();
+        } catch (...) {
+          escaped = true;  // must never happen; reported if it does
+          ++escapedTotal;
+        }
+        const std::uint64_t injections = scoped.injector().totalInjections();
+        const char* mode = persistent ? "persistent" : "transient";
+        const char* gcdStatus =
+            escaped ? "-" : statusOf(report.blocks.at(0));
+        const char* streamStatus =
+            escaped ? "-" : statusOf(report.blocks.at(1));
+        std::printf("%-22s %-18s %-10s | %-14s %-8s %5llu %s\n",
+                    fault::siteName(site), fault::policyName(policy), mode,
+                    gcdStatus, streamStatus,
+                    static_cast<unsigned long long>(injections),
+                    escaped ? "YES" : "no");
+        json.beginRow("fault_recovery_matrix")
+            .field("site", fault::siteName(site))
+            .field("policy", fault::policyName(policy))
+            .field("mode", mode)
+            .field("gcd_status", gcdStatus)
+            .field("stream_status", streamStatus)
+            .field("injections", injections)
+            .field("escaped", escaped);
+      }
+    }
+  }
+  std::printf("uncaught exceptions escaping runAll(): %u (must be 0)\n\n",
+              escapedTotal);
+}
+
+/// Runs one ladder configuration and prints a row per attempt.
+void runLadder(benchutil::JsonReport& json, const std::string& name,
+               const sec::SecProblem& problem, const sec::SecOptions& base,
+               const core::RetryPolicy& policy) {
+  core::ResilientRunner runner(name, policy);
+  runner.addSecBlock(name, 1, base, [&](const sec::SecOptions& o) {
+    return sec::checkEquivalence(problem, o);
+  });
+  const auto start = Clock::now();
+  const core::PlanReport report = runner.runAll();
+  const double total = secsSince(start);
+  const core::BlockResult& b = report.blocks.at(0);
+  for (const core::AttemptRecord& a : b.attemptLog) {
+    std::printf("%-12s rung %u  conflicts<=%-8llu props<=%-9llu %-22s %8.3fs\n",
+                name.c_str(), a.rung,
+                static_cast<unsigned long long>(a.maxConflicts),
+                static_cast<unsigned long long>(a.maxPropagations),
+                a.outcome.c_str(), a.seconds);
+    json.beginRow("retry_ladder")
+        .field("design", name)
+        .field("rung", a.rung)
+        .field("max_conflicts", a.maxConflicts)
+        .field("max_propagations", a.maxPropagations)
+        .field("outcome", a.outcome)
+        .field("seconds", a.seconds);
+  }
+  std::printf("%-12s => %s after %u attempt(s), %.3fs total\n\n", name.c_str(),
+              b.detail.c_str(), b.attempts, total);
+  json.beginRow("retry_ladder_total")
+      .field("design", name)
+      .field("final", b.detail)
+      .field("attempts", b.attempts)
+      .field("seconds", total);
+}
+
+void runLadders(benchutil::JsonReport& json, bool smoke) {
+  std::printf("-- retry-ladder cost under starvation budgets --\n");
+  {
+    // gcd_breakif: accumulated break-flag guards defeat structural merging;
+    // without fraig the BMC drowns in propagations.  The ladder first buys
+    // more budget (not enough), then a rung re-enables fraig and the proof
+    // closes.
+    ir::Context ctx;
+    designs::GcdSecSetup setup = designs::makeGcdBreakIfSecProblem(ctx);
+    sec::SecOptions base;
+    base.fraig = false;
+    base.bmcBudget.maxPropagations = 200000;
+    base.inductionBudget.maxPropagations = 200000;
+    core::RetryPolicy policy;
+    core::RetryRung grow;        // x4 budget, same toggles
+    core::RetryRung withFraig;   // x4 budget and fraig back on
+    withFraig.fraig = true;
+    if (smoke) {
+      policy.maxAttempts = 2;    // no fraig rung: wiring check only
+      policy.rungs = {grow};
+    } else {
+      policy.maxAttempts = 3;
+      policy.rungs = {grow, withFraig};
+    }
+    runLadder(json, "gcd_breakif", *setup.problem, base, policy);
+  }
+  {
+    // FIR without structural aliasing: BMC is easy but the inductive step
+    // needs ~204k conflicts.  Rungs 0 and 1 return the sound bounded
+    // verdict with the induction cut off; the ladder keeps climbing
+    // (RetryPolicy::retryInductionCutoff) until the budget covers the
+    // proof.
+    ir::Context ctx;
+    designs::FirSecSetup setup =
+        designs::makeFirSecProblem(ctx, designs::FirBug::kNone);
+    sec::SecOptions base;
+    core::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.budgetScale = 4.0;
+    if (smoke) {
+      base.inductionBudget.maxConflicts = 100000;  // proof fits at rung 0
+    } else {
+      base.structuralAliasing = false;
+      base.inductionBudget.maxConflicts = 25000;
+    }
+    runLadder(json, "fir", *setup.problem, base, policy);
+  }
+}
+
+void runDegradation(benchutil::JsonReport& json, bool smoke) {
+  std::printf("-- graceful degradation: never-provable block -> cosim --\n");
+  ir::Context ctx;
+  designs::GcdSecSetup setup = designs::makeGcdBreakIfSecProblem(ctx);
+  sec::SecOptions base;
+  base.fraig = false;  // withheld: this configuration can never prove it
+  base.bmcBudget.maxPropagations = 100000;
+  base.inductionBudget.maxPropagations = 100000;
+  core::RetryPolicy policy;
+  policy.maxAttempts = smoke ? 1 : 2;
+  policy.cosimSeed = 2024;
+  core::ResilientRunner runner("degradation", policy);
+  runner.addSecBlock("gcd_breakif", 1, base, [&](const sec::SecOptions& o) {
+    return sec::checkEquivalence(*setup.problem, o);
+  });
+  runner.setCosimFallback(
+      "gcd_breakif", core::makeRandomCosimFallback(*setup.problem, 16));
+  const core::PlanReport report = runner.runAll();
+  const core::BlockResult& b = report.blocks.at(0);
+  std::printf("block %s: %s (attempts=%u degraded=%s)\n", b.block.c_str(),
+              b.detail.c_str(), b.attempts, b.degraded ? "true" : "false");
+  std::printf("plan summary: %s\n", report.summary().c_str());
+  std::printf("report json: %s\n\n", report.json("degradation").c_str());
+  json.beginRow("degradation")
+      .field("block", b.block)
+      .field("attempts", b.attempts)
+      .field("degraded", b.degraded)
+      .field("passed", b.passed)
+      .field("detail", b.detail);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smokeMode(argc, argv);
+  benchutil::JsonReport json(argc, argv, "resilience");
+  std::printf("RESIL: fault injection, retry ladders, degradation%s\n\n",
+              smoke ? " (smoke)" : "");
+  runMatrix(json);
+  runLadders(json, smoke);
+  runDegradation(json, smoke);
+  json.write();
+  return 0;
+}

@@ -22,6 +22,7 @@
 // never be proven equivalent).
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -85,13 +86,24 @@ ConvWinSetup makeConvWinProblem(ir::Context& ctx) {
 struct Case {
   const char* name;
   unsigned bound;
-  /// Full-run wall budget per solve.  Most cases use a short leash (a cut
-  /// cell is itself the measurement); fir gets enough rope for both fraig
-  /// arms to *complete* with structuralAliasing off, which is the clean
-  /// completed-vs-completed wall-time comparison.
-  double wallBudget;
+  /// Full-run per-phase caps (0 = unlimited).  Conflict/propagation caps —
+  /// never wall clock — so the matrix's INCONCLUSIVE cells are
+  /// machine-independent facts, not artifacts of the host's speed.  Most
+  /// cases use a short leash (a cut cell is itself the measurement); fir
+  /// gets enough conflicts for both fraig arms to *complete* with
+  /// structuralAliasing off, which is the clean completed-vs-completed
+  /// comparison.
+  std::uint64_t maxConflicts;
+  std::uint64_t maxPropagations;
   std::function<std::shared_ptr<sec::SecProblem>(ir::Context&)> make;
 };
+
+/// Applies a case's caps (or the tiny smoke leash) to both phase budgets.
+void applyBudget(sec::SecOptions& o, const Case& c, bool smoke) {
+  o.bmcBudget.maxConflicts = smoke ? 10000 : c.maxConflicts;
+  o.bmcBudget.maxPropagations = smoke ? 2000000 : c.maxPropagations;
+  o.inductionBudget = o.bmcBudget;
+}
 
 std::uint64_t conflictsUsed(const sec::SecStats& stats) {
   std::uint64_t total = stats.induction.conflicts;
@@ -119,27 +131,29 @@ int main(int argc, char** argv) {
 
   // --- Part 1: fraig x structuralAliasing matrix ----------------------------
   std::vector<Case> cases = {
-      {"fir", designs::kFirTaps + 2, 120.0,
+      {"fir", designs::kFirTaps + 2, 1000000, 0,
        [](ir::Context& ctx) {
          return hold(std::make_shared<designs::FirSecSetup>(
              designs::makeFirSecProblem(ctx, designs::FirBug::kNone)));
        }},
-      {"conv_win", 1, 4.0,
+      {"conv_win", 1, 100000, 0,
        [](ir::Context& ctx) {
          return hold(std::make_shared<ConvWinSetup>(makeConvWinProblem(ctx)));
        }},
-      {"gcd", 1, 4.0,
+      {"gcd", 1, 100000, 0,
        [](ir::Context& ctx) {
          return hold(std::make_shared<designs::GcdSecSetup>(
              designs::makeGcdSecProblem(ctx)));
        }},
-      {"fpadd", 1, 4.0,
+      {"fpadd", 1, 100000, 0,
        [](ir::Context& ctx) {
          return hold(std::make_shared<designs::FpAddSecSetup>(
              designs::makeFpAddSecProblem(ctx, fp::Format::minifloat(),
                                           /*constrainToSafeBand=*/true)));
        }},
-      {"gcd_breakif", 1, 4.0,
+      // The no-merge shape conflicts slowly but propagates furiously, so it
+      // needs both caps; the proving fraig arm stays far under them.
+      {"gcd_breakif", 1, 20000, 20000000,
        [](ir::Context& ctx) {
          return hold(std::make_shared<designs::GcdSecSetup>(
              designs::makeGcdBreakIfSecProblem(ctx)));
@@ -147,9 +161,10 @@ int main(int argc, char** argv) {
   };
   if (smoke) cases = {cases[0], cases[4]};  // fir + the hard shape
 
-  std::printf("--- fraig x structuralAliasing matrix (wall budget per solve: "
-              "%s) ---\n",
-              smoke ? "2s" : "4s; 120s for fir so every arm completes");
+  std::printf("--- fraig x structuralAliasing matrix (conflict budget per "
+              "solve: %s) ---\n",
+              smoke ? "10k" : "100k; 1M for fir so every arm completes; "
+                              "20k+20M props for gcd_breakif");
   std::printf("%-12s %-6s %-6s %8s %10s %10s %9s %8s %10s  %s\n", "design",
               "alias", "fraig", "sec(s)", "cone(pre)", "cone(post)",
               "fraigSAT", "merged", "conflicts", "verdict");
@@ -166,10 +181,9 @@ int main(int argc, char** argv) {
         o.structuralAliasing = aliasing;
         o.fraig = fraig;
         // The slowest arms (CNF invariants, no sweeping) would otherwise run
-        // unbounded; a per-case wall budget keeps the matrix finite and an
+        // unbounded; per-case caps keep the matrix finite and an
         // INCONCLUSIVE cell is itself the measurement.
-        o.bmcBudget.maxSeconds = smoke ? 2.0 : c.wallBudget;
-        o.inductionBudget.maxSeconds = smoke ? 2.0 : c.wallBudget;
+        applyBudget(o, c, smoke);
         const auto t0 = Clock::now();
         const auto r = sec::checkEquivalence(*problem, o);
         const double secs = secsSince(t0);
@@ -218,7 +232,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("(INCONCLUSIVE = wall budget hit; fraig may rescue an arm but "
+  std::printf("(INCONCLUSIVE = budget cap hit; fraig may rescue an arm but "
               "must never flip a\n completed verdict — mismatches: %u, must "
               "be 0)\n\n",
               verdictMismatches);
@@ -232,32 +246,32 @@ int main(int argc, char** argv) {
   // measurements, which is why this is an ablation).
   {
     std::vector<Case> aiCases = {
-        {"fir", 2, 30.0,
+        {"fir", 2, 1000000, 0,
          [](ir::Context& ctx) {
            return hold(std::make_shared<designs::FirSecSetup>(
                designs::makeFirSecProblem(ctx, designs::FirBug::kNone)));
          }},
-        {"conv_win", 1, 4.0,
+        {"conv_win", 1, 100000, 0,
          [](ir::Context& ctx) {
            return hold(std::make_shared<ConvWinSetup>(makeConvWinProblem(ctx)));
          }},
-        {"gcd", 1, 4.0,
+        {"gcd", 1, 100000, 0,
          [](ir::Context& ctx) {
            return hold(std::make_shared<designs::GcdSecSetup>(
                designs::makeGcdSecProblem(ctx)));
          }},
-        {"fpadd", 1, 4.0,
+        {"fpadd", 1, 100000, 0,
          [](ir::Context& ctx) {
            return hold(std::make_shared<designs::FpAddSecSetup>(
                designs::makeFpAddSecProblem(ctx, fp::Format::minifloat(),
                                             /*constrainToSafeBand=*/true)));
          }},
-        {"truncsum", 2, 4.0,
+        {"truncsum", 2, 100000, 0,
          [](ir::Context& ctx) {
            return hold(std::make_shared<designs::TruncsumSecSetup>(
                designs::makeTruncsumSecProblem(ctx)));
          }},
-        {"histo", 6, 8.0,
+        {"histo", 6, 1000000, 0,
          [](ir::Context& ctx) {
            return hold(std::make_shared<designs::HistoSecSetup>(
                designs::makeHistoSecProblem(ctx)));
@@ -278,8 +292,7 @@ int main(int argc, char** argv) {
         sec::SecOptions o;
         o.boundTransactions = c.bound;
         o.absint = absint;
-        o.bmcBudget.maxSeconds = smoke ? 2.0 : c.wallBudget;
-        o.inductionBudget.maxSeconds = smoke ? 2.0 : c.wallBudget;
+        applyBudget(o, c, smoke);
         const auto t0 = Clock::now();
         const auto r = sec::checkEquivalence(*problem, o);
         const double secs = secsSince(t0);

@@ -203,20 +203,35 @@ int main(int argc, char** argv) {
   std::printf("(below the frontier: INCONCLUSIVE; above it: the unlimited "
               "verdict, unchanged)\n\n");
 
-  // ----- part 3: the hard mutant under in-engine wall-clock budgets --------
-  std::printf("--- breakIf gcd (sec-guard-accumulation shape) under "
-              "wall-clock budgets ---\n");
-  std::printf("%-12s %9s %12s %10s %9s %9s  %s\n", "budget", "sec(s)",
-              "conflicts", "restarts", "learnt", "deleted", "verdict");
-  const std::vector<double> wallBudgets =
-      smoke ? std::vector<double>{0.05} : std::vector<double>{0.25, 1.0, 4.0};
-  for (double budgetSecs : wallBudgets) {
+  // ----- part 3: the hard shape under in-engine propagation budgets --------
+  //
+  // With fraig on (the default) the sweep merges the whole miter cone and
+  // the main solve is free, so budgets never bind; the cliff this part
+  // measures only exists with sweeping off.  Propagation caps — not wall
+  // clock — so the frontier is a machine-independent fact (CLAUDE.md).
+  std::printf("--- breakIf gcd (sec-guard-accumulation shape), fraig off, "
+              "under propagation budgets ---\n");
+  std::printf("%-12s %-6s %9s %12s %10s %9s %9s  %s\n", "props<=", "fraig",
+              "sec(s)", "conflicts", "restarts", "learnt", "deleted",
+              "verdict");
+  struct BreakIfArm {
+    std::uint64_t maxPropagations;
+    bool fraig;
+  };
+  std::vector<BreakIfArm> arms =
+      smoke ? std::vector<BreakIfArm>{{200000, false}}
+            : std::vector<BreakIfArm>{{1000000, false},
+                                      {4000000, false},
+                                      {16000000, false},
+                                      {16000000, true}};
+  for (const BreakIfArm& arm : arms) {
     ir::Context ctx;
     auto setup = designs::makeGcdBreakIfSecProblem(ctx);
     sec::SecOptions o;
     o.boundTransactions = 1;
-    o.bmcBudget.maxSeconds = budgetSecs;
-    o.inductionBudget.maxSeconds = budgetSecs;
+    o.fraig = arm.fraig;
+    o.bmcBudget.maxPropagations = arm.maxPropagations;
+    o.inductionBudget.maxPropagations = arm.maxPropagations;
     const auto t0 = Clock::now();
     const auto r = sec::checkEquivalence(*setup.problem, o);
     std::uint64_t restarts = r.stats.induction.restarts;
@@ -228,16 +243,19 @@ int main(int argc, char** argv) {
       deleted += phase.deletedClauses;
     }
     char label[32];
-    std::snprintf(label, sizeof label, "%.2fs", budgetSecs);
+    std::snprintf(label, sizeof label, "%lluk",
+                  static_cast<unsigned long long>(arm.maxPropagations / 1000));
     const double secs = secsSince(t0);
-    std::printf("%-12s %9.3f %12llu %10llu %9llu %9llu  %s\n", label, secs,
+    std::printf("%-12s %-6s %9.3f %12llu %10llu %9llu %9llu  %s\n", label,
+                arm.fraig ? "on" : "off", secs,
                 static_cast<unsigned long long>(conflictsUsed(r.stats)),
                 static_cast<unsigned long long>(restarts),
                 static_cast<unsigned long long>(learnt),
                 static_cast<unsigned long long>(deleted),
                 sec::verdictName(r.verdict));
-    report.beginRow("wall_budget")
-        .field("budgetSeconds", budgetSecs)
+    report.beginRow("propagation_budget")
+        .field("maxPropagations", arm.maxPropagations)
+        .field("fraig", arm.fraig)
         .field("seconds", secs)
         .field("conflicts", conflictsUsed(r.stats))
         .field("restarts", restarts)
@@ -245,9 +263,9 @@ int main(int argc, char** argv) {
         .field("deletedClauses", deleted)
         .field("verdict", sec::verdictName(r.verdict));
   }
-  std::printf("(bench_drc needed a forked child and SIGKILL for this shape; "
-              "the in-engine budget\n returns inconclusive with telemetry "
-              "instead of a corpse)\n\n");
+  std::printf("(fraig-off: more propagations buy telemetry, never a verdict "
+              "— the no-merge cliff\n measured from inside the engine; the "
+              "fraig row shows the sweep stepping over it)\n\n");
 
   // ----- part 4: a budget too small to find a real bug ---------------------
   std::printf("--- budget masking: FIR narrow-accumulator bug ---\n");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <sstream>
 
 namespace dfv::core {
@@ -21,6 +22,8 @@ std::string PlanReport::summary() const {
   if (inconclusive > 0) os << ", " << inconclusive << " inconclusive";
   os << " in " << totalSeconds << "s";
   if (blocked > 0) os << " (" << blocked << " blocked by DRC)";
+  if (faulted > 0) os << " (" << faulted << " faulted)";
+  if (degraded > 0) os << " (" << degraded << " degraded to cosim)";
   return os.str();
 }
 
@@ -93,22 +96,34 @@ BlockResult VerificationPlan::runEntry(Entry& e) {
       return r;
     }
   }
-  if (e.method == Method::kSec) {
-    const sec::SecResult sr = e.secRunner();
-    r.inconclusive = sr.verdict == sec::Verdict::kInconclusive;
-    r.passed = sr.verdict == sec::Verdict::kProvenEquivalent ||
-               sr.verdict == sec::Verdict::kBoundedEquivalent;
-    r.detail = sec::verdictName(sr.verdict);
-    if (sr.cex.has_value()) r.detail += ": " + sr.cex->summary();
-  } else {
-    const CosimOutcome out = e.cosimRunner();
-    r.passed = out.passed;
-    r.detail = out.detail;
+  try {
+    if (e.method == Method::kSec) {
+      const sec::SecResult sr = e.secRunner();
+      r.inconclusive = sr.verdict == sec::Verdict::kInconclusive;
+      r.passed = sr.verdict == sec::Verdict::kProvenEquivalent ||
+                 sr.verdict == sec::Verdict::kBoundedEquivalent;
+      r.detail = sec::verdictName(sr.verdict);
+      if (sr.cex.has_value()) r.detail += ": " + sr.cex->summary();
+    } else {
+      const CosimOutcome out = e.cosimRunner();
+      r.passed = out.passed;
+      r.detail = out.detail;
+    }
+  } catch (const std::exception& ex) {
+    // A runner crash must not take the plan down with it: §4.1's point is
+    // that the *plan* localizes problems, so a throwing block becomes a
+    // structured failure and every other block still runs.
+    r.passed = false;
+    r.inconclusive = false;
+    r.faulted = true;
+    r.detail = std::string("faulted: ") + ex.what();
   }
   r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             start)
                   .count();
-  if (r.passed) {
+  // Only a clean, full-strength pass may seed the incremental cache: a
+  // faulted or degraded block must rerun even if its digest is unchanged.
+  if (r.passed && !r.faulted && !r.degraded) {
     e.lastCleanDigest = e.digest;
     e.lastDetail = r.detail;
     e.lastSeconds = r.seconds;
@@ -118,16 +133,24 @@ BlockResult VerificationPlan::runEntry(Entry& e) {
   return r;
 }
 
+namespace {
+void tally(PlanReport& report, const BlockResult& r) {
+  report.totalSeconds += r.seconds;
+  if (r.inconclusive)
+    ++report.inconclusive;
+  else
+    ++(r.passed ? report.verified : report.failed);
+  if (r.blockedByDrc) ++report.blocked;
+  if (r.faulted) ++report.faulted;
+  if (r.degraded) ++report.degraded;
+}
+}  // namespace
+
 PlanReport VerificationPlan::runAll() {
   PlanReport report;
   for (Entry& e : blocks_) {
     BlockResult r = runEntry(e);
-    report.totalSeconds += r.seconds;
-    if (r.inconclusive)
-      ++report.inconclusive;
-    else
-      ++(r.passed ? report.verified : report.failed);
-    if (r.blockedByDrc) ++report.blocked;
+    tally(report, r);
     report.blocks.push_back(std::move(r));
   }
   return report;
@@ -148,12 +171,7 @@ PlanReport VerificationPlan::runIncremental() {
       continue;
     }
     BlockResult r = runEntry(e);
-    report.totalSeconds += r.seconds;
-    if (r.inconclusive)
-      ++report.inconclusive;
-    else
-      ++(r.passed ? report.verified : report.failed);
-    if (r.blockedByDrc) ++report.blocked;
+    tally(report, r);
     report.blocks.push_back(std::move(r));
   }
   return report;

@@ -15,6 +15,8 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
      << ",\"skipped\":" << report.skipped << ",\"failed\":" << report.failed
      << ",\"inconclusive\":" << report.inconclusive
      << ",\"blocked\":" << report.blocked
+     << ",\"faulted\":" << report.faulted
+     << ",\"degraded\":" << report.degraded
      << ",\"total_seconds\":" << report.totalSeconds
      << ",\"all_passed\":" << (report.allPassed() ? "true" : "false") << "},";
   os << "\"blocks\":[";
@@ -23,18 +25,41 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
     if (i > 0) os << ',';
     const char* status = b.skippedUnchanged ? "skipped"
                          : b.blockedByDrc   ? "blocked"
+                         : b.faulted        ? "faulted"
                          : b.inconclusive   ? "inconclusive"
                          : b.passed         ? "pass"
                                             : "fail";
     os << "{\"name\":\"" << jsonEscape(b.block) << "\",\"method\":\""
        << (b.method == Method::kSec ? "sec" : "cosim") << "\",\"status\":\""
-       << status << "\",\"seconds\":" << b.seconds << ",\"detail\":\""
+       << status << "\",\"seconds\":" << b.seconds
+       << ",\"attempts\":" << b.attempts
+       << ",\"degraded\":" << (b.degraded ? "true" : "false")
+       << ",\"faulted\":" << (b.faulted ? "true" : "false")
+       << ",\"fault_injections\":" << b.faultInjections << ",\"detail\":\""
        << jsonEscape(b.detail) << "\"";
+    if (!b.attemptLog.empty()) {
+      os << ",\"attempt_log\":[";
+      for (std::size_t a = 0; a < b.attemptLog.size(); ++a) {
+        const AttemptRecord& rec = b.attemptLog[a];
+        if (a > 0) os << ',';
+        os << "{\"rung\":" << rec.rung
+           << ",\"max_conflicts\":" << rec.maxConflicts
+           << ",\"max_propagations\":" << rec.maxPropagations
+           << ",\"outcome\":\"" << jsonEscape(rec.outcome)
+           << "\",\"faulted\":" << (rec.faulted ? "true" : "false")
+           << ",\"seconds\":" << rec.seconds << "}";
+      }
+      os << "]";
+    }
     if (b.drc.has_value()) os << ",\"drc\":" << b.drc->toJson();
     os << "}";
   }
   os << "]}";
   return os.str();
+}
+
+std::string PlanReport::json(const std::string& planName) const {
+  return toJson(planName, *this);
 }
 
 }  // namespace dfv::core

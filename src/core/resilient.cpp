@@ -1,0 +1,431 @@
+#include "core/resilient.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <sstream>
+
+#include "fault/fault.h"
+#include "ir/eval.h"
+#include "ir/transition_system.h"
+#include "workload/workload.h"
+
+namespace dfv::core {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Scales each finite cap; an unlimited (zero) cap stays unlimited, and a
+/// finite cap always strictly grows so the ladder makes progress even for
+/// tiny bases.
+sat::Budget scaledBudget(const sat::Budget& base, double scale) {
+  sat::Budget b = base;
+  auto grow = [scale](std::uint64_t cap) -> std::uint64_t {
+    if (cap == 0) return 0;
+    const double scaled = static_cast<double>(cap) * scale;
+    return std::max(cap + 1, static_cast<std::uint64_t>(scaled));
+  };
+  b.maxConflicts = grow(base.maxConflicts);
+  b.maxPropagations = grow(base.maxPropagations);
+  if (base.maxSeconds > 0.0) b.maxSeconds = base.maxSeconds * scale;
+  return b;
+}
+
+/// The cap worth reporting for an attempt: the larger *finite* one of the
+/// two phase budgets (zero means both phases are unlimited).
+std::uint64_t bindingCap(std::uint64_t bmc, std::uint64_t induction) {
+  if (bmc == 0) return induction;
+  if (induction == 0) return bmc;
+  return std::max(bmc, induction);
+}
+
+/// Options for the attempt-th try (0 = base).  Rung toggles accumulate:
+/// each climbed rung may override fraig/absint, last write wins.
+sec::SecOptions attemptOptions(const sec::SecOptions& base, unsigned attempt,
+                               const RetryPolicy& policy) {
+  sec::SecOptions opts = base;
+  if (attempt == 0) return opts;
+  double cumulative = 1.0;
+  for (unsigned i = 1; i <= attempt; ++i) {
+    RetryRung rung;
+    if (policy.rungs.empty()) {
+      rung.budgetScale = policy.budgetScale;
+    } else {
+      const std::size_t idx =
+          std::min<std::size_t>(i - 1, policy.rungs.size() - 1);
+      rung = policy.rungs[idx];
+    }
+    cumulative *= rung.budgetScale;
+    if (rung.fraig.has_value()) opts.fraig = *rung.fraig;
+    if (rung.absint.has_value()) opts.absint = *rung.absint;
+  }
+  opts.bmcBudget = scaledBudget(base.bmcBudget, cumulative);
+  opts.inductionBudget = scaledBudget(base.inductionBudget, cumulative);
+  return opts;
+}
+
+void tally(PlanReport& report, const BlockResult& r) {
+  report.totalSeconds += r.seconds;
+  if (r.inconclusive)
+    ++report.inconclusive;
+  else
+    ++(r.passed ? report.verified : report.failed);
+  if (r.blockedByDrc) ++report.blocked;
+  if (r.faulted) ++report.faulted;
+  if (r.degraded) ++report.degraded;
+}
+
+}  // namespace
+
+void ResilientRunner::addSecBlock(const std::string& block,
+                                  std::uint64_t digest,
+                                  sec::SecOptions baseOptions,
+                                  SecRunner runner) {
+  DFV_CHECK_MSG(runner != nullptr, "null runner");
+  for (const auto& e : blocks_)
+    DFV_CHECK_MSG(e.block != block, "duplicate block '" << block << "'");
+  Entry e;
+  e.block = block;
+  e.method = Method::kSec;
+  e.digest = digest;
+  e.baseOptions = std::move(baseOptions);
+  e.secRunner = std::move(runner);
+  blocks_.push_back(std::move(e));
+}
+
+void ResilientRunner::addCosimBlock(const std::string& block,
+                                    std::uint64_t digest, CosimRunner runner) {
+  DFV_CHECK_MSG(runner != nullptr, "null runner");
+  for (const auto& e : blocks_)
+    DFV_CHECK_MSG(e.block != block, "duplicate block '" << block << "'");
+  Entry e;
+  e.block = block;
+  e.method = Method::kCosim;
+  e.digest = digest;
+  e.cosimRunner = std::move(runner);
+  blocks_.push_back(std::move(e));
+}
+
+ResilientRunner::Entry& ResilientRunner::find(const std::string& block) {
+  auto it = std::find_if(blocks_.begin(), blocks_.end(),
+                         [&](const Entry& e) { return e.block == block; });
+  DFV_CHECK_MSG(it != blocks_.end(), "no block named '" << block << "'");
+  return *it;
+}
+
+void ResilientRunner::setCosimFallback(const std::string& block,
+                                       CosimRunner fallback) {
+  DFV_CHECK_MSG(fallback != nullptr, "null fallback");
+  Entry& e = find(block);
+  DFV_CHECK_MSG(e.method == Method::kSec,
+                "cosim fallback only applies to SEC blocks");
+  e.cosimRunner = std::move(fallback);
+}
+
+void ResilientRunner::touch(const std::string& block,
+                            std::uint64_t newDigest) {
+  find(block).digest = newDigest;
+}
+
+BlockResult ResilientRunner::runEntry(Entry& e) {
+  BlockResult r;
+  r.block = e.block;
+  r.method = e.method;
+  r.attempts = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const fault::Injector* inj = fault::currentInjector();
+  const std::uint64_t injectionsBefore =
+      inj != nullptr ? inj->totalInjections() : 0;
+
+  if (e.method == Method::kCosim) {
+    AttemptRecord rec;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      const CosimOutcome out = e.cosimRunner(policy_.cosimSeed);
+      r.passed = out.passed;
+      r.detail = out.detail;
+      rec.outcome = out.passed ? "cosim-pass" : "cosim-fail";
+    } catch (const std::exception& ex) {
+      r.faulted = true;
+      r.detail = std::string("faulted: ") + ex.what();
+      rec.outcome = r.detail;
+      rec.faulted = true;
+    }
+    rec.seconds = secondsSince(t0);
+    r.attemptLog.push_back(std::move(rec));
+    r.attempts = 1;
+  } else {
+    const unsigned maxAttempts = std::max(1u, policy_.maxAttempts);
+    for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
+      const sec::SecOptions opts =
+          attemptOptions(e.baseOptions, attempt, policy_);
+      AttemptRecord rec;
+      rec.rung = attempt;
+      rec.maxConflicts =
+          bindingCap(opts.bmcBudget.maxConflicts,
+                     opts.inductionBudget.maxConflicts);
+      rec.maxPropagations =
+          bindingCap(opts.bmcBudget.maxPropagations,
+                     opts.inductionBudget.maxPropagations);
+      const auto t0 = std::chrono::steady_clock::now();
+      bool faultedNow = false;
+      bool inductionCutOff = false;
+      try {
+        const sec::SecResult sr = e.secRunner(opts);
+        r.inconclusive = sr.verdict == sec::Verdict::kInconclusive;
+        r.passed = sr.verdict == sec::Verdict::kProvenEquivalent ||
+                   sr.verdict == sec::Verdict::kBoundedEquivalent;
+        r.detail = sec::verdictName(sr.verdict);
+        if (sr.cex.has_value()) r.detail += ": " + sr.cex->summary();
+        rec.outcome = sec::verdictName(sr.verdict);
+        inductionCutOff = sr.verdict == sec::Verdict::kBoundedEquivalent &&
+                          sr.stats.induction.budgetExhausted;
+      } catch (const std::exception& ex) {
+        faultedNow = true;
+        r.passed = false;
+        r.inconclusive = false;
+        r.detail = std::string("faulted: ") + ex.what();
+        rec.outcome = r.detail;
+        rec.faulted = true;
+      }
+      rec.seconds = secondsSince(t0);
+      r.attemptLog.push_back(std::move(rec));
+      r.attempts = attempt + 1;
+      // Exceptions abort the ladder — a crash will not get better with a
+      // bigger budget.  kInconclusive always earns another rung; a bounded
+      // verdict whose induction was cut off optionally climbs too, chasing
+      // the upgrade to proven (it is a sound pass even if it never comes).
+      if (faultedNow) {
+        r.faulted = true;
+        break;
+      }
+      if (r.inconclusive) continue;
+      if (inductionCutOff && policy_.retryInductionCutoff) continue;
+      break;
+    }
+    if (r.inconclusive && e.cosimRunner != nullptr) {
+      AttemptRecord rec;
+      rec.rung = r.attempts;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        const CosimOutcome out = e.cosimRunner(policy_.cosimSeed);
+        r.degraded = true;
+        r.inconclusive = false;
+        r.passed = out.passed;
+        r.detail = "degraded to cosim: " + out.detail;
+        rec.outcome = out.passed ? "cosim-pass" : "cosim-fail";
+      } catch (const std::exception& ex) {
+        r.faulted = true;
+        r.inconclusive = false;
+        r.passed = false;
+        r.detail = std::string("faulted: ") + ex.what();
+        rec.outcome = r.detail;
+        rec.faulted = true;
+      }
+      rec.seconds = secondsSince(t0);
+      r.attemptLog.push_back(std::move(rec));
+      ++r.attempts;
+    }
+  }
+
+  r.seconds = secondsSince(start);
+  r.faultInjections =
+      (inj != nullptr ? inj->totalInjections() : 0) - injectionsBefore;
+  // Only a clean, full-strength pass is cacheable.  A degraded pass is
+  // weaker evidence and a faulted run is no evidence: both must rerun on
+  // the next incremental pass even with an unchanged digest.
+  if (r.passed && !r.degraded && !r.faulted) {
+    e.lastCleanDigest = e.digest;
+    e.lastDetail = r.detail;
+  } else {
+    e.lastCleanDigest.reset();
+  }
+  return r;
+}
+
+PlanReport ResilientRunner::runAll() {
+  PlanReport report;
+  for (Entry& e : blocks_) {
+    BlockResult r = runEntry(e);
+    tally(report, r);
+    report.blocks.push_back(std::move(r));
+  }
+  return report;
+}
+
+PlanReport ResilientRunner::runIncremental() {
+  PlanReport report;
+  for (Entry& e : blocks_) {
+    if (e.lastCleanDigest.has_value() && *e.lastCleanDigest == e.digest) {
+      BlockResult r;
+      r.block = e.block;
+      r.method = e.method;
+      r.passed = true;
+      r.skippedUnchanged = true;
+      r.attempts = 0;
+      r.detail = "unchanged (" + e.lastDetail + ")";
+      ++report.skipped;
+      report.blocks.push_back(std::move(r));
+      continue;
+    }
+    BlockResult r = runEntry(e);
+    tally(report, r);
+    report.blocks.push_back(std::move(r));
+  }
+  return report;
+}
+
+// ----- makeRandomCosimFallback ----------------------------------------------
+
+namespace {
+
+bv::BitVector randomBits(workload::Rng& rng, unsigned width) {
+  bv::BitVector v(width);
+  std::uint64_t word = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    if (i % 64 == 0) word = rng.next();
+    v.setBit(i, ((word >> (i % 64)) & 1) != 0);
+  }
+  return v;
+}
+
+ir::Value randomValue(workload::Rng& rng, const ir::Type& t) {
+  if (!t.isArray()) return ir::Value(randomBits(rng, t.width));
+  std::vector<bv::BitVector> elems;
+  elems.reserve(t.depth);
+  for (unsigned i = 0; i < t.depth; ++i)
+    elems.push_back(randomBits(rng, t.width));
+  return ir::Value::makeArray(std::move(elems));
+}
+
+std::size_t outputIndex(const ir::TransitionSystem& ts,
+                        const std::string& name) {
+  const auto& outs = ts.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i)
+    if (outs[i].name == name) return i;
+  DFV_CHECK_MSG(false, "no output '" << name << "'");
+  return 0;
+}
+
+std::string valueToString(const ir::Value& v) {
+  return v.isArray ? std::string("<array>") : v.scalar.toString(16);
+}
+
+}  // namespace
+
+ResilientRunner::CosimRunner makeRandomCosimFallback(
+    const sec::SecProblem& problem, unsigned transactions) {
+  DFV_CHECK_MSG(transactions >= 1, "need at least one transaction");
+  DFV_CHECK_MSG(!problem.checks().empty(), "problem has no output checks");
+  return [&problem,
+          transactions](std::uint64_t seed) -> ResilientRunner::CosimOutcome {
+    workload::Rng rng(seed);
+    const ir::TransitionSystem& slm = problem.side(sec::Side::kSlm);
+    const ir::TransitionSystem& rtl = problem.side(sec::Side::kRtl);
+    // Resolve the check sample points once (names were validated when the
+    // checks were added).
+    struct ResolvedCheck {
+      const sec::OutputCheck* check;
+      std::size_t slmIdx;
+      std::size_t rtlIdx;
+    };
+    std::vector<ResolvedCheck> checks;
+    checks.reserve(problem.checks().size());
+    for (const sec::OutputCheck& c : problem.checks())
+      checks.push_back(ResolvedCheck{&c, outputIndex(slm, c.slmOutput),
+                                     outputIndex(rtl, c.rtlOutput)});
+    ir::TsSimulator slmSim(slm);
+    ir::TsSimulator rtlSim(rtl);
+    slmSim.reset();
+    rtlSim.reset();
+    for (unsigned txn = 0; txn < transactions; ++txn) {
+      // Sample transaction variables until every input constraint holds —
+      // the SLM/RTL may legitimately differ outside the constrained space.
+      ir::Env env;
+      bool admissible = false;
+      constexpr unsigned kMaxTries = 1000;
+      for (unsigned tries = 0; tries < kMaxTries && !admissible; ++tries) {
+        env.clear();
+        for (ir::NodeRef v : problem.txnVars())
+          env[v] = randomValue(rng, v->type());
+        admissible = true;
+        for (ir::NodeRef c : problem.constraints())
+          if (!ir::Evaluator::evaluate(c, env).scalar.bit(0)) {
+            admissible = false;
+            break;
+          }
+      }
+      if (!admissible) {
+        std::ostringstream os;
+        os << "cosim fallback: no admissible stimulus after " << kMaxTries
+           << " samples at transaction " << txn << " (seed " << seed << ")";
+        return {false, os.str()};
+      }
+      // Drive one transaction on each side: bound inputs evaluate their
+      // binding under the sampled transaction variables, unbound input
+      // cycles get fresh random values (SEC leaves them universally
+      // quantified; random is the simulation analogue).
+      auto runSide = [&](sec::Side side, const ir::TransitionSystem& ts,
+                         ir::TsSimulator& sim) {
+        std::vector<ir::TsSimulator::StepResult> steps;
+        const unsigned cycles = problem.cycles(side);
+        steps.reserve(cycles);
+        for (unsigned cyc = 0; cyc < cycles; ++cyc) {
+          std::vector<ir::Value> ins;
+          ins.reserve(ts.inputs().size());
+          for (ir::NodeRef in : ts.inputs()) {
+            const sec::InputBinding* bound = nullptr;
+            for (const sec::InputBinding& b : problem.bindings())
+              if (b.side == side && b.input == in && b.cycle == cyc) {
+                bound = &b;
+                break;
+              }
+            ins.push_back(bound != nullptr
+                              ? ir::Evaluator::evaluate(bound->value, env)
+                              : randomValue(rng, in->type()));
+          }
+          steps.push_back(sim.step(ins));
+        }
+        return steps;
+      };
+      const auto slmSteps = runSide(sec::Side::kSlm, slm, slmSim);
+      const auto rtlSteps = runSide(sec::Side::kRtl, rtl, rtlSim);
+      for (const ResolvedCheck& rc : checks) {
+        const auto& ss = slmSteps[rc.check->slmCycle];
+        const auto& rs = rtlSteps[rc.check->rtlCycle];
+        const bool slmValid = ss.outputValid[rc.slmIdx];
+        const bool rtlValid = rs.outputValid[rc.rtlIdx];
+        if (slmValid != rtlValid) {
+          std::ostringstream os;
+          os << "cosim fallback: valid mismatch at transaction " << txn
+             << " (" << rc.check->slmOutput << " valid=" << slmValid << ", "
+             << rc.check->rtlOutput << " valid=" << rtlValid << ", seed "
+             << seed << ")";
+          return {false, os.str()};
+        }
+        if (!slmValid) continue;  // both sides agree: no data this cycle
+        const ir::Value& sv = ss.outputs[rc.slmIdx];
+        const ir::Value& rv = rs.outputs[rc.rtlIdx];
+        if (!(sv == rv)) {
+          std::ostringstream os;
+          os << "cosim fallback: mismatch at transaction " << txn << ": "
+             << rc.check->slmOutput << "=" << valueToString(sv) << " vs "
+             << rc.check->rtlOutput << "=" << valueToString(rv) << " (seed "
+             << seed << ")";
+          return {false, os.str()};
+        }
+      }
+    }
+    std::ostringstream os;
+    os << transactions << " random transactions matched (seed " << seed
+       << ")";
+    return {true, os.str()};
+  };
+}
+
+}  // namespace dfv::core

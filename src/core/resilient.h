@@ -1,0 +1,146 @@
+// Resilient plan execution: retry ladders and graceful degradation.
+//
+// VerificationPlan (core/plan.h) runs each block's verifier exactly once and
+// records what happened.  In a long-running CI flow that is not enough: a
+// SEC run that exhausts its budget is *inconclusive*, not wrong, and the
+// right reaction is usually "try again with a bigger budget", then — if the
+// proof never closes — "fall back to co-simulation and say so".  §4.1 of the
+// paper makes plan-level robustness the point of the methodology: one
+// stubborn block must not stall the consistency signal for every other
+// block.
+//
+// ResilientRunner implements that reaction as policy, not ad-hoc code:
+//   * exception isolation — a runner that throws becomes a structured
+//     faulted BlockResult; the plan keeps going (same contract as
+//     VerificationPlan, shared via runEntry's try/catch);
+//   * a retry ladder — kInconclusive SEC verdicts are retried with
+//     geometrically escalated sat::Budget caps, optionally toggling
+//     fraig/absint per rung, every attempt logged in
+//     BlockResult::attemptLog;
+//   * graceful degradation — when the ladder tops out, an attached cosim
+//     fallback runs seeded random stimulus through both models and the
+//     block is reported with degraded=true: weaker evidence, clearly
+//     labeled, never cached as clean.
+//
+// All resilience is deterministic: budgets are conflict/propagation caps,
+// fallback stimulus is seeded, and fault injection (src/fault) is a pure
+// function of (seed, site, hit) — so a CI failure reproduces locally.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "sec/engine.h"
+#include "sec/transaction.h"
+
+namespace dfv::core {
+
+/// One escalation step of the retry ladder.  `budgetScale` multiplies the
+/// *previous* attempt's conflict/propagation/seconds caps (unlimited caps
+/// stay unlimited); `fraig`/`absint`, when set, override the corresponding
+/// SecOptions toggle from this rung on.
+struct RetryRung {
+  double budgetScale = 4.0;
+  std::optional<bool> fraig;
+  std::optional<bool> absint;
+};
+
+/// How inconclusive SEC blocks are retried and degraded.
+struct RetryPolicy {
+  /// Total attempts per block, including the first (base-options) one.
+  unsigned maxAttempts = 3;
+  /// Escalation factor used when `rungs` is empty: attempt i runs with the
+  /// base caps scaled by budgetScale^i.
+  double budgetScale = 4.0;
+  /// Explicit ladder; entry i configures attempt i+1.  When shorter than
+  /// maxAttempts-1, the last rung repeats.  Overrides `budgetScale`.
+  std::vector<RetryRung> rungs;
+  /// Also climb the ladder when BMC finished but the inductive step was cut
+  /// off: the bounded verdict is already a sound pass, so this retry only
+  /// chases the upgrade to proven-equivalent (and the block passes either
+  /// way).  Never triggers degradation.
+  bool retryInductionCutoff = true;
+  /// Seed handed to the cosim fallback of degraded blocks.
+  std::uint64_t cosimSeed = 0x5eedfa11;
+};
+
+/// A VerificationPlan-shaped runner with retry and degradation policy.
+/// Produces the same PlanReport/BlockResult types, with attempts,
+/// attemptLog, degraded, faulted and faultInjections populated.
+class ResilientRunner {
+ public:
+  using CosimOutcome = VerificationPlan::CosimOutcome;
+  /// SEC runners take the options to use *this attempt* — the ladder
+  /// rescales budgets and toggles between calls.
+  using SecRunner = std::function<sec::SecResult(const sec::SecOptions&)>;
+  /// Cosim runners (and fallbacks) take the stimulus seed to use.
+  using CosimRunner = std::function<CosimOutcome(std::uint64_t seed)>;
+
+  explicit ResilientRunner(std::string name, RetryPolicy policy = {})
+      : name_(std::move(name)), policy_(std::move(policy)) {}
+
+  /// Registers a SEC block.  `baseOptions` is attempt 0's configuration;
+  /// later attempts derive from it per the RetryPolicy.
+  void addSecBlock(const std::string& block, std::uint64_t digest,
+                   sec::SecOptions baseOptions, SecRunner runner);
+
+  /// Registers a cosim-verified block (no ladder: one attempt, isolated).
+  void addCosimBlock(const std::string& block, std::uint64_t digest,
+                     CosimRunner runner);
+
+  /// Attaches the degradation fallback to a SEC block: runs only when every
+  /// ladder attempt came back inconclusive.  Unknown block throws.
+  void setCosimFallback(const std::string& block, CosimRunner fallback);
+
+  /// Updates a block's digest (models edited).  Unknown block throws.
+  void touch(const std::string& block, std::uint64_t newDigest);
+
+  /// Verifies every block unconditionally.  Never throws for runner
+  /// failures — they surface as faulted BlockResults.
+  PlanReport runAll();
+
+  /// Skips blocks whose digest is unchanged since their last clean,
+  /// full-strength pass.  Faulted, degraded and inconclusive blocks are
+  /// never treated as clean, so they always rerun.
+  PlanReport runIncremental();
+
+  const std::string& name() const { return name_; }
+  const RetryPolicy& policy() const { return policy_; }
+  std::size_t blockCount() const { return blocks_.size(); }
+
+ private:
+  struct Entry {
+    std::string block;
+    Method method = Method::kSec;
+    std::uint64_t digest = 0;
+    sec::SecOptions baseOptions;
+    SecRunner secRunner;
+    CosimRunner cosimRunner;   ///< primary for kCosim, fallback for kSec
+    std::optional<std::uint64_t> lastCleanDigest;
+    std::string lastDetail;
+  };
+
+  BlockResult runEntry(Entry& e);
+  Entry& find(const std::string& block);
+
+  std::string name_;
+  RetryPolicy policy_;
+  std::vector<Entry> blocks_;
+};
+
+/// Builds a degradation fallback from the SEC problem itself: drives
+/// `transactions` seeded random transactions (rejection-sampled against the
+/// problem's input constraints) through both sides' interpreters via the
+/// problem's input bindings, and compares every OutputCheck sample.  The
+/// returned callable captures `problem` by reference — it must outlive the
+/// runner.  This is the paper's co-simulation methodology (§3) reused as a
+/// safety net: far weaker than SEC, but it still catches gross divergence
+/// and it always terminates.
+ResilientRunner::CosimRunner makeRandomCosimFallback(
+    const sec::SecProblem& problem, unsigned transactions);
+
+}  // namespace dfv::core

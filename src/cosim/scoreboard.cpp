@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "fault/fault.h"
+
 namespace dfv::cosim {
 
 std::string Mismatch::describe() const {
@@ -69,6 +71,24 @@ Mismatch missingDut(std::uint64_t index, std::uint64_t refTime,
   m.expected = std::move(expected);
   return m;
 }
+
+/// Fault-injection hook shared by every scoreboard's observe(): each DUT
+/// sample is one site hit.  kCorruptSample flips the LSB — the smallest
+/// corruption a comparison must still catch; kThrowCheckError models a
+/// transactor crash mid-stream.
+bv::BitVector sampleSite(const bv::BitVector& value) {
+  switch (fault::onSiteHit(fault::Site::kCosimSample)) {
+    case fault::Policy::kThrowCheckError:
+      fault::throwInjected(fault::Site::kCosimSample);
+    case fault::Policy::kCorruptSample: {
+      bv::BitVector corrupted = value;
+      corrupted.setBit(0, !corrupted.bit(0));
+      return corrupted;
+    }
+    default:
+      return value;
+  }
+}
 }  // namespace
 
 // ----- CycleExactScoreboard -------------------------------------------------
@@ -79,7 +99,8 @@ void CycleExactScoreboard::expect(std::uint64_t cycle, bv::BitVector value) {
 }
 
 void CycleExactScoreboard::observe(std::uint64_t cycle,
-                                   const bv::BitVector& value) {
+                                   const bv::BitVector& rawValue) {
+  const bv::BitVector value = sampleSite(rawValue);
   auto it = expected_.find(cycle);
   if (it == expected_.end()) {
     ++dutOnly_;
@@ -124,8 +145,9 @@ void InOrderScoreboard::expect(bv::BitVector value, std::uint64_t refTime) {
   queue_.push_back(Pending{std::move(value), refTime});
 }
 
-void InOrderScoreboard::observe(const bv::BitVector& value,
+void InOrderScoreboard::observe(const bv::BitVector& rawValue,
                                 std::uint64_t dutTime) {
+  const bv::BitVector value = sampleSite(rawValue);
   if (queue_.empty()) {
     ++dutOnly_;
     mismatches_.push_back(unexpectedDut(streamIndex_++, dutTime, value));
@@ -174,8 +196,9 @@ bool OutOfOrderScoreboard::expect(std::uint64_t tag, bv::BitVector value,
 }
 
 void OutOfOrderScoreboard::observe(std::uint64_t tag,
-                                   const bv::BitVector& value,
+                                   const bv::BitVector& rawValue,
                                    std::uint64_t dutTime) {
+  const bv::BitVector value = sampleSite(rawValue);
   auto it = pending_.find(tag);
   if (it == pending_.end()) {
     ++dutOnly_;

@@ -19,8 +19,9 @@
 //   dfv::cosim — transactors, wrapped-RTL, timing-aligning scoreboards
 //   dfv::slmc  — conditioned algorithmic models: interp, lint, elaborate
 //   dfv::drc   — cross-layer design-rule checking and diagnostics
-//   dfv::core  — verification plans with incremental re-verification
-//                and DRC gating
+//   dfv::fault — deterministic fault injection for flow robustness tests
+//   dfv::core  — verification plans with incremental re-verification,
+//                DRC gating, and resilient (retry/degrade) execution
 //   dfv::designs / dfv::workload — reference design pairs and stimulus
 #pragma once
 
@@ -32,10 +33,12 @@
 #include "bitvec/hdl_int.h"         // IWYU pragma: export
 #include "core/plan.h"              // IWYU pragma: export
 #include "core/report.h"            // IWYU pragma: export
+#include "core/resilient.h"         // IWYU pragma: export
 #include "cosim/rtl_in_slm.h"       // IWYU pragma: export
 #include "cosim/scoreboard.h"       // IWYU pragma: export
 #include "cosim/wrapped_rtl.h"      // IWYU pragma: export
 #include "drc/drc.h"                // IWYU pragma: export
+#include "fault/fault.h"            // IWYU pragma: export
 #include "fp/circuits.h"            // IWYU pragma: export
 #include "fp/softfloat.h"           // IWYU pragma: export
 #include "ir/eval.h"                // IWYU pragma: export

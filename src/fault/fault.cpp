@@ -1,0 +1,113 @@
+#include "fault/fault.h"
+
+#include <cmath>
+
+namespace dfv::fault {
+
+namespace {
+
+/// splitmix64 finalizer — the firing decision must be a pure function of
+/// (seed, site, hit-index), never of clocks or global RNG state.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Injector* g_injector = nullptr;
+
+}  // namespace
+
+const char* siteName(Site s) {
+  switch (s) {
+    case Site::kSolverSolve: return "solver.solve";
+    case Site::kSecBmcPhase: return "sec.bmc-phase";
+    case Site::kSecInductionPhase: return "sec.induction-phase";
+    case Site::kCosimSample: return "cosim.sample";
+  }
+  DFV_UNREACHABLE("bad fault site");
+}
+
+const char* policyName(Policy p) {
+  switch (p) {
+    case Policy::kNone: return "none";
+    case Policy::kThrowCheckError: return "throw-check-error";
+    case Policy::kSpuriousUnknown: return "spurious-unknown";
+    case Policy::kExhaustBudget: return "exhaust-budget";
+    case Policy::kCorruptSample: return "corrupt-sample";
+  }
+  DFV_UNREACHABLE("bad fault policy");
+}
+
+void Injector::arm(Site site, Policy policy, std::uint64_t nthHit,
+                   std::uint64_t period) {
+  DFV_CHECK_MSG(policy != Policy::kNone, "arm with kNone — use disarm()");
+  DFV_CHECK_MSG(nthHit >= 1, "nthHit is 1-based");
+  SiteState& s = state(site);
+  s.policy = policy;
+  s.probabilistic = false;
+  s.nthHit = nthHit;
+  s.period = period;
+}
+
+void Injector::armRandom(Site site, Policy policy, double probability) {
+  DFV_CHECK_MSG(policy != Policy::kNone, "arm with kNone — use disarm()");
+  DFV_CHECK_MSG(probability >= 0.0 && probability <= 1.0,
+                "probability " << probability << " outside [0,1]");
+  SiteState& s = state(site);
+  s.policy = policy;
+  s.probabilistic = true;
+  // Map [0,1] onto the u64 range; 1.0 must fire on every hit.
+  s.probabilityBar =
+      probability >= 1.0
+          ? ~std::uint64_t{0}
+          : static_cast<std::uint64_t>(
+                std::ldexp(probability, 64));
+}
+
+void Injector::disarm(Site site) { state(site) = SiteState{}; }
+
+Policy Injector::onHit(Site site) {
+  SiteState& s = state(site);
+  const std::uint64_t hit = ++s.hits;
+  if (s.policy == Policy::kNone) return Policy::kNone;
+  bool fire;
+  if (s.probabilistic) {
+    const std::uint64_t h =
+        mix(seed_ + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(
+                                                 static_cast<unsigned>(site)) +
+                                             1) +
+            hit);
+    fire = s.probabilityBar == ~std::uint64_t{0} || h < s.probabilityBar;
+  } else if (hit < s.nthHit) {
+    fire = false;
+  } else if (hit == s.nthHit) {
+    fire = true;
+  } else {
+    fire = s.period != 0 && (hit - s.nthHit) % s.period == 0;
+  }
+  if (!fire) return Policy::kNone;
+  ++s.injections;
+  return s.policy;
+}
+
+std::uint64_t Injector::totalInjections() const {
+  std::uint64_t total = 0;
+  for (const SiteState& s : sites_) total += s.injections;
+  return total;
+}
+
+Injector* currentInjector() { return g_injector; }
+
+ScopedInjector::ScopedInjector(std::uint64_t seed)
+    : injector_(seed), prev_(g_injector) {
+  g_injector = &injector_;
+}
+
+ScopedInjector::~ScopedInjector() { g_injector = prev_; }
+
+void throwInjected(Site s) {
+  throw CheckError(std::string("injected fault at ") + siteName(s));
+}
+
+}  // namespace dfv::fault

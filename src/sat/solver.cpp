@@ -5,6 +5,8 @@
 #include <cmath>
 #include <ostream>
 
+#include "fault/fault.h"
+
 namespace dfv::sat {
 
 namespace {
@@ -371,6 +373,23 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
                      const Budget& budget) {
   conflict_.clear();
   model_.clear();
+  // Fault-injection site: every solve call passes through here, so armed
+  // policies can model a crashing solver (throw), a solver that gives up
+  // for no reason (spurious kUnknown), or a budget that expires before any
+  // work is done.  With no injector installed this is one pointer load.
+  switch (fault::onSiteHit(fault::Site::kSolverSolve)) {
+    case fault::Policy::kThrowCheckError:
+      fault::throwInjected(fault::Site::kSolverSolve);
+    case fault::Policy::kSpuriousUnknown:
+      return Result::kUnknown;
+    case fault::Policy::kExhaustBudget:
+      // Only a budgeted call may legitimately return kUnknown (see Result);
+      // injected early exhaustion respects that contract.
+      if (!budget.unlimited()) return Result::kUnknown;
+      break;
+    default:
+      break;
+  }
   if (!okay_) return Result::kUnsat;
   for (Lit a : assumptions)
     DFV_CHECK_MSG(static_cast<std::size_t>(a.var()) < assigns_.size(),

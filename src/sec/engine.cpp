@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "absint/simplify.h"
+#include "fault/fault.h"
 #include "ir/eval.h"
 
 namespace dfv::sec {
@@ -511,6 +512,25 @@ SecResult checkEquivalence(const SecProblem& problem,
 
   // ----- BMC over transactions from reset --------------------------------
   for (unsigned t = 0; t < options.boundTransactions; ++t) {
+    // Fault-injection site: one hit per BMC transaction.  kThrow models an
+    // engine crash mid-run; the solver-shaped policies behave exactly like
+    // a budget that expired before this transaction's first solve, so the
+    // verdict is the honest kInconclusive either way.
+    switch (fault::onSiteHit(fault::Site::kSecBmcPhase)) {
+      case fault::Policy::kThrowCheckError:
+        fault::throwInjected(fault::Site::kSecBmcPhase);
+      case fault::Policy::kSpuriousUnknown:
+      case fault::Policy::kExhaustBudget: {
+        PhaseStats cut;
+        cut.budgetExhausted = true;
+        result.stats.bmcTransactions.push_back(cut);
+        result.verdict = Verdict::kInconclusive;
+        finishStats();
+        return result;
+      }
+      default:
+        break;
+    }
     // Fresh transaction variables for this transaction.
     std::vector<aig::Word> vars;
     {
@@ -624,6 +644,21 @@ SecResult checkEquivalence(const SecProblem& problem,
   // ----- inductive step ----------------------------------------------------
   if (options.tryInduction) {
     result.stats.inductionAttempted = true;
+    // Fault-injection site: the induction phase boundary.  The bounded
+    // verdict is already sound on its own, so an injected cutoff — like a
+    // real one — only forgoes the upgrade to proven.
+    switch (fault::onSiteHit(fault::Site::kSecInductionPhase)) {
+      case fault::Policy::kThrowCheckError:
+        fault::throwInjected(fault::Site::kSecInductionPhase);
+      case fault::Policy::kSpuriousUnknown:
+      case fault::Policy::kExhaustBudget:
+        result.stats.induction.budgetExhausted = true;
+        result.stats.inductionClosed = false;
+        finishStats();
+        return result;
+      default:
+        break;
+    }
     bool closed = true;
     // Base: reset states must satisfy every coupling invariant.
     {

@@ -134,6 +134,54 @@ TEST(VerificationPlan, CosimBlocksAndMixedPlans) {
   EXPECT_EQ(report.blocks[1].detail, std::string("proven-equivalent"));
 }
 
+TEST(VerificationPlan, ThrowingRunnerIsIsolatedAsFaultedResult) {
+  VerificationPlan plan("soc");
+  bool crash = true;
+  int calls = 0;
+  plan.addSecBlock("crashy", 3, [&] {
+    ++calls;
+    if (crash) throw CheckError("runner blew up");
+    sec::SecResult r;
+    r.verdict = sec::Verdict::kProvenEquivalent;
+    return r;
+  });
+  int good = 0;
+  plan.addSecBlock("good", 1,
+                   CountingSec{&good, sec::Verdict::kProvenEquivalent});
+  PlanReport r1;
+  EXPECT_NO_THROW(r1 = plan.runAll());
+  EXPECT_TRUE(r1.blocks[0].faulted);
+  EXPECT_FALSE(r1.blocks[0].passed);
+  EXPECT_NE(r1.blocks[0].detail.find("runner blew up"), std::string::npos);
+  EXPECT_EQ(good, 1);  // the crash did not stop the rest of the plan
+  EXPECT_EQ(r1.faulted, 1u);
+  EXPECT_EQ(r1.failed, 1u);
+  EXPECT_NE(r1.summary().find("1 faulted"), std::string::npos);
+  const std::string json = toJson(plan.name(), r1);
+  EXPECT_NE(json.find("\"status\":\"faulted\""), std::string::npos);
+  EXPECT_NE(json.find("\"faulted\":1"), std::string::npos);
+  // A faulted block is never treated as clean: same digest, runs again.
+  crash = false;
+  auto r2 = plan.runIncremental();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(r2.verified, 1u);
+  EXPECT_EQ(r2.skipped, 1u);
+}
+
+TEST(VerificationPlan, JsonCarriesResilienceFields) {
+  VerificationPlan plan("soc");
+  int n = 0;
+  plan.addSecBlock("fir", 1,
+                   CountingSec{&n, sec::Verdict::kProvenEquivalent});
+  const PlanReport report = plan.runAll();
+  const std::string json = report.json(plan.name());
+  EXPECT_EQ(json, toJson(plan.name(), report));
+  EXPECT_NE(json.find("\"attempts\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"faulted\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_injections\":0"), std::string::npos);
+}
+
 TEST(VerificationPlan, DuplicateAndUnknownBlocksRejected) {
   VerificationPlan plan("p");
   int n = 0;

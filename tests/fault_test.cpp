@@ -1,0 +1,322 @@
+// Tests for dfv::fault — deterministic fault injection — and for the
+// instrumented sites in the SAT solver, the SEC engine and the cosim
+// scoreboards.  The two properties that matter:
+//   * determinism: firing is a pure function of (seed, site, hit-index);
+//   * parity: an installed-but-unarmed injector is behaviorally identical
+//     to no injector at all.
+
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cosim/scoreboard.h"
+#include "ir/expr.h"
+#include "ir/transition_system.h"
+#include "sat/solver.h"
+#include "sec/engine.h"
+
+namespace dfv::fault {
+namespace {
+
+// ----- Injector unit behavior ----------------------------------------------
+
+TEST(Injector, UnarmedSitesNeverFire) {
+  Injector inj(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(inj.onHit(Site::kSolverSolve), Policy::kNone);
+  EXPECT_EQ(inj.hits(Site::kSolverSolve), 100u);
+  EXPECT_EQ(inj.injections(Site::kSolverSolve), 0u);
+  EXPECT_EQ(inj.totalInjections(), 0u);
+}
+
+TEST(Injector, NthHitFiresExactlyOnceWithoutPeriod) {
+  Injector inj;
+  inj.arm(Site::kSolverSolve, Policy::kSpuriousUnknown, /*nthHit=*/3);
+  std::vector<unsigned> fired;
+  for (unsigned i = 1; i <= 10; ++i)
+    if (inj.onHit(Site::kSolverSolve) != Policy::kNone) fired.push_back(i);
+  EXPECT_EQ(fired, std::vector<unsigned>{3});
+  EXPECT_EQ(inj.injections(Site::kSolverSolve), 1u);
+}
+
+TEST(Injector, PeriodRefiresAfterNthHit) {
+  Injector inj;
+  inj.arm(Site::kCosimSample, Policy::kCorruptSample, /*nthHit=*/2,
+          /*period=*/3);
+  std::vector<unsigned> fired;
+  for (unsigned i = 1; i <= 12; ++i)
+    if (inj.onHit(Site::kCosimSample) != Policy::kNone) fired.push_back(i);
+  EXPECT_EQ(fired, (std::vector<unsigned>{2, 5, 8, 11}));
+}
+
+TEST(Injector, PersistentPeriodOneFiresEveryHit) {
+  Injector inj;
+  inj.arm(Site::kSecBmcPhase, Policy::kExhaustBudget, 1, 1);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(inj.onHit(Site::kSecBmcPhase), Policy::kExhaustBudget);
+}
+
+TEST(Injector, DisarmStopsFiringButKeepsCounting) {
+  Injector inj;
+  inj.arm(Site::kSolverSolve, Policy::kThrowCheckError, 1, 1);
+  EXPECT_NE(inj.onHit(Site::kSolverSolve), Policy::kNone);
+  inj.disarm(Site::kSolverSolve);
+  EXPECT_EQ(inj.onHit(Site::kSolverSolve), Policy::kNone);
+  // disarm resets the site's bookkeeping wholesale.
+  EXPECT_EQ(inj.injections(Site::kSolverSolve), 0u);
+}
+
+TEST(Injector, ArmRandomIsDeterministicInSeed) {
+  auto pattern = [](std::uint64_t seed) {
+    Injector inj(seed);
+    inj.armRandom(Site::kSolverSolve, Policy::kSpuriousUnknown, 0.3);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i)
+      fired.push_back(inj.onHit(Site::kSolverSolve) != Policy::kNone);
+    return fired;
+  };
+  EXPECT_EQ(pattern(42), pattern(42));
+  EXPECT_NE(pattern(42), pattern(43));
+}
+
+TEST(Injector, ArmRandomEdgeProbabilities) {
+  Injector inj(5);
+  inj.armRandom(Site::kSolverSolve, Policy::kSpuriousUnknown, 1.0);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_NE(inj.onHit(Site::kSolverSolve), Policy::kNone);
+  inj.armRandom(Site::kSecBmcPhase, Policy::kSpuriousUnknown, 0.0);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(inj.onHit(Site::kSecBmcPhase), Policy::kNone);
+}
+
+TEST(Injector, ArmRejectsMisuse) {
+  Injector inj;
+  EXPECT_THROW(inj.arm(Site::kSolverSolve, Policy::kNone), CheckError);
+  EXPECT_THROW(inj.arm(Site::kSolverSolve, Policy::kThrowCheckError, 0),
+               CheckError);
+  EXPECT_THROW(inj.armRandom(Site::kSolverSolve, Policy::kNone, 0.5),
+               CheckError);
+  EXPECT_THROW(
+      inj.armRandom(Site::kSolverSolve, Policy::kSpuriousUnknown, 1.5),
+      CheckError);
+}
+
+TEST(ScopedInjector, InstallsAndRestoresIncludingNesting) {
+  EXPECT_EQ(currentInjector(), nullptr);
+  {
+    ScopedInjector outer(1);
+    EXPECT_EQ(currentInjector(), &outer.injector());
+    {
+      ScopedInjector inner(2);
+      EXPECT_EQ(currentInjector(), &inner.injector());
+    }
+    EXPECT_EQ(currentInjector(), &outer.injector());
+  }
+  EXPECT_EQ(currentInjector(), nullptr);
+  EXPECT_EQ(onSiteHit(Site::kSolverSolve), Policy::kNone);
+}
+
+TEST(Names, SiteAndPolicyNamesAreStable) {
+  EXPECT_STREQ(siteName(Site::kSolverSolve), "solver.solve");
+  EXPECT_STREQ(siteName(Site::kCosimSample), "cosim.sample");
+  EXPECT_STREQ(policyName(Policy::kNone), "none");
+  EXPECT_STREQ(policyName(Policy::kCorruptSample), "corrupt-sample");
+}
+
+// ----- Solver site ----------------------------------------------------------
+
+/// (x | y) & (~x | y): satisfiable, forces a couple of propagations.
+sat::Result solveTiny(const sat::Budget& budget = {}) {
+  sat::Solver s;
+  const sat::Var x = s.newVar();
+  const sat::Var y = s.newVar();
+  s.addClause(sat::Lit(x, false), sat::Lit(y, false));
+  s.addClause(sat::Lit(x, true), sat::Lit(y, false));
+  return s.solve({}, budget);
+}
+
+TEST(SolverSite, SpuriousUnknownOverridesResult) {
+  ASSERT_EQ(solveTiny(), sat::Result::kSat);
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kSolverSolve, Policy::kSpuriousUnknown, 1, 1);
+  EXPECT_EQ(solveTiny(), sat::Result::kUnknown);
+}
+
+TEST(SolverSite, ExhaustBudgetOnlyAppliesWhenBudgeted) {
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kSolverSolve, Policy::kExhaustBudget, 1, 1);
+  // Unbudgeted solves keep the "kUnknown only under a Budget" contract.
+  EXPECT_EQ(solveTiny(), sat::Result::kSat);
+  sat::Budget b;
+  b.maxConflicts = 1000;
+  EXPECT_EQ(solveTiny(b), sat::Result::kUnknown);
+}
+
+TEST(SolverSite, ThrowPolicyRaisesCheckError) {
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kSolverSolve, Policy::kThrowCheckError);
+  EXPECT_THROW(solveTiny(), CheckError);
+  // nthHit=1, no period: exactly one injection, later solves are clean.
+  EXPECT_EQ(solveTiny(), sat::Result::kSat);
+}
+
+TEST(SolverSite, UnarmedInjectorIsBehaviorallyInvisible) {
+  const sat::Result bare = solveTiny();
+  ScopedInjector scoped(99);
+  EXPECT_EQ(solveTiny(), bare);
+  EXPECT_EQ(scoped.injector().hits(Site::kSolverSolve), 1u);
+  EXPECT_EQ(scoped.injector().totalInjections(), 0u);
+}
+
+// ----- SEC phase sites ------------------------------------------------------
+
+/// A minimal provable SEC pair: the same 8-bit accumulator on both sides,
+/// coupled by state equality.  Proves in well under a millisecond, so the
+/// site tests stay cheap.
+struct TinySec {
+  std::unique_ptr<ir::Context> ctx;
+  std::unique_ptr<ir::TransitionSystem> slm;
+  std::unique_ptr<ir::TransitionSystem> rtl;
+  std::unique_ptr<sec::SecProblem> problem;
+};
+
+TinySec makeTinySec() {
+  TinySec t;
+  t.ctx = std::make_unique<ir::Context>();
+  ir::Context& ctx = *t.ctx;
+  auto build = [&](const std::string& prefix) {
+    auto ts = std::make_unique<ir::TransitionSystem>(ctx, prefix);
+    ir::NodeRef in = ts->addInput(prefix + ".in", 8u);
+    ir::NodeRef s = ts->addState(prefix + ".acc", 8u, 0);
+    ts->setNext(s, ctx.add(s, in));
+    ts->addOutput("out", ctx.add(s, in));
+    ts->validate();
+    return ts;
+  };
+  t.slm = build("slm");
+  t.rtl = build("rtl");
+  t.problem = std::make_unique<sec::SecProblem>(ctx, *t.slm, 1u, *t.rtl, 1u);
+  ir::NodeRef v = t.problem->declareTxnVar("in", 8);
+  t.problem->bindInput(sec::Side::kSlm, "slm.in", 0, v);
+  t.problem->bindInput(sec::Side::kRtl, "rtl.in", 0, v);
+  t.problem->checkOutputs("out", 0, "out", 0);
+  t.problem->addCouplingInvariant(
+      ctx.eq(t.slm->states()[0].current, t.rtl->states()[0].current));
+  return t;
+}
+
+TEST(SecSite, BmcPhaseCutoffYieldsInconclusive) {
+  TinySec t = makeTinySec();
+  ASSERT_EQ(sec::checkEquivalence(*t.problem).verdict,
+            sec::Verdict::kProvenEquivalent);
+  for (Policy p : {Policy::kSpuriousUnknown, Policy::kExhaustBudget}) {
+    ScopedInjector scoped;
+    scoped.injector().arm(Site::kSecBmcPhase, p);
+    const sec::SecResult r = sec::checkEquivalence(*t.problem);
+    EXPECT_EQ(r.verdict, sec::Verdict::kInconclusive);
+    ASSERT_FALSE(r.stats.bmcTransactions.empty());
+    EXPECT_TRUE(r.stats.bmcTransactions.back().budgetExhausted);
+  }
+}
+
+TEST(SecSite, BmcPhaseCutoffAtLaterTransaction) {
+  TinySec t = makeTinySec();
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kSecBmcPhase, Policy::kExhaustBudget,
+                        /*nthHit=*/3);
+  const sec::SecResult r = sec::checkEquivalence(*t.problem);
+  EXPECT_EQ(r.verdict, sec::Verdict::kInconclusive);
+  // Two transactions completed before the injected cutoff on the third.
+  EXPECT_EQ(r.stats.transactionsChecked, 2u);
+}
+
+TEST(SecSite, InductionCutoffKeepsSoundBoundedVerdict) {
+  TinySec t = makeTinySec();
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kSecInductionPhase, Policy::kExhaustBudget);
+  const sec::SecResult r = sec::checkEquivalence(*t.problem);
+  EXPECT_EQ(r.verdict, sec::Verdict::kBoundedEquivalent);
+  EXPECT_TRUE(r.stats.inductionAttempted);
+  EXPECT_FALSE(r.stats.inductionClosed);
+  EXPECT_TRUE(r.stats.induction.budgetExhausted);
+}
+
+TEST(SecSite, ThrowPoliciesPropagateAsCheckError) {
+  TinySec t = makeTinySec();
+  {
+    ScopedInjector scoped;
+    scoped.injector().arm(Site::kSecBmcPhase, Policy::kThrowCheckError);
+    EXPECT_THROW(sec::checkEquivalence(*t.problem), CheckError);
+  }
+  {
+    ScopedInjector scoped;
+    scoped.injector().arm(Site::kSecInductionPhase, Policy::kThrowCheckError);
+    EXPECT_THROW(sec::checkEquivalence(*t.problem), CheckError);
+  }
+}
+
+TEST(SecSite, UnarmedInjectorGivesBitIdenticalStats) {
+  TinySec t = makeTinySec();
+  const sec::SecResult bare = sec::checkEquivalence(*t.problem);
+  ScopedInjector scoped(123);
+  const sec::SecResult armed = sec::checkEquivalence(*t.problem);
+  EXPECT_EQ(armed.verdict, bare.verdict);
+  EXPECT_EQ(armed.stats.inductionAigNodes, bare.stats.inductionAigNodes);
+  EXPECT_EQ(armed.stats.bmcAigNodes, bare.stats.bmcAigNodes);
+  EXPECT_EQ(armed.stats.satConflicts, bare.stats.satConflicts);
+  EXPECT_EQ(armed.stats.satDecisions, bare.stats.satDecisions);
+  EXPECT_EQ(armed.stats.transactionsChecked, bare.stats.transactionsChecked);
+}
+
+// ----- Cosim sample site ----------------------------------------------------
+
+TEST(CosimSite, CorruptSampleFlipsExactlyTheArmedHit) {
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kCosimSample, Policy::kCorruptSample,
+                        /*nthHit=*/2);
+  cosim::CycleExactScoreboard sb;
+  for (std::uint64_t c = 0; c < 4; ++c)
+    sb.expect(c, bv::BitVector::fromUint(8, 0x10 + c));
+  for (std::uint64_t c = 0; c < 4; ++c)
+    sb.observe(c, bv::BitVector::fromUint(8, 0x10 + c));
+  const auto stats = sb.finish();
+  EXPECT_EQ(stats.matched, 3u);
+  EXPECT_EQ(stats.mismatched, 1u);
+  ASSERT_EQ(sb.mismatches().size(), 1u);
+  EXPECT_EQ(sb.mismatches()[0].index, 1u);  // the second observe
+}
+
+TEST(CosimSite, ThrowPolicyRaisesFromObserve) {
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kCosimSample, Policy::kThrowCheckError);
+  cosim::InOrderScoreboard sb;
+  sb.expect(bv::BitVector::fromUint(4, 5), 0);
+  EXPECT_THROW(sb.observe(bv::BitVector::fromUint(4, 5), 0), CheckError);
+}
+
+TEST(CosimSite, AllScoreboardsShareTheSampleSite) {
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kCosimSample, Policy::kCorruptSample, 1, 1);
+  cosim::OutOfOrderScoreboard sb;
+  ASSERT_TRUE(sb.expect(7, bv::BitVector::fromUint(8, 0xAA), 0));
+  sb.observe(7, bv::BitVector::fromUint(8, 0xAA), 1);
+  EXPECT_EQ(sb.finish().mismatched, 1u);
+}
+
+TEST(CosimSite, InapplicablePolicyIsBenign) {
+  // A solver-shaped policy on the sample site counts as an injection but
+  // must not corrupt data — the full site x policy matrix stays safe.
+  ScopedInjector scoped;
+  scoped.injector().arm(Site::kCosimSample, Policy::kSpuriousUnknown, 1, 1);
+  cosim::CycleExactScoreboard sb;
+  sb.expect(0, bv::BitVector::fromUint(8, 1));
+  sb.observe(0, bv::BitVector::fromUint(8, 1));
+  EXPECT_EQ(sb.finish().matched, 1u);
+  EXPECT_EQ(scoped.injector().injections(Site::kCosimSample), 1u);
+}
+
+}  // namespace
+}  // namespace dfv::fault

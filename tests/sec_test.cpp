@@ -404,7 +404,6 @@ TEST(SecEngine, GenerousBudgetsDoNotChangeVerdicts) {
   SecOptions generous;
   generous.boundTransactions = 2;
   generous.bmcBudget.maxConflicts = 1u << 20;
-  generous.bmcBudget.maxSeconds = 60.0;
   generous.inductionBudget = generous.bmcBudget;
   {
     Fig1Fixture f(/*buggyNarrowTmp=*/false);
