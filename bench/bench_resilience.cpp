@@ -94,7 +94,29 @@ const char* statusOf(const core::BlockResult& b) {
   return b.passed ? "pass" : "fail";
 }
 
-void runMatrix(benchutil::JsonReport& json) {
+/// Whole-run telemetry folded across every PlanReport the bench produces,
+/// emitted as the final "summary" JSON row so CI can diff one object
+/// instead of scraping tables.
+struct Totals {
+  unsigned degraded = 0;
+  unsigned faulted = 0;
+  unsigned escaped = 0;
+  std::uint64_t faultInjections = 0;
+  std::uint64_t sliceStatesSevered = 0;
+  std::uint64_t sliceSeqConstants = 0;
+
+  void absorb(const core::PlanReport& r) {
+    degraded += r.degraded;
+    faulted += r.faulted;
+    for (const core::BlockResult& b : r.blocks) {
+      faultInjections += b.faultInjections;
+      sliceStatesSevered += b.sliceStatesSevered;
+      sliceSeqConstants += b.sliceSeqConstants;
+    }
+  }
+};
+
+void runMatrix(benchutil::JsonReport& json, Totals& totals) {
   using fault::Policy;
   using fault::Site;
   std::printf("-- fault -> recovery matrix "
@@ -119,7 +141,9 @@ void runMatrix(benchutil::JsonReport& json) {
         } catch (...) {
           escaped = true;  // must never happen; reported if it does
           ++escapedTotal;
+          ++totals.escaped;
         }
+        if (!escaped) totals.absorb(report);
         const std::uint64_t injections = scoped.injector().totalInjections();
         const char* mode = persistent ? "persistent" : "transient";
         const char* gcdStatus =
@@ -147,9 +171,9 @@ void runMatrix(benchutil::JsonReport& json) {
 }
 
 /// Runs one ladder configuration and prints a row per attempt.
-void runLadder(benchutil::JsonReport& json, const std::string& name,
-               const sec::SecProblem& problem, const sec::SecOptions& base,
-               const core::RetryPolicy& policy) {
+void runLadder(benchutil::JsonReport& json, Totals& totals,
+               const std::string& name, const sec::SecProblem& problem,
+               const sec::SecOptions& base, const core::RetryPolicy& policy) {
   core::ResilientRunner runner(name, policy);
   runner.addSecBlock(name, 1, base, [&](const sec::SecOptions& o) {
     return sec::checkEquivalence(problem, o);
@@ -157,6 +181,7 @@ void runLadder(benchutil::JsonReport& json, const std::string& name,
   const auto start = Clock::now();
   const core::PlanReport report = runner.runAll();
   const double total = secsSince(start);
+  totals.absorb(report);
   const core::BlockResult& b = report.blocks.at(0);
   for (const core::AttemptRecord& a : b.attemptLog) {
     std::printf("%-12s rung %u  conflicts<=%-8llu props<=%-9llu %-22s %8.3fs\n",
@@ -181,7 +206,7 @@ void runLadder(benchutil::JsonReport& json, const std::string& name,
       .field("seconds", total);
 }
 
-void runLadders(benchutil::JsonReport& json, bool smoke) {
+void runLadders(benchutil::JsonReport& json, Totals& totals, bool smoke) {
   std::printf("-- retry-ladder cost under starvation budgets --\n");
   {
     // gcd_breakif: accumulated break-flag guards defeat structural merging;
@@ -205,7 +230,7 @@ void runLadders(benchutil::JsonReport& json, bool smoke) {
       policy.maxAttempts = 3;
       policy.rungs = {grow, withFraig};
     }
-    runLadder(json, "gcd_breakif", *setup.problem, base, policy);
+    runLadder(json, totals, "gcd_breakif", *setup.problem, base, policy);
   }
   {
     // FIR without structural aliasing: BMC is easy but the inductive step
@@ -226,11 +251,11 @@ void runLadders(benchutil::JsonReport& json, bool smoke) {
       base.structuralAliasing = false;
       base.inductionBudget.maxConflicts = 25000;
     }
-    runLadder(json, "fir", *setup.problem, base, policy);
+    runLadder(json, totals, "fir", *setup.problem, base, policy);
   }
 }
 
-void runDegradation(benchutil::JsonReport& json, bool smoke) {
+void runDegradation(benchutil::JsonReport& json, Totals& totals, bool smoke) {
   std::printf("-- graceful degradation: never-provable block -> cosim --\n");
   ir::Context ctx;
   designs::GcdSecSetup setup = designs::makeGcdBreakIfSecProblem(ctx);
@@ -248,6 +273,7 @@ void runDegradation(benchutil::JsonReport& json, bool smoke) {
   runner.setCosimFallback(
       "gcd_breakif", core::makeRandomCosimFallback(*setup.problem, 16));
   const core::PlanReport report = runner.runAll();
+  totals.absorb(report);
   const core::BlockResult& b = report.blocks.at(0);
   std::printf("block %s: %s (attempts=%u degraded=%s)\n", b.block.c_str(),
               b.detail.c_str(), b.attempts, b.degraded ? "true" : "false");
@@ -268,9 +294,23 @@ int main(int argc, char** argv) {
   benchutil::JsonReport json(argc, argv, "resilience");
   std::printf("RESIL: fault injection, retry ladders, degradation%s\n\n",
               smoke ? " (smoke)" : "");
-  runMatrix(json);
-  runLadders(json, smoke);
-  runDegradation(json, smoke);
+  Totals totals;
+  runMatrix(json, totals);
+  runLadders(json, totals, smoke);
+  runDegradation(json, totals, smoke);
+  std::printf("totals: degraded=%u faulted=%u escaped=%u injections=%llu "
+              "slice(severed=%llu seqconst=%llu)\n",
+              totals.degraded, totals.faulted, totals.escaped,
+              static_cast<unsigned long long>(totals.faultInjections),
+              static_cast<unsigned long long>(totals.sliceStatesSevered),
+              static_cast<unsigned long long>(totals.sliceSeqConstants));
+  json.beginRow("summary")
+      .field("degraded", totals.degraded)
+      .field("faulted", totals.faulted)
+      .field("escaped", totals.escaped)
+      .field("faultInjections", totals.faultInjections)
+      .field("sliceStatesSevered", totals.sliceStatesSevered)
+      .field("sliceSeqConstants", totals.sliceSeqConstants);
   json.write();
-  return 0;
+  return totals.escaped == 0 ? 0 : 1;
 }

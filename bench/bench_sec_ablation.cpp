@@ -337,6 +337,125 @@ int main(int argc, char** argv) {
                 "verdicts by construction, mismatches count above)\n\n");
   }
 
+  // --- Part 1c: slice x absint x fraig matrix -------------------------------
+  //
+  // Structural slicing (SecOptions::slice) is the only preprocessing layer
+  // whose facts are sound for induction (DESIGN.md §11), so unlike absint
+  // it is allowed to shrink inductionAigNodes.  The full 2^3 matrix checks
+  // that the three layers compose with identical verdicts in every cell,
+  // and the histo row must show the slice payoff: its RTL observability
+  // block is outside every checked cone, and severing it must cut the
+  // induction graph by more than 5% (counted as a regression otherwise).
+  unsigned sliceRegressions = 0;
+  std::uint64_t sliceStatesSeveredTotal = 0, sliceSeqConstantsTotal = 0;
+  {
+    std::vector<Case> slCases = {
+        {"fir", 2, 1000000, 0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::FirSecSetup>(
+               designs::makeFirSecProblem(ctx, designs::FirBug::kNone)));
+         }},
+        {"histo", 6, 1000000, 0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::HistoSecSetup>(
+               designs::makeHistoSecProblem(ctx)));
+         }},
+    };
+    if (smoke) slCases = {slCases[1]};  // the design built for slicing
+
+    std::printf("--- slice x absint x fraig matrix ---\n");
+    std::printf("%-12s %-6s %-6s %-6s %8s %10s %10s %7s %7s  %s\n", "design",
+                "slice", "absint", "fraig", "sec(s)", "aig(bmc)", "aig(ind)",
+                "severed", "seqcst", "verdict");
+    for (const Case& c : slCases) {
+      sec::Verdict ref = sec::Verdict::kInconclusive;
+      bool refSet = false;
+      std::size_t indOn = 0, indOff = 0;  // at absint=on, fraig=on
+      for (const bool slice : {true, false}) {
+        for (const bool absint : {true, false}) {
+          for (const bool fraig : {true, false}) {
+            ir::Context ctx;
+            auto problem = c.make(ctx);
+            sec::SecOptions o;
+            o.boundTransactions = c.bound;
+            o.slice = slice;
+            o.absint = absint;
+            o.fraig = fraig;
+            applyBudget(o, c, smoke);
+            const auto t0 = Clock::now();
+            const auto r = sec::checkEquivalence(*problem, o);
+            const double secs = secsSince(t0);
+            const bool cut = r.stats.induction.budgetExhausted ||
+                             sumPhases(r.stats, [](const sec::PhaseStats& p) {
+                               return static_cast<int>(p.budgetExhausted);
+                             }) > 0;
+            const auto& sl = r.stats.slice;
+            const std::uint64_t severed =
+                sl.slm.statesSevered + sl.rtl.statesSevered;
+            const std::uint64_t seqcst =
+                sl.slm.seqConstants + sl.rtl.seqConstants;
+            sliceStatesSeveredTotal += severed;
+            sliceSeqConstantsTotal += seqcst;
+            if (absint && fraig) (slice ? indOn : indOff) =
+                r.stats.inductionAigNodes;
+            std::printf(
+                "%-12s %-6s %-6s %-6s %8.3f %10zu %10zu %7llu %7llu  %s\n",
+                c.name, slice ? "on" : "off", absint ? "on" : "off",
+                fraig ? "on" : "off", secs, r.stats.bmcAigNodes,
+                r.stats.inductionAigNodes,
+                static_cast<unsigned long long>(severed),
+                static_cast<unsigned long long>(seqcst),
+                sec::verdictName(r.verdict));
+            report.beginRow("slice_matrix")
+                .field("design", c.name)
+                .field("slice", slice)
+                .field("absint", absint)
+                .field("fraig", fraig)
+                .field("seconds", secs)
+                .field("bmcAigNodes", r.stats.bmcAigNodes)
+                .field("inductionAigNodes", r.stats.inductionAigNodes)
+                .field("sliceStatesSevered", severed)
+                .field("sliceSeqConstants", seqcst)
+                .field("sliceNodesBeforeRtl", sl.rtl.nodesBefore)
+                .field("sliceNodesAfterRtl", sl.rtl.nodesAfter)
+                .field("sliceSeconds", sl.seconds)
+                .field("budgetCut", cut)
+                .field("verdict", sec::verdictName(r.verdict));
+            // Every completed cell must agree with the first completed one:
+            // all three layers are verdict-preserving, alone or composed.
+            if (!cut) {
+              if (!refSet) {
+                ref = r.verdict;
+                refSet = true;
+              } else if (r.verdict != ref) {
+                ++verdictMismatches;
+                std::printf("  !! VERDICT CHANGED in slice matrix on %s\n",
+                            c.name);
+              }
+            }
+          }
+        }
+      }
+      // The payoff gate: histo (and any design with out-of-cone state) must
+      // shrink the induction graph by >5%.  fir has no dead state, so only
+      // require no growth there.
+      if (indOn != 0 && indOff != 0) {
+        const bool wantsCut = std::string(c.name) == "histo";
+        const bool regressed =
+            wantsCut ? indOn * 20 >= indOff * 19 : indOn > indOff;
+        if (regressed) {
+          ++sliceRegressions;
+          std::printf("  !! SLICE REGRESSION on %s: induction %zu -> %zu\n",
+                      c.name, indOff, indOn);
+        }
+      }
+    }
+    std::printf("(slice facts are inductive — COI membership and ternary-GFP "
+                "constants hold from\n any start state — so both phases use "
+                "the sliced systems; regressions: %u, must be 0)\n\n",
+                sliceRegressions);
+  }
+
   // --- Part 2: strash reserve + hash mixing ---------------------------------
   {
     const std::size_t chain = smoke ? 20000 : 1000000;
@@ -483,6 +602,16 @@ int main(int argc, char** argv) {
       .field("disagreements", disagreements)
       .field("secSeconds", secTime)
       .field("cosimSeconds", cosimTime);
+  // Machine-checkable health of the whole run: every invariant the tables
+  // above assert in prose, in one row.
+  report.beginRow("summary")
+      .field("verdictMismatches", verdictMismatches)
+      .field("sliceRegressions", sliceRegressions)
+      .field("sliceStatesSevered", sliceStatesSeveredTotal)
+      .field("sliceSeqConstants", sliceSeqConstantsTotal)
+      .field("disagreements", disagreements);
   report.write();
-  return disagreements == 0 && verdictMismatches == 0 ? 0 : 1;
+  return disagreements == 0 && verdictMismatches == 0 && sliceRegressions == 0
+             ? 0
+             : 1;
 }

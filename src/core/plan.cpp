@@ -104,6 +104,10 @@ BlockResult VerificationPlan::runEntry(Entry& e) {
                  sr.verdict == sec::Verdict::kBoundedEquivalent;
       r.detail = sec::verdictName(sr.verdict);
       if (sr.cex.has_value()) r.detail += ": " + sr.cex->summary();
+      r.sliceStatesSevered = sr.stats.slice.slm.statesSevered +
+                             sr.stats.slice.rtl.statesSevered;
+      r.sliceSeqConstants = sr.stats.slice.slm.seqConstants +
+                            sr.stats.slice.rtl.seqConstants;
     } else {
       const CosimOutcome out = e.cosimRunner();
       r.passed = out.passed;

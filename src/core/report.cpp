@@ -35,8 +35,10 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
        << ",\"attempts\":" << b.attempts
        << ",\"degraded\":" << (b.degraded ? "true" : "false")
        << ",\"faulted\":" << (b.faulted ? "true" : "false")
-       << ",\"fault_injections\":" << b.faultInjections << ",\"detail\":\""
-       << jsonEscape(b.detail) << "\"";
+       << ",\"fault_injections\":" << b.faultInjections
+       << ",\"slice_states_severed\":" << b.sliceStatesSevered
+       << ",\"slice_seq_constants\":" << b.sliceSeqConstants
+       << ",\"detail\":\"" << jsonEscape(b.detail) << "\"";
     if (!b.attemptLog.empty()) {
       os << ",\"attempt_log\":[";
       for (std::size_t a = 0; a < b.attemptLog.size(); ++a) {

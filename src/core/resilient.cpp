@@ -185,6 +185,10 @@ BlockResult ResilientRunner::runEntry(Entry& e) {
         rec.outcome = sec::verdictName(sr.verdict);
         inductionCutOff = sr.verdict == sec::Verdict::kBoundedEquivalent &&
                           sr.stats.induction.budgetExhausted;
+        r.sliceStatesSevered = sr.stats.slice.slm.statesSevered +
+                               sr.stats.slice.rtl.statesSevered;
+        r.sliceSeqConstants = sr.stats.slice.slm.seqConstants +
+                              sr.stats.slice.rtl.seqConstants;
       } catch (const std::exception& ex) {
         faultedNow = true;
         r.passed = false;

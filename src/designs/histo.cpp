@@ -63,6 +63,46 @@ HistoSecSetup makeHistoSecProblem(ir::Context& ctx) {
         ctx.eq(setup.slm->findState("s.bin" + n)->current,
                setup.rtl->findState("r.bin" + n)->current));
   }
+  // Industrial RTL carries observability state the SLM never models; histo's
+  // RTL side gets a debug-capture block to stand in for it.  The capture
+  // enable resets disarmed and can only be cleared, so the ternary fixpoint
+  // proves it stuck at 0, and the capture registers it gates feed only the
+  // unchecked dbg_* outputs, so the COI pass severs them — none of it may
+  // appear in the BMC or induction graphs with SecOptions::slice on
+  // (bench_sec_ablation measures the reduction; this is deliberately the
+  // shape dfv::slice exists for, the way the saturating bins were built to
+  // showcase dfv::absint).  Added after lowering so the rtl::Module used by
+  // simulation, Verilog emission and cosim stays untouched.
+  {
+    ir::TransitionSystem& r = *setup.rtl;
+    const unsigned w = kHistoCountWidth;
+    ir::NodeRef b = r.findInput("r.b");
+    ir::NodeRef en = r.addState("r.dbg_en", 1, 0);
+    // Disarm on any all-zero sample; never re-arm.  Ternary: and(0, X) = 0.
+    r.setNext(en, ctx.bitAnd(en, ctx.redOr(b)));
+    ir::NodeRef cap = ctx.constantUint(w, kHistoCap);
+    // Saturating count of samples seen while armed.
+    ir::NodeRef total = r.addState("r.dbg_total", w, 0);
+    ir::NodeRef inc =
+        ctx.mux(ctx.eq(total, cap), cap, ctx.add(total, ctx.one(w)));
+    r.setNext(total, ctx.mux(en, inc, total));
+    // Running min/max and last-value capture, all gated by the enable.
+    ir::NodeRef lo = r.addState("r.dbg_min", w, kHistoCap);
+    ir::NodeRef hi = r.addState("r.dbg_max", w, 0);
+    ir::NodeRef bw = ctx.zext(b, w);
+    r.setNext(lo, ctx.mux(ctx.bitAnd(en, ctx.ult(bw, lo)), bw, lo));
+    r.setNext(hi, ctx.mux(ctx.bitAnd(en, ctx.ult(hi, bw)), bw, hi));
+    ir::NodeRef last = r.addState("r.dbg_last", kHistoIdxWidth, 0);
+    r.setNext(last, ctx.mux(en, b, last));
+    // Free-running sample accumulator: NOT gated by the enable, so it is no
+    // sequential constant — only the cone-of-influence pass removes it.
+    ir::NodeRef sum = r.addState("r.dbg_sum", w, 0);
+    r.setNext(sum, ctx.add(sum, ctx.zext(b, w)));
+    r.addOutput("dbg_sum", sum);
+    r.addOutput("dbg_total", total);
+    r.addOutput("dbg_range", ctx.concat(hi, lo));
+    r.addOutput("dbg_last", last);
+  }
   return setup;
 }
 

@@ -15,6 +15,7 @@
 //   dfv::absint — word-level known-bits/interval abstract interpretation
 //   dfv::aig   — and-inverter graphs, CNF encoding, bit-blasting
 //   dfv::sec   — transaction-based sequential equivalence checking
+//   dfv::slice — induction-sound COI slicing, ternary eval, seq constants
 //   dfv::fp    — IEEE-754 and simplified-hardware floating point
 //   dfv::cosim — transactors, wrapped-RTL, timing-aligning scoreboards
 //   dfv::slmc  — conditioned algorithmic models: interp, lint, elaborate
@@ -50,6 +51,8 @@
 #include "sat/solver.h"             // IWYU pragma: export
 #include "sec/engine.h"             // IWYU pragma: export
 #include "sec/transaction.h"        // IWYU pragma: export
+#include "slice/slice.h"            // IWYU pragma: export
+#include "slice/ternary.h"          // IWYU pragma: export
 #include "slm/channels.h"           // IWYU pragma: export
 #include "slm/kernel.h"             // IWYU pragma: export
 #include "slmc/elaborate.h"         // IWYU pragma: export

@@ -38,8 +38,20 @@ const char* ruleName(Rule rule) {
     case Rule::kSlmMisplacedReturn: return "slm-misplaced-return";
     case Rule::kSlmMissingReturn: return "slm-missing-return";
     case Rule::kSlmBreakOutsideLoop: return "slm-break-outside-loop";
+    case Rule::kSliceDeadState: return "slice-dead-state";
+    case Rule::kSliceDeadInput: return "slice-dead-input";
+    case Rule::kSliceDeadLogic: return "slice-dead-logic";
+    case Rule::kSliceStuckAtReset: return "slice-stuck-at-reset";
+    case Rule::kRuleCount_: break;
   }
   DFV_UNREACHABLE("bad drc rule");
+}
+
+std::vector<Rule> allRules() {
+  std::vector<Rule> out;
+  for (unsigned i = 0; i < static_cast<unsigned>(Rule::kRuleCount_); ++i)
+    out.push_back(static_cast<Rule>(i));
+  return out;
 }
 
 const char* severityName(Severity s) {

@@ -74,10 +74,21 @@ enum class Rule {
   kSlmMisplacedReturn,
   kSlmMissingReturn,
   kSlmBreakOutsideLoop,
+  // ----- structural (slice-driven) rules ------------------------------------
+  kSliceDeadState,      ///< state var in no output/constraint cone
+  kSliceDeadInput,      ///< input read only by logic outside every cone
+  kSliceDeadLogic,      ///< IR nodes feeding no output or constraint
+  kSliceStuckAtReset,   ///< latch provably stuck at its reset value
+                        ///< (ternary greatest fixpoint; inductive fact)
+  // Sentinel for allRules(); keep last.
+  kRuleCount_,
 };
 
 /// Stable machine-readable rule id, e.g. "undriven-net".
 const char* ruleName(Rule rule);
+/// Every registered rule, in declaration order (for exhaustive checks like
+/// the drc_test id-uniqueness and documentation guards).
+std::vector<Rule> allRules();
 /// "info" / "warning" / "error".
 const char* severityName(Severity s);
 /// "slm" / "ir" / "rtl" / "sec".

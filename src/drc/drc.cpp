@@ -9,6 +9,7 @@ DrcReport runDrc(const DrcInputs& inputs) {
   for (const auto& [name, ts] : inputs.systems) {
     checkTransitionSystem(*ts, name, report);
     checkSemantics(*ts, name, report);
+    checkSliceRules(*ts, name, report);
   }
   for (const auto& [name, m] : inputs.modules)
     checkNetlist(*m, name, report);

@@ -18,6 +18,7 @@
 #include "drc/ir_rules.h"
 #include "drc/rtl_rules.h"
 #include "drc/sec_rules.h"
+#include "drc/slice_rules.h"
 #include "drc/slm_rules.h"
 
 namespace dfv::drc {

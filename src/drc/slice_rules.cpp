@@ -1,0 +1,124 @@
+#include "drc/slice_rules.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "slice/slice.h"
+
+namespace dfv::drc {
+
+namespace {
+
+void collectLeaves(ir::NodeRef root, std::unordered_set<ir::NodeRef>& visited,
+                   std::unordered_set<ir::NodeRef>& leaves) {
+  if (root == nullptr || !visited.insert(root).second) return;
+  if (root->op() == ir::Op::kInput || root->op() == ir::Op::kState) {
+    leaves.insert(root);
+    return;
+  }
+  for (ir::NodeRef o : root->operands()) collectLeaves(o, visited, leaves);
+}
+
+/// "read by: a, b, …" evidence — the first hop of the (dead) cone path,
+/// enough to chase why a leaf never reaches a root.
+std::string readerEvidence(const std::vector<std::string>& readers) {
+  if (readers.empty()) return "never read";
+  std::ostringstream os;
+  os << "read by: ";
+  const std::size_t shown = std::min<std::size_t>(readers.size(), 4);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i != 0) os << ", ";
+    os << readers[i];
+  }
+  if (readers.size() > shown)
+    os << ", +" << (readers.size() - shown) << " more";
+  os << " — none reaches an output or constraint";
+  return os.str();
+}
+
+}  // namespace
+
+void checkSliceRules(const ir::TransitionSystem& ts, const std::string& where,
+                     DrcReport& report) {
+  // First hop of every leaf's fan-out, for cone-path evidence.
+  std::unordered_map<ir::NodeRef, std::vector<std::string>> readers;
+  auto scan = [&](ir::NodeRef e, const std::string& what) {
+    if (e == nullptr) return;
+    std::unordered_set<ir::NodeRef> visited, leaves;
+    collectLeaves(e, visited, leaves);
+    for (ir::NodeRef leaf : leaves) readers[leaf].push_back(what);
+  };
+  for (const auto& sv : ts.states())
+    scan(sv.next, "state '" + sv.name() + "'.next");
+  for (const auto& o : ts.outputs()) {
+    scan(o.expr, "output '" + o.name + "'");
+    scan(o.valid, "output '" + o.name + "'.valid");
+  }
+  for (std::size_t i = 0; i < ts.constraints().size(); ++i)
+    scan(ts.constraints()[i], "constraint #" + std::to_string(i));
+
+  // Cone of influence of every output and constraint.
+  const slice::Cone cone = slice::coneOfInfluence(ts, slice::Roots{});
+  auto add = [&](Rule rule, const std::string& loc, const std::string& msg,
+                 std::string evidence) {
+    report.add(rule, Severity::kInfo, Layer::kIr, where + "/" + loc, msg,
+               std::move(evidence));
+  };
+
+  std::vector<std::string> deadStates;
+  for (const auto& sv : ts.states()) {
+    if (cone.states.count(sv.current) != 0) continue;
+    deadStates.push_back(sv.name());
+    add(Rule::kSliceDeadState, "state '" + sv.name() + "'",
+        "state variable is outside every output and constraint cone; no "
+        "property can observe it (SEC slicing severs it)",
+        readerEvidence(readers[sv.current]));
+  }
+  for (ir::NodeRef in : ts.inputs()) {
+    if (cone.inputs.count(in) != 0) continue;
+    // A never-read input is kUnreadInput's finding; this rule is about
+    // inputs whose readers exist but all sit outside every cone.
+    if (readers.count(in) == 0) continue;
+    add(Rule::kSliceDeadInput, "input '" + in->name() + "'",
+        "input is read only by logic outside every output and constraint "
+        "cone; it cannot affect any property",
+        readerEvidence(readers[in]));
+  }
+  const std::uint64_t total = slice::coneNodeCount(ts);
+  if (total > cone.nodes) {
+    std::ostringstream ev;
+    ev << (total - cone.nodes) << " of " << total
+       << " IR nodes feed no output or constraint";
+    if (!deadStates.empty()) {
+      ev << "; dead cone anchors:";
+      for (const auto& n : deadStates) ev << " '" << n << "'";
+    }
+    add(Rule::kSliceDeadLogic, "logic",
+        "transition logic outside every output and constraint cone; it is "
+        "bit-blasted (and solved) for nothing unless sliced",
+        ev.str());
+  }
+
+  const slice::SeqConstResult sc = slice::sequentialConstants(ts);
+  for (const auto& sv : ts.states()) {
+    auto it = sc.constants.find(sv.current);
+    if (it == sc.constants.end()) continue;
+    // next == current is kLatentLatch's finding (trivially "stuck").
+    if (sv.next == sv.current) continue;
+    const ir::Value& v = it->second;
+    std::ostringstream ev;
+    ev << "ternary greatest fixpoint (" << sc.iterations
+       << " iterations): next-state value stays "
+       << (v.isArray ? ("array[" + std::to_string(v.array.size()) + "]")
+                     : ("0x" + v.scalar.toString()))
+       << " for every input; holds from reset and is inductive";
+    add(Rule::kSliceStuckAtReset, "state '" + sv.name() + "'",
+        "register is provably stuck at its reset value; its logic never "
+        "changes it (SEC slicing substitutes the constant)",
+        ev.str());
+  }
+}
+
+}  // namespace dfv::drc

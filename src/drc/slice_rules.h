@@ -1,0 +1,25 @@
+// Structural slice-driven rules over transition systems: dead state, dead
+// inputs, dead logic, and stuck-at-reset registers.
+//
+// These are the DRC face of dfv::slice.  Everything reported here is logic
+// the SEC engine's slicing pass (SecOptions::slice) removes silently; the
+// rules surface the same facts as advisory diagnostics with cone-path
+// evidence, so a designer can see *why* a register is dead (who reads it,
+// and that none of those readers reach an output) or why a latch is stuck
+// (the ternary fixpoint that pinned it).  All slice rules are kInfo: dead
+// observability state is routine in RTL and must not dirty a design.
+#pragma once
+
+#include <string>
+
+#include "drc/diagnostics.h"
+#include "ir/transition_system.h"
+
+namespace dfv::drc {
+
+/// Runs kSliceDeadState, kSliceDeadInput, kSliceDeadLogic and
+/// kSliceStuckAtReset over `ts`.
+void checkSliceRules(const ir::TransitionSystem& ts, const std::string& where,
+                     DrcReport& report);
+
+}  // namespace dfv::drc

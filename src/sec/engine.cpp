@@ -461,12 +461,57 @@ SecResult checkEquivalence(const SecProblem& problem,
   aig::Aig g;
   Miter miter(g, options);
 
-  // Word-level preprocessing: simplify both sides under reachable-from-reset
-  // facts and unroll BMC from the simplified copies.  Counterexample replay
-  // and the induction step below keep using the original systems — the
-  // facts only hold on traces that start at reset.
   const ir::TransitionSystem* slmTs = &problem.side(Side::kSlm);
   const ir::TransitionSystem* rtlTs = &problem.side(Side::kRtl);
+
+  // Structural slicing first: property-preserving w.r.t. the checked
+  // outputs, coupling invariants and constraints, and — unlike the absint
+  // rewrite below — sound from an arbitrary start state, so the induction
+  // step may (and does) reason over the sliced systems too.  The slices
+  // keep every input, state and output declared, so unrolling, aliasing
+  // and counterexample extraction index them exactly like the originals.
+  std::optional<ir::TransitionSystem> slmSliced, rtlSliced;
+  const ir::TransitionSystem* slmForInduction = slmTs;
+  const ir::TransitionSystem* rtlForInduction = rtlTs;
+  if (options.slice) {
+    const auto t0 = std::chrono::steady_clock::now();
+    slice::Roots slmRoots, rtlRoots;
+    for (const OutputCheck& chk : problem.checks()) {
+      slmRoots.outputs.push_back(chk.slmOutput);
+      rtlRoots.outputs.push_back(chk.rtlOutput);
+    }
+    // Coupling invariants are roots on both sides: each one constrains the
+    // induction start states, so every state it reads must stay live.
+    for (ir::NodeRef inv : problem.couplingInvariants()) {
+      slmRoots.extra.push_back(inv);
+      rtlRoots.extra.push_back(inv);
+    }
+    auto fold = [](const slice::Stats& s, SliceSideStats& out) {
+      out.statesSevered = s.statesSevered;
+      out.seqConstants = s.seqConstants;
+      out.nodesBefore = s.nodesBefore;
+      out.nodesAfter = s.nodesAfter;
+    };
+    slice::Stats ss, rs;
+    slmSliced = slice::sliceTransitionSystem(*slmTs, slmRoots,
+                                             options.sliceOptions, &ss);
+    rtlSliced = slice::sliceTransitionSystem(*rtlTs, rtlRoots,
+                                             options.sliceOptions, &rs);
+    slmTs = slmForInduction = &*slmSliced;
+    rtlTs = rtlForInduction = &*rtlSliced;
+    SliceStats& st = result.stats.slice;
+    st.applied = true;
+    fold(ss, st.slm);
+    fold(rs, st.rtl);
+    st.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  // Word-level preprocessing: simplify both sides under reachable-from-reset
+  // facts and unroll BMC from the simplified copies.  Counterexample replay
+  // and the induction step below do not use these copies — the facts only
+  // hold on traces that start at reset.
   std::optional<ir::TransitionSystem> slmSimplified, rtlSimplified;
   if (options.absint) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -674,10 +719,13 @@ SecResult checkEquivalence(const SecProblem& problem,
     if (closed) {
       aig::Aig gi;
       Miter miterI(gi, options);
-      // Always the ORIGINAL systems: absint facts are reachability facts and
-      // do not hold in the symbolic start states the induction step assumes.
-      Unroller slmI(problem, Side::kSlm, problem.side(Side::kSlm), gi);
-      Unroller rtlI(problem, Side::kRtl, problem.side(Side::kRtl), gi);
+      // Never the absint copies: absint facts are reachability facts and do
+      // not hold in the symbolic start states the induction step assumes.
+      // The *sliced* systems are fine — severed state is outside every
+      // checked cone on any trace, and sequential constants are inductive
+      // invariants, proven wherever the step's conclusion is applied.
+      Unroller slmI(problem, Side::kSlm, *slmForInduction, gi);
+      Unroller rtlI(problem, Side::kRtl, *rtlForInduction, gi);
       slmI.initSymbolic("ind.");
       // Invariants of the form eq(slm-state, rtl-state) are applied
       // *structurally*: the RTL leaf reuses the SLM leaf's symbolic words,

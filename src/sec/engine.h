@@ -23,6 +23,7 @@
 #include "aig/fraig.h"
 #include "sat/solver.h"
 #include "sec/transaction.h"
+#include "slice/slice.h"
 
 namespace dfv::sec {
 
@@ -92,6 +93,25 @@ struct AbsintStats {
   double seconds = 0.0;             ///< analysis + rewrite wall-clock
 };
 
+/// Per-side effect of the structural slicing pass (SecOptions::slice).
+struct SliceSideStats {
+  std::uint64_t statesSevered = 0;  ///< state vars outside every root cone
+  std::uint64_t seqConstants = 0;   ///< latches substituted by reset values
+  std::uint64_t nodesBefore = 0;    ///< unique IR cone nodes before
+  std::uint64_t nodesAfter = 0;     ///< unique IR cone nodes after
+};
+
+/// Cost and effect of the induction-sound structural slicing preprocessing
+/// (SecOptions::slice): both sides are sliced once, before anything is
+/// unrolled, and — unlike absint — the result also feeds the induction
+/// systems.
+struct SliceStats {
+  bool applied = false;
+  SliceSideStats slm{};
+  SliceSideStats rtl{};
+  double seconds = 0.0;  ///< both sides' analysis + rebuild wall-clock
+};
+
 struct SecStats {
   unsigned transactionsChecked = 0;
   std::size_t aigNodes = 0;           ///< total across both graphs
@@ -113,6 +133,8 @@ struct SecStats {
   PhaseStats induction{};
   /// Word-level preprocessing telemetry (see SecOptions::absint).
   AbsintStats absint{};
+  /// Structural slicing telemetry (see SecOptions::slice).
+  SliceStats slice{};
 };
 
 struct SecResult {
@@ -155,6 +177,20 @@ struct SecOptions {
   bool absint = true;
   /// Tuning for the analysis fixpoint (widening, refinement budget).
   absint::Options absintOptions{};
+  /// Slice both sides (dfv::slice) against the checked outputs, coupling
+  /// invariants and constraints before anything is unrolled: state
+  /// variables and logic outside every property cone are severed, and
+  /// latches the ternary fixpoint proves stuck at their reset value are
+  /// substituted by constants.  Both transforms are sound from an
+  /// arbitrary start state (slicing is property-preserving; the stuck-at
+  /// facts are inductive invariants), so — unlike absint — they apply to
+  /// the BMC unrolling AND the induction systems.  This is the only
+  /// preprocessing layer allowed to shrink stats.inductionAigNodes;
+  /// verdicts are identical on or off (tests and bench_sec_ablation
+  /// assert this).
+  bool slice = true;
+  /// Tuning for the slicing passes (COI severing, constant detection).
+  slice::Options sliceOptions{};
   /// Resource cap applied to each BMC solve (one per transaction, plus the
   /// constraint-vacuity check).  Default-constructed = unlimited.  When a
   /// BMC solve is cut off the engine stops and returns kInconclusive —

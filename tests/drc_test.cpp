@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <set>
+#include <sstream>
+
 #include "common/check.h"
 #include "core/plan.h"
 #include "core/report.h"
@@ -10,6 +14,7 @@
 #include "designs/fir.h"
 #include "designs/fpadd.h"
 #include "designs/gcd.h"
+#include "designs/histo.h"
 #include "designs/macpipe.h"
 #include "designs/memsys.h"
 #include "designs/truncsum.h"
@@ -627,6 +632,110 @@ TEST(DrcSemantic, ReadBeyondWriteCoverageReportedAndCoveredReadIsNot) {
                 std::string::npos);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Structural (slice-driven) rules
+// ---------------------------------------------------------------------------
+
+TEST(DrcSlice, DeadAndStuckStructureFiresEveryRuleAsInfo) {
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "sliced");
+  ir::NodeRef x = ts.addInput("x", 4);
+  ir::NodeRef acc = ts.addState("acc", 4, 0);
+  ts.setNext(acc, ctx.add(acc, x));
+  ts.addOutput("out", acc);
+  // en only disarms from a 0 reset: stuck-at-reset.
+  ir::NodeRef y = ts.addInput("y", 4);
+  ir::NodeRef en = ts.addState("en", 1, 0);
+  ts.setNext(en, ctx.bitAnd(en, ctx.redOr(y)));
+  // spin free-runs but reaches no output or constraint: dead, and the input
+  // feeding it is dead too (read, but only by dead logic).
+  ir::NodeRef spin = ts.addState("spin", 4, 0);
+  ts.setNext(spin, ctx.add(spin, y));
+
+  DrcReport r;
+  drc::checkSliceRules(ts, "sliced", r);
+  EXPECT_TRUE(r.fired(Rule::kSliceDeadState));
+  EXPECT_TRUE(r.fired(Rule::kSliceDeadInput));
+  EXPECT_TRUE(r.fired(Rule::kSliceDeadLogic));
+  EXPECT_TRUE(r.fired(Rule::kSliceStuckAtReset));
+  // Structural findings are advisories: they never dirty a design, and each
+  // carries concrete evidence (cone paths, fixpoint values).
+  EXPECT_TRUE(r.clean());
+  for (const auto& d : r.diagnostics()) {
+    EXPECT_EQ(d.severity, Severity::kInfo);
+    EXPECT_FALSE(d.evidence.empty()) << d.str();
+  }
+}
+
+TEST(DrcSlice, FullyLiveSystemFiresNothing) {
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "live");
+  ir::NodeRef x = ts.addInput("x", 4);
+  ir::NodeRef acc = ts.addState("acc", 4, 0);
+  ts.setNext(acc, ctx.add(acc, x));
+  ts.addOutput("out", acc);
+  DrcReport r;
+  drc::checkSliceRules(ts, "live", r);
+  EXPECT_TRUE(r.diagnostics().empty());
+}
+
+TEST(DrcSlice, LatentLatchIsNotDoubleReportedAsStuckAtReset) {
+  // next == current is kLatentLatch's finding; the slice rule must skip it
+  // even though the ternary fixpoint also proves it constant.
+  ir::Context ctx;
+  ir::TransitionSystem ts(ctx, "latch");
+  ir::NodeRef s = ts.addState("s", 4, 7);
+  ts.setNext(s, s);
+  ts.addOutput("out", s);
+  DrcReport r;
+  drc::checkSliceRules(ts, "latch", r);
+  EXPECT_FALSE(r.fired(Rule::kSliceStuckAtReset));
+}
+
+TEST(DrcSlice, HistoDebugBlockReportedButPairStaysClean) {
+  // The histo RTL observability registers are exactly what the slice rules
+  // exist to surface: the full-pair DRC must flag the stuck capture
+  // registers while the pair still gates as clean.  (The dead dbg_sum cone
+  // does NOT fire here: at the TS level it feeds a declared output — only
+  // the SEC engine, which knows which outputs are *checked*, severs it.)
+  ir::Context ctx;
+  designs::HistoSecSetup s = designs::makeHistoSecProblem(ctx);
+  const DrcReport r = drc::runDrc(*s.problem, "histo");
+  EXPECT_TRUE(r.fired(Rule::kSliceStuckAtReset));
+  EXPECT_FALSE(r.fired(Rule::kSliceDeadLogic));
+  EXPECT_TRUE(r.clean());
+}
+
+// ---------------------------------------------------------------------------
+// Rule-registry guards
+// ---------------------------------------------------------------------------
+
+TEST(DrcRuleRegistry, RuleIdsAreUnique) {
+  std::set<std::string> seen;
+  for (const Rule rule : drc::allRules()) {
+    const std::string id = drc::ruleName(rule);
+    EXPECT_FALSE(id.empty());
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate rule id: " << id;
+  }
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(drc::Rule::kRuleCount_));
+}
+
+TEST(DrcRuleRegistry, EveryRuleIsDocumentedInDesignMd) {
+  // Every stable rule id must appear in DESIGN.md's rule tables — an
+  // undocumented rule is a rule users cannot act on.  Adding an enum entry
+  // without documenting it fails here by construction.
+  std::ifstream in(std::string(DFV_SOURCE_DIR) + "/DESIGN.md");
+  ASSERT_TRUE(in.good()) << "DESIGN.md not found under " << DFV_SOURCE_DIR;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string doc = ss.str();
+  for (const Rule rule : drc::allRules())
+    EXPECT_NE(doc.find(drc::ruleName(rule)), std::string::npos)
+        << "rule id '" << drc::ruleName(rule)
+        << "' is not documented in DESIGN.md";
 }
 
 }  // namespace
