@@ -169,6 +169,7 @@ PlanReport VerificationPlan::runIncremental() {
       r.method = e.method;
       r.passed = true;
       r.skippedUnchanged = true;
+      r.attempts = 0;  // nothing ran; the default 1 would claim an attempt
       r.detail = "unchanged (" + e.lastDetail + ")";
       ++report.skipped;
       report.blocks.push_back(std::move(r));

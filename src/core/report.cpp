@@ -17,6 +17,7 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
      << ",\"blocked\":" << report.blocked
      << ",\"faulted\":" << report.faulted
      << ",\"degraded\":" << report.degraded
+     << ",\"workers\":" << report.workers
      << ",\"total_seconds\":" << report.totalSeconds
      << ",\"all_passed\":" << (report.allPassed() ? "true" : "false") << "},";
   os << "\"blocks\":[";
@@ -39,6 +40,11 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
        << ",\"slice_states_severed\":" << b.sliceStatesSevered
        << ",\"slice_seq_constants\":" << b.sliceSeqConstants
        << ",\"detail\":\"" << jsonEscape(b.detail) << "\"";
+    if (b.portfolioWinner >= 0) {
+      os << ",\"portfolio_winner\":" << b.portfolioWinner
+         << ",\"portfolio_winner_name\":\""
+         << jsonEscape(b.portfolioWinnerName) << "\"";
+    }
     if (!b.attemptLog.empty()) {
       os << ",\"attempt_log\":[";
       for (std::size_t a = 0; a < b.attemptLog.size(); ++a) {
@@ -49,7 +55,16 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
            << ",\"max_propagations\":" << rec.maxPropagations
            << ",\"outcome\":\"" << jsonEscape(rec.outcome)
            << "\",\"faulted\":" << (rec.faulted ? "true" : "false")
-           << ",\"seconds\":" << rec.seconds << "}";
+           << ",\"seconds\":" << rec.seconds;
+        if (rec.member >= 0) {
+          os << ",\"member\":" << rec.member << ",\"member_name\":\""
+             << jsonEscape(rec.memberName)
+             << "\",\"winner\":" << (rec.winner ? "true" : "false")
+             << ",\"cancelled\":" << (rec.cancelled ? "true" : "false");
+        }
+        os << ",\"sat_conflicts\":" << rec.satConflicts
+           << ",\"sat_decisions\":" << rec.satDecisions
+           << ",\"aig_nodes\":" << rec.aigNodes << "}";
       }
       os << "]";
     }

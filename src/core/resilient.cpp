@@ -24,11 +24,12 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
 /// finite cap always strictly grows so the ladder makes progress even for
 /// tiny bases.
 sat::Budget scaledBudget(const sat::Budget& base, double scale) {
+  base.validate();  // a negative base cap must fail loudly, not scale
   sat::Budget b = base;
-  auto grow = [scale](std::uint64_t cap) -> std::uint64_t {
+  auto grow = [scale](std::int64_t cap) -> std::int64_t {
     if (cap == 0) return 0;
     const double scaled = static_cast<double>(cap) * scale;
-    return std::max(cap + 1, static_cast<std::uint64_t>(scaled));
+    return std::max(cap + 1, static_cast<std::int64_t>(scaled));
   };
   b.maxConflicts = grow(base.maxConflicts);
   b.maxPropagations = grow(base.maxPropagations);
@@ -38,7 +39,7 @@ sat::Budget scaledBudget(const sat::Budget& base, double scale) {
 
 /// The cap worth reporting for an attempt: the larger *finite* one of the
 /// two phase budgets (zero means both phases are unlimited).
-std::uint64_t bindingCap(std::uint64_t bmc, std::uint64_t induction) {
+std::int64_t bindingCap(std::int64_t bmc, std::int64_t induction) {
   if (bmc == 0) return induction;
   if (induction == 0) return bmc;
   return std::max(bmc, induction);
@@ -67,6 +68,18 @@ sec::SecOptions attemptOptions(const sec::SecOptions& base, unsigned attempt,
   opts.bmcBudget = scaledBudget(base.bmcBudget, cumulative);
   opts.inductionBudget = scaledBudget(base.inductionBudget, cumulative);
   return opts;
+}
+
+/// Copies the replay-fingerprint telemetry of one attempt's SecStats into
+/// its AttemptRecord.  Each attempt runs a fresh engine, so these are the
+/// attempt's own costs — disjoint across rungs, never cumulative.
+void recordSecTelemetry(AttemptRecord& rec, const sec::SecStats& s) {
+  rec.satConflicts = s.satConflicts;
+  rec.satDecisions = s.satDecisions;
+  std::uint64_t props = s.induction.propagations;
+  for (const sec::PhaseStats& p : s.bmcTransactions) props += p.propagations;
+  rec.satPropagations = props;
+  rec.aigNodes = s.aigNodes;
 }
 
 void tally(PlanReport& report, const BlockResult& r) {
@@ -141,6 +154,10 @@ BlockResult ResilientRunner::runEntry(Entry& e) {
   const fault::Injector* inj = fault::currentInjector();
   const std::uint64_t injectionsBefore =
       inj != nullptr ? inj->totalInjections() : 0;
+  // Firings inside portfolio member tasks land on the members' own injector
+  // clones, invisible to this thread's counter; the winner's are added back
+  // so the block's reported count covers the run that produced its verdict.
+  std::uint64_t portfolioInjections = 0;
 
   if (e.method == Method::kCosim) {
     AttemptRecord rec;
@@ -160,45 +177,106 @@ BlockResult ResilientRunner::runEntry(Entry& e) {
     r.attemptLog.push_back(std::move(rec));
     r.attempts = 1;
   } else {
+    const bool racing =
+        exec_ != nullptr && portfolioEnabled_ && portfolio_.members > 1;
     const unsigned maxAttempts = std::max(1u, policy_.maxAttempts);
     for (unsigned attempt = 0; attempt < maxAttempts; ++attempt) {
       const sec::SecOptions opts =
           attemptOptions(e.baseOptions, attempt, policy_);
-      AttemptRecord rec;
-      rec.rung = attempt;
-      rec.maxConflicts =
-          bindingCap(opts.bmcBudget.maxConflicts,
-                     opts.inductionBudget.maxConflicts);
-      rec.maxPropagations =
-          bindingCap(opts.bmcBudget.maxPropagations,
-                     opts.inductionBudget.maxPropagations);
-      const auto t0 = std::chrono::steady_clock::now();
       bool faultedNow = false;
       bool inductionCutOff = false;
-      try {
-        const sec::SecResult sr = e.secRunner(opts);
+      // Applies one attempt's result to the block — shared by the serial
+      // path and the portfolio winner so both report identically.
+      auto applyResult = [&](const sec::SecResult& sr) {
         r.inconclusive = sr.verdict == sec::Verdict::kInconclusive;
         r.passed = sr.verdict == sec::Verdict::kProvenEquivalent ||
                    sr.verdict == sec::Verdict::kBoundedEquivalent;
         r.detail = sec::verdictName(sr.verdict);
         if (sr.cex.has_value()) r.detail += ": " + sr.cex->summary();
-        rec.outcome = sec::verdictName(sr.verdict);
         inductionCutOff = sr.verdict == sec::Verdict::kBoundedEquivalent &&
                           sr.stats.induction.budgetExhausted;
         r.sliceStatesSevered = sr.stats.slice.slm.statesSevered +
                                sr.stats.slice.rtl.statesSevered;
         r.sliceSeqConstants = sr.stats.slice.slm.seqConstants +
                               sr.stats.slice.rtl.seqConstants;
-      } catch (const std::exception& ex) {
-        faultedNow = true;
-        r.passed = false;
-        r.inconclusive = false;
-        r.detail = std::string("faulted: ") + ex.what();
-        rec.outcome = r.detail;
-        rec.faulted = true;
+      };
+      if (!racing) {
+        AttemptRecord rec;
+        rec.rung = attempt;
+        rec.maxConflicts =
+            bindingCap(opts.bmcBudget.maxConflicts,
+                       opts.inductionBudget.maxConflicts);
+        rec.maxPropagations =
+            bindingCap(opts.bmcBudget.maxPropagations,
+                       opts.inductionBudget.maxPropagations);
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          const sec::SecResult sr = e.secRunner(opts);
+          applyResult(sr);
+          rec.outcome = sec::verdictName(sr.verdict);
+          recordSecTelemetry(rec, sr.stats);
+        } catch (const std::exception& ex) {
+          faultedNow = true;
+          r.passed = false;
+          r.inconclusive = false;
+          r.detail = std::string("faulted: ") + ex.what();
+          rec.outcome = r.detail;
+          rec.faulted = true;
+        }
+        rec.seconds = secondsSince(t0);
+        r.attemptLog.push_back(std::move(rec));
+      } else {
+        const std::vector<PortfolioMember> members =
+            buildPortfolio(opts, portfolio_);
+        const PortfolioOutcome out =
+            racePortfolio(*exec_, members, e.secRunner);
+        for (std::size_t j = 0; j < out.attempts.size(); ++j) {
+          const MemberAttempt& a = out.attempts[j];
+          AttemptRecord rec;
+          rec.rung = attempt;
+          const sec::SecOptions& mo = members[j].options;
+          rec.maxConflicts = bindingCap(mo.bmcBudget.maxConflicts,
+                                        mo.inductionBudget.maxConflicts);
+          rec.maxPropagations =
+              bindingCap(mo.bmcBudget.maxPropagations,
+                         mo.inductionBudget.maxPropagations);
+          rec.member = static_cast<int>(j);
+          rec.memberName = a.name;
+          rec.winner = out.winner == static_cast<int>(j);
+          rec.cancelled = a.cancelled;
+          rec.seconds = a.seconds;
+          if (a.faulted) {
+            rec.outcome = "faulted: " + a.error;
+            rec.faulted = true;
+          } else {
+            rec.outcome = sec::verdictName(a.result.verdict);
+            // Loser telemetry describes a cancelled run and varies with
+            // scheduling; only the winner's row is a replay fingerprint.
+            recordSecTelemetry(rec, a.result.stats);
+          }
+          r.attemptLog.push_back(std::move(rec));
+        }
+        if (out.winner >= 0) {
+          const MemberAttempt& w =
+              out.attempts[static_cast<std::size_t>(out.winner)];
+          applyResult(w.result);
+          r.portfolioWinner = out.winner;
+          r.portfolioWinnerName = w.name;
+          portfolioInjections += w.faultInjections;
+        } else if (out.attempts[0].faulted) {
+          // No member was decisive and the base member crashed: report the
+          // base member's fault (a deterministic choice — every member saw
+          // the same injection schedule, so "member 0 faulted" is stable).
+          faultedNow = true;
+          r.passed = false;
+          r.inconclusive = false;
+          r.detail = "faulted: " + out.attempts[0].error;
+          portfolioInjections += out.attempts[0].faultInjections;
+        } else {
+          applyResult(out.attempts[0].result);
+          portfolioInjections += out.attempts[0].faultInjections;
+        }
       }
-      rec.seconds = secondsSince(t0);
-      r.attemptLog.push_back(std::move(rec));
       r.attempts = attempt + 1;
       // Exceptions abort the ladder — a crash will not get better with a
       // bigger budget.  kInconclusive always earns another rung; a bounded
@@ -239,7 +317,8 @@ BlockResult ResilientRunner::runEntry(Entry& e) {
 
   r.seconds = secondsSince(start);
   r.faultInjections =
-      (inj != nullptr ? inj->totalInjections() : 0) - injectionsBefore;
+      (inj != nullptr ? inj->totalInjections() : 0) - injectionsBefore +
+      portfolioInjections;
   // Only a clean, full-strength pass is cacheable.  A degraded pass is
   // weaker evidence and a faulted run is no evidence: both must rerun on
   // the next incremental pass even with an unchanged digest.
@@ -252,20 +331,26 @@ BlockResult ResilientRunner::runEntry(Entry& e) {
   return r;
 }
 
-PlanReport ResilientRunner::runAll() {
-  PlanReport report;
-  for (Entry& e : blocks_) {
-    BlockResult r = runEntry(e);
-    tally(report, r);
-    report.blocks.push_back(std::move(r));
-  }
-  return report;
-}
+PlanReport ResilientRunner::runAll() { return run(/*incremental=*/false); }
 
 PlanReport ResilientRunner::runIncremental() {
+  return run(/*incremental=*/true);
+}
+
+PlanReport ResilientRunner::run(bool incremental) {
   PlanReport report;
-  for (Entry& e : blocks_) {
-    if (e.lastCleanDigest.has_value() && *e.lastCleanDigest == e.digest) {
+  report.workers = exec_ != nullptr ? std::max(1u, exec_->workers()) : 1;
+  // Skip decisions read only each entry's own cached digest, and a run
+  // mutates only its own entry's cache, so deciding every skip up front is
+  // equivalent to the interleaved serial order — and it keeps the parallel
+  // path from racing on the cache.
+  std::vector<BlockResult> results(blocks_.size());
+  std::vector<char> skip(blocks_.size(), 0);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    Entry& e = blocks_[i];
+    if (incremental && e.lastCleanDigest.has_value() &&
+        *e.lastCleanDigest == e.digest) {
+      skip[i] = 1;
       BlockResult r;
       r.block = e.block;
       r.method = e.method;
@@ -273,13 +358,35 @@ PlanReport ResilientRunner::runIncremental() {
       r.skippedUnchanged = true;
       r.attempts = 0;
       r.detail = "unchanged (" + e.lastDetail + ")";
-      ++report.skipped;
-      report.blocks.push_back(std::move(r));
-      continue;
+      results[i] = std::move(r);
     }
-    BlockResult r = runEntry(e);
-    tally(report, r);
-    report.blocks.push_back(std::move(r));
+  }
+  if (exec_ == nullptr) {
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+      if (skip[i] == 0) results[i] = runEntry(blocks_[i]);
+  } else {
+    // Each block task clones the calling thread's injector, so a block's
+    // (seed, site, hit) stream is its own no matter which worker runs it —
+    // two parallel runs inject identically, though differently from a
+    // serial run's single shared stream (see fault/fault.h).
+    const fault::Injector* proto = fault::currentInjector();
+    ParallelExecutor::TaskGroup group;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      if (skip[i] != 0) continue;
+      exec_->submit(group, [this, i, proto, &results] {
+        std::optional<fault::ScopedInjector> si;
+        if (proto != nullptr) si.emplace(*proto);
+        results[i] = runEntry(blocks_[i]);
+      });
+    }
+    exec_->wait(group);
+  }
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (skip[i] != 0)
+      ++report.skipped;
+    else
+      tally(report, results[i]);
+    report.blocks.push_back(std::move(results[i]));
   }
   return report;
 }

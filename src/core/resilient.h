@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/plan.h"
 #include "sec/engine.h"
 #include "sec/transaction.h"
@@ -99,6 +100,26 @@ class ResilientRunner {
   /// Updates a block's digest (models edited).  Unknown block throws.
   void touch(const std::string& block, std::uint64_t newDigest);
 
+  /// Runs independent blocks concurrently on `exec` (borrowed; must outlive
+  /// every run; nullptr restores serial execution).  Each block task
+  /// installs a fresh clone of the calling thread's fault injector, so a
+  /// block's injection schedule is the same whatever worker runs it — note
+  /// this intentionally differs from a serial run, where all blocks share
+  /// one hit stream.  Reports keep registration order and record the
+  /// worker count; block runners must not share mutable state with each
+  /// other (ir::Context interning is already thread-safe).
+  void setExecutor(ParallelExecutor* exec) { exec_ = exec; }
+
+  /// Enables portfolio racing for SEC blocks: every ladder attempt builds
+  /// buildPortfolio(attemptOptions, opts) and races the members on the
+  /// executor, recording one AttemptRecord per member and the winner in
+  /// BlockResult::portfolioWinner.  Requires a non-null executor to take
+  /// effect; members <= 1 disables racing.
+  void setPortfolio(PortfolioOptions opts) {
+    portfolio_ = opts;
+    portfolioEnabled_ = true;
+  }
+
   /// Verifies every block unconditionally.  Never throws for runner
   /// failures — they surface as faulted BlockResults.
   PlanReport runAll();
@@ -125,11 +146,15 @@ class ResilientRunner {
   };
 
   BlockResult runEntry(Entry& e);
+  PlanReport run(bool incremental);
   Entry& find(const std::string& block);
 
   std::string name_;
   RetryPolicy policy_;
   std::vector<Entry> blocks_;
+  ParallelExecutor* exec_ = nullptr;  ///< borrowed; nullptr = serial
+  PortfolioOptions portfolio_{};
+  bool portfolioEnabled_ = false;
 };
 
 /// Builds a degradation fallback from the SEC problem itself: drives

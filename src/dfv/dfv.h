@@ -32,6 +32,7 @@
 #include "aig/fraig.h"              // IWYU pragma: export
 #include "bitvec/bitvector.h"       // IWYU pragma: export
 #include "bitvec/hdl_int.h"         // IWYU pragma: export
+#include "core/parallel.h"          // IWYU pragma: export
 #include "core/plan.h"              // IWYU pragma: export
 #include "core/report.h"            // IWYU pragma: export
 #include "core/resilient.h"         // IWYU pragma: export

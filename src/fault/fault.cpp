@@ -14,7 +14,9 @@ std::uint64_t mix(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-Injector* g_injector = nullptr;
+// Thread-local so concurrent workers each run their own injector (or none):
+// installation on one thread is invisible to every other thread.
+thread_local Injector* g_injector = nullptr;
 
 }  // namespace
 
@@ -97,10 +99,25 @@ std::uint64_t Injector::totalInjections() const {
   return total;
 }
 
+Injector Injector::armedCopy() const {
+  Injector copy(seed_);
+  copy.sites_ = sites_;
+  for (SiteState& s : copy.sites_) {
+    s.hits = 0;
+    s.injections = 0;
+  }
+  return copy;
+}
+
 Injector* currentInjector() { return g_injector; }
 
 ScopedInjector::ScopedInjector(std::uint64_t seed)
     : injector_(seed), prev_(g_injector) {
+  g_injector = &injector_;
+}
+
+ScopedInjector::ScopedInjector(const Injector& proto)
+    : injector_(proto.armedCopy()), prev_(g_injector) {
   g_injector = &injector_;
 }
 

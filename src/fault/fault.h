@@ -84,6 +84,12 @@ class Injector {
   std::uint64_t totalInjections() const;
   std::uint64_t seed() const { return seed_; }
 
+  /// A copy of this injector's seed and arming with all hit/injection
+  /// counters reset to zero — the per-worker clone the parallel executor
+  /// installs so each block observes its own fresh (seed, site, hit)
+  /// stream regardless of how blocks are scheduled across threads.
+  Injector armedCopy() const;
+
  private:
   struct SiteState {
     Policy policy = Policy::kNone;
@@ -109,15 +115,26 @@ class Injector {
   std::array<SiteState, kNumSites> sites_{};
 };
 
-/// The process-wide injector, or nullptr when fault injection is off (the
-/// default; DFV is single-threaded by design, so a plain pointer suffices).
+/// The current thread's injector, or nullptr when fault injection is off
+/// (the default).  The registry is thread_local: each ParallelExecutor
+/// worker sees only the injector its own task installed, so counters are
+/// never shared across threads and the pure (seed, site, hit) firing
+/// contract holds per worker with no atomics on the hot path.  On a
+/// single-threaded run this behaves exactly as the old process-global
+/// pointer did.
 Injector* currentInjector();
 
-/// RAII installation: sites fire only while a ScopedInjector is alive.
-/// Nesting installs the inner one and restores the outer on destruction.
+/// RAII installation: sites fire only while a ScopedInjector is alive on
+/// the *installing thread*.  Nesting installs the inner one and restores
+/// the outer on destruction.  The proto-copy constructor is how parallel
+/// block tasks inherit the arming a test or bench configured on the main
+/// thread: counters restart at zero, so every block replays the same
+/// deterministic injection schedule no matter which worker runs it.
 class ScopedInjector {
  public:
   explicit ScopedInjector(std::uint64_t seed = 0);
+  /// Installs `proto.armedCopy()` (same seed/arming, fresh counters).
+  explicit ScopedInjector(const Injector& proto);
   ScopedInjector(const ScopedInjector&) = delete;
   ScopedInjector& operator=(const ScopedInjector&) = delete;
   ~ScopedInjector();

@@ -59,6 +59,7 @@ std::size_t Context::KeyHash::operator()(const Key& k) const {
 NodeRef Context::intern(std::unique_ptr<Node> n) {
   Key key{n->op_, n->type_, n->operands_, n->constVal_, n->name_, n->attr0_,
           n->attr1_};
+  std::scoped_lock lock(mu_);
   auto it = interned_.find(key);
   if (it != interned_.end()) return it->second;
   n->id_ = nodes_.size();
@@ -77,35 +78,51 @@ NodeRef Context::constant(const bv::BitVector& v) {
 }
 
 NodeRef Context::input(const std::string& name, Type type) {
-  auto it = inputs_.find(name);
-  if (it != inputs_.end()) {
-    DFV_CHECK_MSG(it->second->type() == type,
-                  "input '" << name << "' redeclared with different sort");
-    return it->second;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = inputs_.find(name);
+    if (it != inputs_.end()) {
+      DFV_CHECK_MSG(it->second->type() == type,
+                    "input '" << name << "' redeclared with different sort");
+      return it->second;
+    }
   }
   auto n = std::unique_ptr<Node>(new Node());
   n->op_ = Op::kInput;
   n->type_ = type;
   n->name_ = name;
+  // intern() takes the lock itself; a racing declaration of the same name
+  // dedups to the same node, so re-locking to publish is race-safe.  The
+  // sort check re-runs on the emplace winner so a concurrent redeclaration
+  // with a different sort still throws.
   NodeRef ref = intern(std::move(n));
-  inputs_.emplace(name, ref);
-  return ref;
+  std::scoped_lock lock(mu_);
+  auto it = inputs_.emplace(name, ref).first;
+  DFV_CHECK_MSG(it->second->type() == type,
+                "input '" << name << "' redeclared with different sort");
+  return it->second;
 }
 
 NodeRef Context::state(const std::string& name, Type type) {
-  auto it = states_.find(name);
-  if (it != states_.end()) {
-    DFV_CHECK_MSG(it->second->type() == type,
-                  "state '" << name << "' redeclared with different sort");
-    return it->second;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = states_.find(name);
+    if (it != states_.end()) {
+      DFV_CHECK_MSG(it->second->type() == type,
+                    "state '" << name << "' redeclared with different sort");
+      return it->second;
+    }
   }
   auto n = std::unique_ptr<Node>(new Node());
   n->op_ = Op::kState;
   n->type_ = type;
   n->name_ = name;
   NodeRef ref = intern(std::move(n));
-  states_.emplace(name, ref);
-  return ref;
+  std::scoped_lock lock(mu_);
+  auto it = states_.emplace(name, ref).first;
+  DFV_CHECK_MSG(it->second->type() == type,
+                "state '" << name << "' redeclared with different sort");
+  return it->second;
 }
 
 namespace {

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -122,6 +123,16 @@ using NodeRef = const Node*;
 /// All builder methods validate operand sorts and throw CheckError on misuse.
 /// Light constant folding and identity simplification run on construction so
 /// downstream passes see canonical graphs.
+///
+/// Thread safety: node construction is serialized on an internal mutex, so
+/// concurrent builders (portfolio members racing over one SecProblem, each
+/// re-deriving slice/absint rewrites) may share a Context.  Nodes are
+/// immutable once published, so reads (operands(), constValue(), ...) are
+/// lock-free.  Hash-consing keeps determinism: when two threads build the
+/// same expression, the first intern wins and both observe the same
+/// NodeRef, and because every racer builds nodes in the same program
+/// order, the relative ids of any two nodes — all that operand
+/// canonicalization consults — match the single-threaded order.
 class Context {
  public:
   Context() = default;
@@ -202,7 +213,10 @@ class Context {
   NodeRef arrayRead(NodeRef array, NodeRef index);
   NodeRef arrayWrite(NodeRef array, NodeRef index, NodeRef value);
 
-  std::size_t nodeCount() const { return nodes_.size(); }
+  std::size_t nodeCount() const {
+    std::scoped_lock lock(mu_);
+    return nodes_.size();
+  }
 
  private:
   NodeRef unary(Op op, NodeRef a);
@@ -227,6 +241,7 @@ class Context {
     std::size_t operator()(const Key& k) const;
   };
 
+  mutable std::mutex mu_;  // guards the four containers below
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<Key, NodeRef, KeyHash> interned_;
   std::unordered_map<std::string, NodeRef> inputs_;

@@ -26,9 +26,25 @@ double luby(double y, int x) {
   }
   return std::pow(y, seq);
 }
+
+/// splitmix64: the per-instance deterministic stream behind SolverOptions::
+/// seed.  Stateless (mixes seed ^ counter), so variable allocation order is
+/// the only input — never the wall clock or a shared RNG.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 Solver::Solver() = default;
+
+Solver::Solver(const SolverOptions& options) : options_(options) {
+  DFV_CHECK_MSG(options.restartBase > 0, "restartBase must be positive");
+  DFV_CHECK_MSG(options.geometricGrowth >= 1.0,
+                "geometricGrowth must be >= 1.0");
+}
 
 Solver::~Solver() {
   for (Clause* c : clauses_) delete c;
@@ -38,10 +54,21 @@ Solver::~Solver() {
 Var Solver::newVar() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::kUndef);
-  phase_.push_back(LBool::kFalse);
+  // Seeded portfolio diversification: initial phase bits and a sub-unit
+  // activity jitter (ties in the VSIDS heap break differently per seed;
+  // real bumps are >= 1.0 so the jitter never outranks learned activity).
+  const std::uint64_t r =
+      options_.seed == 0
+          ? 0
+          : mix64(options_.seed ^ static_cast<std::uint64_t>(v));
+  phase_.push_back(options_.seed != 0 && (r & 1) != 0 ? LBool::kTrue
+                                                      : LBool::kFalse);
   levels_.push_back(0);
   reasons_.push_back(nullptr);
-  activity_.push_back(0.0);
+  activity_.push_back(
+      options_.seed == 0
+          ? 0.0
+          : 1e-9 * static_cast<double>((r >> 1) & 0xffffffULL));
   seen_.push_back(0);
   heapPos_.push_back(-1);
   watches_.emplace_back();  // positive literal
@@ -296,7 +323,7 @@ void Solver::backtrackTo(int lvl) {
   const std::size_t bound = trailLimits_[static_cast<std::size_t>(lvl)];
   for (std::size_t i = trail_.size(); i-- > bound;) {
     const auto v = static_cast<std::size_t>(trail_[i].var());
-    phase_[v] = assigns_[v];  // phase saving
+    if (options_.phaseSaving) phase_[v] = assigns_[v];  // phase saving
     assigns_[v] = LBool::kUndef;
     reasons_[v] = nullptr;
     if (!heapContains(trail_[i].var())) heapInsert(trail_[i].var());
@@ -371,6 +398,7 @@ void Solver::reduceDb() {
 
 Result Solver::solve(const std::vector<Lit>& assumptions,
                      const Budget& budget) {
+  budget.validate();
   conflict_.clear();
   model_.clear();
   // Fault-injection site: every solve call passes through here, so armed
@@ -403,11 +431,14 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
   const auto wallStart = std::chrono::steady_clock::now();
   std::uint32_t budgetTick = 0;
   auto budgetExpired = [&]() -> bool {
+    if (budget.cancelled()) return true;
     if (budget.maxConflicts != 0 &&
-        stats_.conflicts - conflicts0 >= budget.maxConflicts)
+        stats_.conflicts - conflicts0 >=
+            static_cast<std::uint64_t>(budget.maxConflicts))
       return true;
     if (budget.maxPropagations != 0 &&
-        stats_.propagations - propagations0 >= budget.maxPropagations)
+        stats_.propagations - propagations0 >=
+            static_cast<std::uint64_t>(budget.maxPropagations))
       return true;
     if (budget.maxSeconds > 0.0 && (++budgetTick & 63u) == 0) {
       const double elapsed =
@@ -419,9 +450,15 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
     return false;
   };
 
+  auto restartLimit = [this](int n) -> std::uint64_t {
+    const double base = static_cast<double>(options_.restartBase);
+    if (options_.restartPolicy == RestartPolicy::kGeometric)
+      return static_cast<std::uint64_t>(
+          base * std::pow(options_.geometricGrowth, n));
+    return static_cast<std::uint64_t>(luby(2.0, n) * base);
+  };
   int restartCount = 0;
-  std::uint64_t conflictBudget =
-      static_cast<std::uint64_t>(luby(2.0, restartCount) * 100.0);
+  std::uint64_t conflictBudget = restartLimit(restartCount);
   std::uint64_t conflictsThisRestart = 0;
   std::size_t maxLearnts = clauses_.size() / 3 + 1000;
 
@@ -467,8 +504,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions,
       ++stats_.restarts;
       ++restartCount;
       conflictsThisRestart = 0;
-      conflictBudget =
-          static_cast<std::uint64_t>(luby(2.0, restartCount) * 100.0);
+      conflictBudget = restartLimit(restartCount);
       backtrackTo(0);
       continue;
     }

@@ -738,5 +738,95 @@ TEST(DrcRuleRegistry, EveryRuleIsDocumentedInDesignMd) {
         << "' is not documented in DESIGN.md";
 }
 
+// ----- jsonEscape -----------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON string-body decoder (the reverse of drc::jsonEscape): enough
+/// to round-trip what the escaper may legally emit — short escapes, \uXXXX
+/// for control characters and U+FFFD, and raw UTF-8 passthrough.
+std::string jsonUnescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size();) {
+    if (s[i] != '\\') {
+      out += s[i++];
+      continue;
+    }
+    DFV_CHECK(i + 1 < s.size());
+    const char e = s[i + 1];
+    i += 2;
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        DFV_CHECK(i + 4 <= s.size());
+        const unsigned cp =
+            static_cast<unsigned>(std::stoul(s.substr(i, 4), nullptr, 16));
+        i += 4;
+        if (cp < 0x80) {
+          out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          out += static_cast<char>(0xc0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+          out += static_cast<char>(0xe0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+          out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+        break;
+      }
+      default: DFV_CHECK_MSG(false, "unexpected escape");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(JsonEscape, RoundTripsEveryByteTheEscaperEmits) {
+  // Control characters get their short forms (or \uXXXX), quotes and
+  // backslashes are escaped, and the result decodes back to the input.
+  const std::string all =
+      "plain text \"quoted\" back\\slash \b\f\n\r\t and \x01\x02\x1f bytes";
+  EXPECT_EQ(jsonUnescape(drc::jsonEscape(all)), all);
+  // Every control byte individually.
+  for (unsigned c = 1; c < 0x20; ++c) {
+    const std::string one(1, static_cast<char>(c));
+    const std::string esc = drc::jsonEscape(one);
+    EXPECT_EQ(esc.substr(0, 1), "\\") << c;  // never emitted raw
+    EXPECT_EQ(jsonUnescape(esc), one) << c;
+  }
+  // The short forms are preferred over \uXXXX (smaller, more readable).
+  EXPECT_EQ(drc::jsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(drc::jsonEscape(std::string(1, '\x0b')), "\\u000b");
+}
+
+TEST(JsonEscape, ValidUtf8PassesThroughUnchanged) {
+  // 2-, 3- and 4-byte sequences: µ (U+00B5), € (U+20AC), 𐍈 (U+10348).
+  const std::string utf8 = "\xc2\xb5 \xe2\x82\xac \xf0\x90\x8d\x88";
+  EXPECT_EQ(drc::jsonEscape(utf8), utf8);
+}
+
+TEST(JsonEscape, IllFormedUtf8BecomesReplacementCharacter) {
+  // Diagnostics can quote raw design bytes; the escaper must still emit a
+  // document JSON parsers accept.  Each bad byte becomes U+FFFD.
+  const std::string fffd = "\\ufffd";
+  EXPECT_EQ(drc::jsonEscape("\x80"), fffd);          // bare continuation
+  EXPECT_EQ(drc::jsonEscape("\xc0\xaf"), fffd + fffd);  // overlong lead
+  EXPECT_EQ(drc::jsonEscape("\xff"), fffd);          // never-valid byte
+  EXPECT_EQ(drc::jsonEscape("\xe2\x82"), fffd + fffd);  // truncated 3-byte
+  EXPECT_EQ(drc::jsonEscape("\xed\xa0\x80"),         // UTF-16 surrogate
+            fffd + fffd + fffd);
+  EXPECT_EQ(drc::jsonEscape("\xf4\x90\x80\x80"),     // above U+10FFFF
+            fffd + fffd + fffd + fffd);
+  // A bad byte embedded in good text corrupts only itself.
+  EXPECT_EQ(drc::jsonEscape("ok\x80ok"), "ok" + fffd + "ok");
+}
+
 }  // namespace
 }  // namespace dfv

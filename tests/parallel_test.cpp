@@ -1,0 +1,557 @@
+// Tests for core::ParallelExecutor, portfolio racing and depth-split
+// parallel BMC: executor mechanics (helping wait, exception poisoning),
+// deterministic portfolio construction, serial/parallel verdict parity,
+// the replay contract (re-running the recorded winner single-threaded is
+// bit-identical), fault-injection determinism per worker, and incremental
+// cache safety under the executor.
+
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/resilient.h"
+#include "fault/fault.h"
+#include "ir/expr.h"
+#include "sec/engine.h"
+
+namespace dfv::core {
+namespace {
+
+// ----- Executor mechanics ---------------------------------------------------
+
+TEST(ParallelExecutor, RunsEverySubmittedTask) {
+  ParallelExecutor exec(4);
+  EXPECT_EQ(exec.workers(), 4u);
+  std::atomic<int> sum{0};
+  ParallelExecutor::TaskGroup group;
+  for (int i = 1; i <= 100; ++i)
+    exec.submit(group, [&sum, i] { sum.fetch_add(i); });
+  exec.wait(group);
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ParallelExecutor, GroupIsReusableAfterDraining) {
+  ParallelExecutor exec(2);
+  ParallelExecutor::TaskGroup group;
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i)
+      exec.submit(group, [&count] { count.fetch_add(1); });
+    exec.wait(group);
+  }
+  EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ParallelExecutor, NestedSpawnAndWaitDoesNotDeadlock) {
+  // One worker, tasks that spawn subtasks and wait on them: without the
+  // helping wait, the single worker would block inside the outer task and
+  // the subtasks could never run.
+  ParallelExecutor exec(1);
+  std::atomic<int> leaves{0};
+  ParallelExecutor::TaskGroup outer;
+  for (int i = 0; i < 4; ++i) {
+    exec.submit(outer, [&] {
+      ParallelExecutor::TaskGroup inner;
+      for (int j = 0; j < 4; ++j)
+        exec.submit(inner, [&leaves] { leaves.fetch_add(1); });
+      exec.wait(inner);
+    });
+  }
+  exec.wait(outer);
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ParallelExecutor, TaskExceptionPoisonsItsGroup) {
+  ParallelExecutor exec(2);
+  ParallelExecutor::TaskGroup group;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    exec.submit(group, [&ran, i] {
+      ran.fetch_add(1);
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  EXPECT_THROW(exec.wait(group), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the group still drained fully
+  // The executor itself is unharmed.
+  ParallelExecutor::TaskGroup again;
+  exec.submit(again, [] {});
+  exec.wait(again);
+}
+
+// ----- SEC fixtures ---------------------------------------------------------
+
+/// Stateful pair proven equivalent only through induction with a coupling
+/// invariant (the checksum fixture from sec_test.cpp): the interesting case
+/// for portfolio racing because both BMC and induction solves run.
+struct ChecksumFixture {
+  ir::Context ctx;
+  ir::TransitionSystem slm{ctx, "slm"};
+  ir::TransitionSystem rtl{ctx, "rtl"};
+  std::unique_ptr<sec::SecProblem> problem;
+
+  ChecksumFixture() {
+    ir::NodeRef sx = slm.addInput("s.x", 8);
+    ir::NodeRef scsum = slm.addState("s.csum", 8, 0);
+    slm.setNext(scsum, ctx.add(scsum, sx));
+    slm.addOutput("csum", ctx.add(scsum, sx));
+
+    ir::NodeRef rx = rtl.addInput("r.x", 8);
+    ir::NodeRef rcsum = rtl.addState("r.csum", 8, 0);
+    rtl.setNext(rcsum, ctx.add(rcsum, ctx.bitXor(rx, ctx.zero(8))));
+    rtl.addOutput("csum", ctx.add(rcsum, rx));
+
+    problem = std::make_unique<sec::SecProblem>(ctx, slm, 1, rtl, 1);
+    ir::NodeRef v = problem->declareTxnVar("x", 8);
+    problem->bindInput(sec::Side::kSlm, "s.x", 0, v);
+    problem->bindInput(sec::Side::kRtl, "r.x", 0, v);
+    problem->checkOutputs("csum", 0, "csum", 0);
+    problem->addCouplingInvariant(ctx.eq(slm.findState("s.csum")->current,
+                                         rtl.findState("r.csum")->current));
+  }
+};
+
+/// Sides agree on transaction 0 and diverge from transaction 1 on — the
+/// later-depth counterexample fixture (sec_test.cpp), used to check the
+/// depth-split merge returns the lowest failing depth.
+struct LateCexFixture {
+  ir::Context ctx;
+  ir::TransitionSystem slm{ctx, "slm"};
+  ir::TransitionSystem rtl{ctx, "rtl"};
+  std::unique_ptr<sec::SecProblem> problem;
+
+  LateCexFixture() {
+    ir::NodeRef sx = slm.addInput("s.x", 4);
+    ir::NodeRef scnt = slm.addState("s.cnt", 4, 0);
+    slm.setNext(scnt, ctx.add(scnt, ctx.one(4)));
+    slm.addOutput("y", ctx.mul(scnt, sx));
+
+    ir::NodeRef rx = rtl.addInput("r.x", 4);
+    ir::NodeRef rcnt = rtl.addState("r.cnt", 4, 0);
+    rtl.setNext(rcnt, ctx.add(rcnt, ctx.one(4)));
+    rtl.addOutput("y", ctx.mul(rcnt, ctx.add(rx, rcnt)));
+
+    problem = std::make_unique<sec::SecProblem>(ctx, slm, 1, rtl, 1);
+    ir::NodeRef v = problem->declareTxnVar("x", 4);
+    problem->bindInput(sec::Side::kSlm, "s.x", 0, v);
+    problem->bindInput(sec::Side::kRtl, "r.x", 0, v);
+    problem->checkOutputs("y", 0, "y", 0);
+  }
+};
+
+/// (a+b)+c vs a+(b+c) in 9 bits (sec_test.cpp's regrouped-add shape): the
+/// miter does not collapse by strashing, so with fraig off every BMC solve
+/// is a real SAT search — the shape that can actually exhaust a budget.
+struct RegroupedAddFixture {
+  ir::Context ctx;
+  ir::TransitionSystem slm{ctx, "slm"};
+  ir::TransitionSystem rtl{ctx, "rtl"};
+  std::unique_ptr<sec::SecProblem> problem;
+
+  RegroupedAddFixture() {
+    ir::NodeRef a = slm.addInput("s.a", 9);
+    ir::NodeRef b = slm.addInput("s.b", 9);
+    ir::NodeRef c = slm.addInput("s.c", 9);
+    slm.addOutput("out", ctx.add(ctx.add(a, b), c));
+    ir::NodeRef ra = rtl.addInput("r.a", 9);
+    ir::NodeRef rb = rtl.addInput("r.b", 9);
+    ir::NodeRef rc = rtl.addInput("r.c", 9);
+    rtl.addOutput("out", ctx.add(ra, ctx.add(rb, rc)));
+    problem = std::make_unique<sec::SecProblem>(ctx, slm, 1, rtl, 1);
+    for (const char* n : {"a", "b", "c"}) {
+      ir::NodeRef v = problem->declareTxnVar(n, 9);
+      problem->bindInput(sec::Side::kSlm, std::string("s.") + n, 0, v);
+      problem->bindInput(sec::Side::kRtl, std::string("r.") + n, 0, v);
+    }
+    problem->checkOutputs("out", 0, "out", 0);
+  }
+};
+
+// ----- Portfolio construction ----------------------------------------------
+
+TEST(Portfolio, BuildIsDeterministicAndDiversified) {
+  sec::SecOptions base;
+  base.boundTransactions = 3;
+  PortfolioOptions popts;
+  popts.members = 6;
+  popts.varyFraig = true;
+  const auto a = buildPortfolio(base, popts);
+  const auto b = buildPortfolio(base, popts);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a[0].name, "base");
+  EXPECT_EQ(a[0].options.solver.seed, base.solver.seed);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name) << i;
+    EXPECT_EQ(a[i].options.solver.seed, b[i].options.solver.seed) << i;
+    EXPECT_EQ(a[i].options.solver.phaseSaving,
+              b[i].options.solver.phaseSaving)
+        << i;
+    EXPECT_EQ(a[i].options.solver.restartPolicy,
+              b[i].options.solver.restartPolicy)
+        << i;
+    EXPECT_EQ(a[i].options.fraig, b[i].options.fraig) << i;
+    // No member carries a cancel flag out of buildPortfolio.
+    EXPECT_EQ(a[i].options.bmcBudget.cancel, nullptr) << i;
+  }
+  // Members 1.. differ from the base in at least the solver seed.
+  for (std::size_t i = 1; i < a.size(); ++i)
+    EXPECT_NE(a[i].options.solver.seed, base.solver.seed) << i;
+  // The tweak cycle reaches each varied heuristic somewhere.
+  bool sawGeometric = false, sawNoPhase = false, sawFraigToggle = false;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    sawGeometric |=
+        a[i].options.solver.restartPolicy == sat::RestartPolicy::kGeometric;
+    sawNoPhase |= !a[i].options.solver.phaseSaving;
+    sawFraigToggle |= a[i].options.fraig != base.fraig;
+  }
+  EXPECT_TRUE(sawGeometric);
+  EXPECT_TRUE(sawNoPhase);
+  EXPECT_TRUE(sawFraigToggle);
+}
+
+// ----- The replay contract (acceptance criterion) ---------------------------
+
+TEST(Portfolio, WinnerReplaysBitIdenticalOnOneThread) {
+  ChecksumFixture f;
+  sec::SecOptions base;
+  base.boundTransactions = 3;
+  PortfolioOptions popts;
+  popts.members = 4;
+  const auto members = buildPortfolio(base, popts);
+  ParallelExecutor exec(4);
+  const PortfolioOutcome out = racePortfolio(
+      exec, members,
+      [&](const sec::SecOptions& o) { return checkEquivalence(*f.problem, o); });
+  ASSERT_GE(out.winner, 0);
+  const MemberAttempt& w = out.attempts[static_cast<std::size_t>(out.winner)];
+  EXPECT_EQ(w.result.verdict, sec::Verdict::kProvenEquivalent);
+
+  // Replay: same member options, one thread, no cancel flag.  The verdict
+  // AND the solver statistics must reproduce bit-for-bit — that is what
+  // makes a parallel verdict auditable after the fact.
+  const sec::SecResult replay = sec::checkEquivalence(
+      *f.problem, members[static_cast<std::size_t>(out.winner)].options);
+  EXPECT_EQ(replay.verdict, w.result.verdict);
+  EXPECT_EQ(replay.stats.satConflicts, w.result.stats.satConflicts);
+  EXPECT_EQ(replay.stats.satDecisions, w.result.stats.satDecisions);
+  EXPECT_EQ(replay.stats.aigNodes, w.result.stats.aigNodes);
+  EXPECT_EQ(replay.stats.bmcAigNodes, w.result.stats.bmcAigNodes);
+  EXPECT_EQ(replay.stats.inductionAigNodes, w.result.stats.inductionAigNodes);
+  EXPECT_EQ(replay.stats.transactionsChecked,
+            w.result.stats.transactionsChecked);
+  EXPECT_EQ(replay.stats.inductionClosed, w.result.stats.inductionClosed);
+  EXPECT_EQ(replay.stats.fraigSatCalls, w.result.stats.fraigSatCalls);
+}
+
+TEST(Portfolio, AllMembersInconclusiveMeansNoWinner) {
+  ParallelExecutor exec(2);
+  sec::SecOptions base;
+  PortfolioOptions popts;
+  popts.members = 3;
+  const auto members = buildPortfolio(base, popts);
+  const PortfolioOutcome out =
+      racePortfolio(exec, members, [](const sec::SecOptions&) {
+        sec::SecResult r;
+        r.verdict = sec::Verdict::kInconclusive;
+        return r;
+      });
+  EXPECT_EQ(out.winner, -1);
+  ASSERT_EQ(out.attempts.size(), 3u);
+  for (const MemberAttempt& a : out.attempts) {
+    EXPECT_FALSE(a.faulted);
+    EXPECT_EQ(a.result.verdict, sec::Verdict::kInconclusive);
+  }
+}
+
+// ----- Depth-split parallel BMC ---------------------------------------------
+
+TEST(BmcParallel, ProvenFixtureMatchesSerialEngine) {
+  ChecksumFixture f;
+  sec::SecOptions opts;
+  opts.boundTransactions = 4;
+  const sec::SecResult serial = sec::checkEquivalence(*f.problem, opts);
+  ParallelExecutor exec(4);
+  const sec::SecResult par = checkBmcParallel(exec, *f.problem, opts);
+  EXPECT_EQ(par.verdict, serial.verdict);
+  EXPECT_EQ(par.verdict, sec::Verdict::kProvenEquivalent);
+  EXPECT_EQ(par.stats.transactionsChecked, serial.stats.transactionsChecked);
+  EXPECT_EQ(par.stats.inductionClosed, serial.stats.inductionClosed);
+  // The shards log the same per-depth phase entries the serial engine does.
+  EXPECT_EQ(par.stats.bmcTransactions.size(),
+            serial.stats.bmcTransactions.size());
+}
+
+TEST(BmcParallel, CexArrivesAtTheSameFailingTransaction) {
+  LateCexFixture f;
+  sec::SecOptions opts;
+  opts.boundTransactions = 4;
+  const sec::SecResult serial = sec::checkEquivalence(*f.problem, opts);
+  ASSERT_EQ(serial.verdict, sec::Verdict::kNotEquivalent);
+  ParallelExecutor exec(4);
+  const sec::SecResult par = checkBmcParallel(exec, *f.problem, opts);
+  ASSERT_EQ(par.verdict, sec::Verdict::kNotEquivalent);
+  ASSERT_TRUE(par.cex.has_value());
+  // The merge scans depths in ascending order, so the parallel cex fails at
+  // the serial engine's depth (the witness values may differ; both replayed
+  // against the interpreters inside the engine).
+  EXPECT_EQ(par.cex->failingTransaction, serial.cex->failingTransaction);
+}
+
+TEST(BmcParallel, BudgetExhaustionStaysInconclusiveInParity) {
+  RegroupedAddFixture f;
+  sec::SecOptions opts;
+  opts.boundTransactions = 3;
+  opts.fraig = false;  // phase budgets only govern the main solves
+  opts.bmcBudget.maxPropagations = 1;
+  const sec::SecResult serial = sec::checkEquivalence(*f.problem, opts);
+  ASSERT_EQ(serial.verdict, sec::Verdict::kInconclusive);
+  ParallelExecutor exec(2);
+  const sec::SecResult par = checkBmcParallel(exec, *f.problem, opts);
+  EXPECT_EQ(par.verdict, serial.verdict);
+}
+
+TEST(BmcParallel, NegativeBudgetsAreRejected) {
+  ChecksumFixture f;
+  ParallelExecutor exec(1);
+  sec::SecOptions opts;
+  opts.bmcBudget.maxConflicts = -7;
+  EXPECT_THROW(checkBmcParallel(exec, *f.problem, opts), CheckError);
+  opts = sec::SecOptions{};
+  opts.inductionBudget.maxPropagations = -1;
+  EXPECT_THROW(checkBmcParallel(exec, *f.problem, opts), CheckError);
+}
+
+// ----- ResilientRunner on the executor --------------------------------------
+
+sec::SecResult verdictResult(sec::Verdict v) {
+  sec::SecResult r;
+  r.verdict = v;
+  return r;
+}
+
+/// A plan mixing a proven SEC block, a failing SEC block, an inconclusive
+/// one, and a cosim block — enough shapes to compare serial and parallel
+/// reports field by field.
+void populateMixedPlan(ResilientRunner& runner, ChecksumFixture& good,
+                       LateCexFixture& bad) {
+  sec::SecOptions opts;
+  opts.boundTransactions = 3;
+  runner.addSecBlock("good", 1, opts, [&good](const sec::SecOptions& o) {
+    return sec::checkEquivalence(*good.problem, o);
+  });
+  runner.addSecBlock("bad", 2, opts, [&bad](const sec::SecOptions& o) {
+    return sec::checkEquivalence(*bad.problem, o);
+  });
+  runner.addSecBlock("stubborn", 3, sec::SecOptions{},
+                     [](const sec::SecOptions&) {
+                       return verdictResult(sec::Verdict::kInconclusive);
+                     });
+  runner.addCosimBlock("cosim", 4, [](std::uint64_t seed) {
+    return ResilientRunner::CosimOutcome{true,
+                                         "seed " + std::to_string(seed)};
+  });
+}
+
+TEST(ParallelRunner, ReportMatchesSerialRunFieldByField) {
+  ChecksumFixture good;
+  LateCexFixture bad;
+  ResilientRunner serial("plan");
+  ResilientRunner parallel("plan");
+  populateMixedPlan(serial, good, bad);
+  populateMixedPlan(parallel, good, bad);
+  ParallelExecutor exec(4);
+  parallel.setExecutor(&exec);
+
+  const PlanReport sr = serial.runAll();
+  const PlanReport pr = parallel.runAll();
+  EXPECT_EQ(sr.workers, 1u);
+  EXPECT_EQ(pr.workers, 4u);
+  EXPECT_EQ(pr.verified, sr.verified);
+  EXPECT_EQ(pr.failed, sr.failed);
+  EXPECT_EQ(pr.inconclusive, sr.inconclusive);
+  ASSERT_EQ(pr.blocks.size(), sr.blocks.size());
+  for (std::size_t i = 0; i < sr.blocks.size(); ++i) {
+    EXPECT_EQ(pr.blocks[i].block, sr.blocks[i].block) << i;  // order kept
+    EXPECT_EQ(pr.blocks[i].passed, sr.blocks[i].passed) << i;
+    EXPECT_EQ(pr.blocks[i].inconclusive, sr.blocks[i].inconclusive) << i;
+    EXPECT_EQ(pr.blocks[i].faulted, sr.blocks[i].faulted) << i;
+    EXPECT_EQ(pr.blocks[i].attempts, sr.blocks[i].attempts) << i;
+    EXPECT_EQ(pr.blocks[i].detail, sr.blocks[i].detail) << i;
+  }
+}
+
+TEST(ParallelRunner, PortfolioRecordsWinnerAndReplayFingerprint) {
+  ChecksumFixture f;
+  RetryPolicy policy;
+  policy.maxAttempts = 1;
+  ResilientRunner runner("plan", policy);
+  sec::SecOptions base;
+  base.boundTransactions = 3;
+  runner.addSecBlock("good", 1, base, [&f](const sec::SecOptions& o) {
+    return sec::checkEquivalence(*f.problem, o);
+  });
+  ParallelExecutor exec(4);
+  runner.setExecutor(&exec);
+  PortfolioOptions popts;
+  popts.members = 3;
+  runner.setPortfolio(popts);
+
+  const PlanReport report = runner.runAll();
+  ASSERT_EQ(report.blocks.size(), 1u);
+  const BlockResult& b = report.blocks[0];
+  EXPECT_TRUE(b.passed);
+  ASSERT_GE(b.portfolioWinner, 0);
+  ASSERT_EQ(b.attemptLog.size(), 3u);  // one row per member
+  unsigned winnerRows = 0;
+  for (const AttemptRecord& rec : b.attemptLog) {
+    EXPECT_EQ(rec.rung, 0u);
+    EXPECT_GE(rec.member, 0);
+    if (rec.winner) {
+      ++winnerRows;
+      EXPECT_EQ(rec.member, b.portfolioWinner);
+      EXPECT_EQ(rec.memberName, b.portfolioWinnerName);
+      // The recorded row must BE the replay: re-run the winning member's
+      // options single-threaded and compare the fingerprint bit-for-bit.
+      const auto members = buildPortfolio(base, popts);
+      const sec::SecResult replay = sec::checkEquivalence(
+          *f.problem,
+          members[static_cast<std::size_t>(b.portfolioWinner)].options);
+      EXPECT_EQ(std::string(sec::verdictName(replay.verdict)), rec.outcome);
+      EXPECT_EQ(replay.stats.satConflicts, rec.satConflicts);
+      EXPECT_EQ(replay.stats.satDecisions, rec.satDecisions);
+      EXPECT_EQ(replay.stats.aigNodes, rec.aigNodes);
+    }
+  }
+  EXPECT_EQ(winnerRows, 1u);
+  // The JSON document carries the winner for offline replay tooling.
+  const std::string json = report.json("plan");
+  EXPECT_NE(json.find("\"portfolio_winner\":"), std::string::npos);
+  EXPECT_NE(json.find("\"member_name\":"), std::string::npos);
+  EXPECT_NE(json.find("\"workers\":4"), std::string::npos);
+}
+
+TEST(ParallelRunner, PortfolioMemberFaultsAreIsolated) {
+  RetryPolicy policy;
+  policy.maxAttempts = 1;
+  ResilientRunner runner("plan", policy);
+  runner.addSecBlock("crashy", 1, sec::SecOptions{},
+                     [](const sec::SecOptions&) -> sec::SecResult {
+                       throw CheckError("injected runner crash");
+                     });
+  ParallelExecutor exec(2);
+  runner.setExecutor(&exec);
+  PortfolioOptions popts;
+  popts.members = 2;
+  runner.setPortfolio(popts);
+  const PlanReport report = runner.runAll();
+  ASSERT_EQ(report.blocks.size(), 1u);
+  EXPECT_TRUE(report.blocks[0].faulted);
+  EXPECT_EQ(report.blocks[0].portfolioWinner, -1);
+  EXPECT_EQ(report.faulted, 1u);
+  for (const AttemptRecord& rec : report.blocks[0].attemptLog)
+    EXPECT_TRUE(rec.faulted);
+}
+
+// ----- Incremental cache safety under the executor (satellite) --------------
+
+TEST(ParallelRunner, CacheServesOnlyCleanFullStrengthPasses) {
+  ChecksumFixture good;
+  RetryPolicy policy;
+  policy.maxAttempts = 1;
+  ResilientRunner runner("plan", policy);
+  sec::SecOptions opts;
+  opts.boundTransactions = 2;
+  int goodRuns = 0, faultyRuns = 0, stubbornRuns = 0, degradedRuns = 0;
+  runner.addSecBlock("good", 1, opts, [&](const sec::SecOptions& o) {
+    ++goodRuns;
+    return sec::checkEquivalence(*good.problem, o);
+  });
+  runner.addSecBlock("faulty", 2, opts,
+                     [&](const sec::SecOptions&) -> sec::SecResult {
+                       ++faultyRuns;
+                       throw CheckError("boom");
+                     });
+  runner.addSecBlock("stubborn", 3, opts, [&](const sec::SecOptions&) {
+    ++stubbornRuns;
+    return verdictResult(sec::Verdict::kInconclusive);
+  });
+  runner.addSecBlock("degraded", 4, opts, [&](const sec::SecOptions&) {
+    ++degradedRuns;
+    return verdictResult(sec::Verdict::kInconclusive);
+  });
+  runner.setCosimFallback("degraded", [](std::uint64_t) {
+    return ResilientRunner::CosimOutcome{true, "cosim says ok"};
+  });
+  ParallelExecutor exec(4);
+  runner.setExecutor(&exec);
+
+  const PlanReport first = runner.runAll();
+  EXPECT_EQ(first.degraded, 1u);
+  EXPECT_EQ(first.faulted, 1u);
+  const PlanReport second = runner.runIncremental();
+  ASSERT_EQ(second.blocks.size(), 4u);
+  // Only the clean full-strength pass is served from the digest cache.
+  EXPECT_TRUE(second.blocks[0].skippedUnchanged);
+  EXPECT_EQ(second.blocks[0].attempts, 0u);
+  EXPECT_FALSE(second.blocks[1].skippedUnchanged);
+  EXPECT_FALSE(second.blocks[2].skippedUnchanged);
+  EXPECT_FALSE(second.blocks[3].skippedUnchanged);
+  EXPECT_EQ(goodRuns, 1);      // cached after the first clean pass
+  EXPECT_EQ(faultyRuns, 2);    // faulted: never cached
+  EXPECT_EQ(stubbornRuns, 2);  // inconclusive: never cached
+  EXPECT_EQ(degradedRuns, 2);  // degraded pass: never cached
+  EXPECT_EQ(second.skipped, 1u);
+}
+
+// ----- Fault-injection determinism per worker -------------------------------
+
+TEST(ParallelRunner, InjectionSchedulesArePerBlockAndReproducible) {
+  RetryPolicy policy;
+  policy.maxAttempts = 1;
+  auto makeRunner = [&policy]() {
+    auto runner = std::make_unique<ResilientRunner>("plan", policy);
+    for (const char* name : {"b0", "b1", "b2"}) {
+      auto fix = std::make_shared<ChecksumFixture>();
+      sec::SecOptions opts;
+      opts.boundTransactions = 2;
+      runner->addSecBlock(name, 1, opts,
+                          [fix = std::move(fix)](const sec::SecOptions& o) {
+                            return sec::checkEquivalence(*fix->problem, o);
+                          });
+    }
+    return runner;
+  };
+  auto runArmed = [&](ResilientRunner& runner, ParallelExecutor* exec) {
+    fault::ScopedInjector si(0x5eed);
+    si.injector().arm(fault::Site::kSecBmcPhase,
+                      fault::Policy::kExhaustBudget, 1, 1);
+    if (exec != nullptr) runner.setExecutor(exec);
+    return runner.runAll();
+  };
+  ParallelExecutor exec(3);
+  auto r1 = makeRunner();
+  auto r2 = makeRunner();
+  const PlanReport a = runArmed(*r1, &exec);
+  const PlanReport b = runArmed(*r2, &exec);
+  ASSERT_EQ(a.blocks.size(), 3u);
+  ASSERT_EQ(b.blocks.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    // Two parallel runs inject identically...
+    EXPECT_EQ(a.blocks[i].faultInjections, b.blocks[i].faultInjections) << i;
+    EXPECT_EQ(a.blocks[i].inconclusive, b.blocks[i].inconclusive) << i;
+    EXPECT_EQ(a.blocks[i].detail, b.blocks[i].detail) << i;
+    // ...and every block sees its own fresh (seed, site, hit) stream, so
+    // each one is hit by the nth-hit-1 arming — unlike a serial run where
+    // one shared stream's first hit lands on whichever block runs first.
+    EXPECT_GE(a.blocks[i].faultInjections, 1u) << i;
+    EXPECT_TRUE(a.blocks[i].inconclusive) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dfv::core

@@ -173,6 +173,41 @@ TEST(RetryLadder, InductionCutoffKeepsSoundPassWhenLadderTopsOut) {
   EXPECT_EQ(report.verified, 1u);
 }
 
+TEST(RetryLadder, AttemptRowsRecordDisjointPerAttemptTelemetry) {
+  // Each ladder rung runs a fresh engine, so AttemptRecord telemetry must
+  // be THAT attempt's stats alone — a regression here (rows accumulating
+  // 100, 300, 600 instead of 100, 200, 300) silently inflates every
+  // escalation report and breaks the replay fingerprint of the final row.
+  ResilientRunner runner("soc", attemptsPolicy(3));
+  unsigned call = 0;
+  runner.addSecBlock("stubborn", 1, sec::SecOptions{},
+                     [&call](const sec::SecOptions&) {
+                       ++call;
+                       sec::SecResult r;
+                       r.verdict = sec::Verdict::kInconclusive;
+                       r.stats.satConflicts = 100 * call;
+                       r.stats.satDecisions = 10 * call;
+                       r.stats.aigNodes = 7 * call;
+                       sec::PhaseStats bmc;
+                       bmc.propagations = 1000 * call;
+                       r.stats.bmcTransactions.push_back(bmc);
+                       r.stats.induction.propagations = 5 * call;
+                       return r;
+                     });
+  const PlanReport report = runner.runAll();
+  ASSERT_EQ(report.blocks.size(), 1u);
+  const std::vector<AttemptRecord>& log = report.blocks[0].attemptLog;
+  ASSERT_EQ(log.size(), 3u);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_EQ(log[i].rung, i) << i;
+    EXPECT_EQ(log[i].satConflicts, 100u * (i + 1)) << i;
+    EXPECT_EQ(log[i].satDecisions, 10u * (i + 1)) << i;
+    // satPropagations sums this attempt's BMC phases plus induction.
+    EXPECT_EQ(log[i].satPropagations, 1005u * (i + 1)) << i;
+    EXPECT_EQ(log[i].aigNodes, 7u * (i + 1)) << i;
+  }
+}
+
 // ----- Exception isolation --------------------------------------------------
 
 TEST(Isolation, ThrowingRunnerBecomesStructuredFaultAndPlanContinues) {

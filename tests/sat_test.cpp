@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <limits>
 #include <random>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 namespace dfv::sat {
@@ -511,6 +515,139 @@ TEST(SatPhase, PhaseAccessOnUnallocatedVariableIsAContractViolation) {
   s.newVar();
   EXPECT_THROW(s.setPhase(5, true), CheckError);
   EXPECT_THROW((void)s.savedPhase(5), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Budget validation, cooperative cancellation, per-instance heuristics.
+// ---------------------------------------------------------------------------
+
+TEST(SatBudget, NegativeCapsAreRejectedAtSolve) {
+  // A negative cap is a caller bug (it would silently mean "unlimited" in
+  // the old unsigned-overflow world, or "instantly expired" in the int one);
+  // the contract is to refuse it loudly at the solve entry point.
+  Solver s;
+  const Var a = s.newVar();
+  s.addClause(pos(a));
+  Budget bad;
+  bad.maxConflicts = -1;
+  EXPECT_THROW(s.solve({}, bad), CheckError);
+  bad = Budget{};
+  bad.maxPropagations = -100;
+  EXPECT_THROW(s.solve({}, bad), CheckError);
+  bad = Budget{};
+  bad.maxSeconds = -0.25;
+  EXPECT_THROW(s.solve({}, bad), CheckError);
+  bad = Budget{};
+  bad.maxSeconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(s.solve({}, bad), CheckError);
+  // The refused solve never started: the solver is untouched and usable.
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatBudget, PreRaisedCancelFlagReturnsUnknown) {
+  Solver s;
+  addPigeonhole(s, 6);
+  std::atomic<bool> cancel{true};
+  Budget b;
+  b.cancel = &cancel;
+  EXPECT_FALSE(b.unlimited());  // a cancellable budget is not "no budget"
+  EXPECT_EQ(s.solve({}, b), Result::kUnknown);
+  // Lowering the flag restores full strength on the same solver instance.
+  cancel.store(false);
+  EXPECT_EQ(s.solve({}, b), Result::kUnsat);
+}
+
+TEST(SatBudget, CancelFromAnotherThreadStopsTheSolve) {
+  Solver s;
+  addPigeonhole(s, 9);  // long enough that the flag usually lands mid-search
+  std::atomic<bool> cancel{false};
+  Budget b;
+  b.cancel = &cancel;
+  std::thread killer([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    cancel.store(true, std::memory_order_release);
+  });
+  const Result r = s.solve({}, b);
+  killer.join();
+  // Either the flag landed first (kUnknown) or the search finished first
+  // (kUnsat): both are sound.  What must never happen is kSat or a hang
+  // (the test's TIMEOUT guards the latter).
+  EXPECT_TRUE(r == Result::kUnknown || r == Result::kUnsat)
+      << "result " << static_cast<int>(r);
+  // Cancellation is cooperative, not destructive: the solver still works.
+  cancel.store(false);
+  EXPECT_EQ(s.solve({}, b), Result::kUnsat);
+}
+
+TEST(SatOptions, SeededHeuristicsPreserveVerdictsAndReproduce) {
+  // Diversified solver instances (the portfolio members) must stay sound —
+  // same verdict as the default instance on every formula — and must be
+  // deterministic: the same SolverOptions twice gives bit-identical stats.
+  std::mt19937 rng(97);
+  for (int instance = 0; instance < 25; ++instance) {
+    constexpr int kN = 12;
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < static_cast<int>(kN * 4.3); ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k)
+        cl.emplace_back(static_cast<Var>(rng() % kN), (rng() & 1) != 0);
+      clauses.push_back(cl);
+    }
+    SolverOptions so;
+    so.seed = 0x5eed0000u + static_cast<std::uint64_t>(instance);
+    so.phaseSaving = instance % 3 != 0;
+    so.restartPolicy =
+        instance % 2 != 0 ? RestartPolicy::kGeometric : RestartPolicy::kLuby;
+    Solver plain;
+    Solver seeded(so);
+    Solver seededAgain(so);
+    bool okPlain = true, okSeeded = true, okAgain = true;
+    for (int v = 0; v < kN; ++v) {
+      plain.newVar();
+      seeded.newVar();
+      seededAgain.newVar();
+    }
+    for (auto& cl : clauses) {
+      okPlain = plain.addClause(cl) && okPlain;
+      okSeeded = seeded.addClause(cl) && okSeeded;
+      okAgain = seededAgain.addClause(cl) && okAgain;
+    }
+    const Result rPlain = okPlain ? plain.solve() : Result::kUnsat;
+    const Result rSeeded = okSeeded ? seeded.solve() : Result::kUnsat;
+    const Result rAgain = okAgain ? seededAgain.solve() : Result::kUnsat;
+    EXPECT_EQ(rPlain, rSeeded) << "instance " << instance;
+    EXPECT_EQ(rSeeded, rAgain) << "instance " << instance;
+    EXPECT_EQ(seeded.stats().conflicts, seededAgain.stats().conflicts)
+        << "instance " << instance;
+    EXPECT_EQ(seeded.stats().decisions, seededAgain.stats().decisions)
+        << "instance " << instance;
+    EXPECT_EQ(seeded.stats().propagations, seededAgain.stats().propagations)
+        << "instance " << instance;
+  }
+}
+
+TEST(SatOptions, DefaultOptionsReproduceHistoricalBehavior) {
+  // A default-constructed SolverOptions must be bit-identical to the
+  // pre-options solver: seed 0 adds no phase or activity jitter.
+  Solver legacy;
+  Solver optioned(SolverOptions{});
+  addPigeonhole(legacy, 5);
+  addPigeonhole(optioned, 5);
+  EXPECT_EQ(legacy.solve(), Result::kUnsat);
+  EXPECT_EQ(optioned.solve(), Result::kUnsat);
+  EXPECT_EQ(legacy.stats().conflicts, optioned.stats().conflicts);
+  EXPECT_EQ(legacy.stats().decisions, optioned.stats().decisions);
+  EXPECT_EQ(legacy.stats().propagations, optioned.stats().propagations);
+}
+
+TEST(SatOptions, BadRestartTuningIsAContractViolation) {
+  SolverOptions zeroBase;
+  zeroBase.restartBase = 0;
+  EXPECT_THROW(Solver{zeroBase}, CheckError);
+  SolverOptions shrink;
+  shrink.restartPolicy = RestartPolicy::kGeometric;
+  shrink.geometricGrowth = 0.5;
+  EXPECT_THROW(Solver{shrink}, CheckError);
 }
 
 }  // namespace

@@ -694,5 +694,26 @@ TEST(SecSlice, SliceComposesWithAbsintAndFraig) {
   EXPECT_LT(ra.stats.inductionAigNodes, rb.stats.inductionAigNodes);
 }
 
+TEST(SecEngine, NegativeBudgetCapsAreRejectedOnEntry) {
+  // sat::Budget caps are validated before any phase runs — a negative cap
+  // is a contract violation at BOTH solve entry points (BMC and induction
+  // budgets), not a silently-unlimited run.
+  ChecksumFixture f;
+  SecOptions opts;
+  opts.bmcBudget.maxConflicts = -1;
+  EXPECT_THROW(checkEquivalence(*f.problem, opts), CheckError);
+  opts = SecOptions{};
+  opts.inductionBudget.maxPropagations = -100;
+  EXPECT_THROW(checkEquivalence(*f.problem, opts), CheckError);
+  opts = SecOptions{};
+  opts.bmcBudget.maxSeconds = -0.5;
+  EXPECT_THROW(checkEquivalence(*f.problem, opts), CheckError);
+  // The problem itself is fine: valid options still verify it.
+  opts = SecOptions{};
+  opts.boundTransactions = 2;
+  EXPECT_EQ(checkEquivalence(*f.problem, opts).verdict,
+            Verdict::kBoundedEquivalent);
+}
+
 }  // namespace
 }  // namespace dfv::sec
