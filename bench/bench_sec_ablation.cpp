@@ -456,6 +456,127 @@ int main(int argc, char** argv) {
                 sliceRegressions);
   }
 
+  // --- Part 1d: rewrite x fraig x absint x slice matrix ---------------------
+  //
+  // DAG-aware AIG rewriting (SecOptions::rewrite) runs between bit-blast
+  // and CNF on every miter cone.  Unlike absint its output is unconditional
+  // — sound for BMC and induction alike — so the only questions are the
+  // verdict parity (every completed cell must agree) and the payoff.  The
+  // acceptance gate: on fir, with the other layers at their defaults, the
+  // rewrite must cut the summed miter cone by more than 15% (fir's two
+  // sides genuinely differ; histo's hash-cons to the same structure, so its
+  // row documents the no-headroom case: near-zero cost, zero harm).
+  unsigned rewriteRegressions = 0;
+  {
+    std::vector<Case> rwCases = {
+        {"fir", 2, 1000000, 0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::FirSecSetup>(
+               designs::makeFirSecProblem(ctx, designs::FirBug::kNone)));
+         }},
+        {"histo", 2, 1000000, 0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::HistoSecSetup>(
+               designs::makeHistoSecProblem(ctx)));
+         }},
+    };
+    if (smoke) rwCases = {rwCases[0]};  // fir carries the acceptance gate
+
+    std::printf("--- rewrite x fraig x absint x slice matrix ---\n");
+    std::printf("%-12s %-7s %-6s %-6s %-6s %8s %9s %9s %8s %9s  %s\n",
+                "design", "rewrite", "fraig", "absint", "slice", "sec(s)",
+                "cone(pre)", "cone(post)", "applied", "conflicts", "verdict");
+    for (const Case& c : rwCases) {
+      sec::Verdict ref = sec::Verdict::kInconclusive;
+      bool refSet = false;
+      std::size_t firPre = 0, firPost = 0;  // rewrite=on, rest at defaults
+      for (const bool rewrite : {true, false}) {
+        for (const bool fraig : {true, false}) {
+          for (const bool absint : {true, false}) {
+            for (const bool slice : {true, false}) {
+              ir::Context ctx;
+              auto problem = c.make(ctx);
+              sec::SecOptions o;
+              o.boundTransactions = c.bound;
+              o.rewrite = rewrite;
+              o.fraig = fraig;
+              o.absint = absint;
+              o.slice = slice;
+              applyBudget(o, c, smoke);
+              const auto t0 = Clock::now();
+              const auto r = sec::checkEquivalence(*problem, o);
+              const double secs = secsSince(t0);
+              const bool cut = r.stats.induction.budgetExhausted ||
+                               sumPhases(r.stats, [](const sec::PhaseStats& p) {
+                                 return static_cast<int>(p.budgetExhausted);
+                               }) > 0;
+              const auto pre = sumPhases(r.stats, [](const sec::PhaseStats& p) {
+                return p.rewriteNodesBefore;
+              });
+              const auto post = sumPhases(
+                  r.stats,
+                  [](const sec::PhaseStats& p) { return p.rewriteNodesAfter; });
+              if (rewrite && fraig && absint && slice) {
+                firPre = pre;
+                firPost = post;
+              }
+              std::printf(
+                  "%-12s %-7s %-6s %-6s %-6s %8.3f %9zu %9zu %8llu %9llu  %s\n",
+                  c.name, rewrite ? "on" : "off", fraig ? "on" : "off",
+                  absint ? "on" : "off", slice ? "on" : "off", secs, pre, post,
+                  static_cast<unsigned long long>(r.stats.rewriteApplied),
+                  static_cast<unsigned long long>(conflictsUsed(r.stats)),
+                  sec::verdictName(r.verdict));
+              report.beginRow("rewrite_matrix")
+                  .field("design", c.name)
+                  .field("rewrite", rewrite)
+                  .field("fraig", fraig)
+                  .field("absint", absint)
+                  .field("slice", slice)
+                  .field("seconds", secs)
+                  .field("rewriteNodesBefore", pre)
+                  .field("rewriteNodesAfter", post)
+                  .field("rewriteApplied", r.stats.rewriteApplied)
+                  .field("rewriteSavedNodes", r.stats.rewriteSavedNodes)
+                  .field("rewriteTimeMs", r.stats.rewriteTimeMs)
+                  .field("satSubsumedClauses", r.stats.satSubsumedClauses)
+                  .field("satVivifiedClauses", r.stats.satVivifiedClauses)
+                  .field("satEliminatedVars", r.stats.satEliminatedVars)
+                  .field("satInprocessRounds", r.stats.satInprocessRounds)
+                  .field("conflicts", conflictsUsed(r.stats))
+                  .field("budgetCut", cut)
+                  .field("verdict", sec::verdictName(r.verdict));
+              if (!cut) {
+                if (!refSet) {
+                  ref = r.verdict;
+                  refSet = true;
+                } else if (r.verdict != ref) {
+                  ++verdictMismatches;
+                  std::printf("  !! VERDICT CHANGED in rewrite matrix on %s\n",
+                              c.name);
+                }
+              }
+            }
+          }
+        }
+      }
+      // The acceptance gate rides the fir row (histo has no miter cone to
+      // shrink — both sides collapse structurally before the solver runs).
+      if (std::string(c.name) == "fir") {
+        if (firPre == 0 || firPost * 100 >= firPre * 85) {
+          ++rewriteRegressions;
+          std::printf("  !! REWRITE REGRESSION on fir: cone %zu -> %zu "
+                      "(need >15%% cut)\n",
+                      firPre, firPost);
+        }
+      }
+    }
+    std::printf("(rewriting is unconditional structure — sound for BMC and "
+                "induction alike — so\n every completed cell must agree; "
+                "mismatches counted above, regressions: %u)\n\n",
+                rewriteRegressions);
+  }
+
   // --- Part 2: strash reserve + hash mixing ---------------------------------
   {
     const std::size_t chain = smoke ? 20000 : 1000000;
@@ -607,11 +728,13 @@ int main(int argc, char** argv) {
   report.beginRow("summary")
       .field("verdictMismatches", verdictMismatches)
       .field("sliceRegressions", sliceRegressions)
+      .field("rewriteRegressions", rewriteRegressions)
       .field("sliceStatesSevered", sliceStatesSeveredTotal)
       .field("sliceSeqConstants", sliceSeqConstantsTotal)
       .field("disagreements", disagreements);
   report.write();
-  return disagreements == 0 && verdictMismatches == 0 && sliceRegressions == 0
+  return disagreements == 0 && verdictMismatches == 0 &&
+                 sliceRegressions == 0 && rewriteRegressions == 0
              ? 0
              : 1;
 }

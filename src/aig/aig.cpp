@@ -35,6 +35,18 @@ Lit Aig::makeAnd(Lit a, Lit b) {
   return result;
 }
 
+Lit Aig::probeAnd(Lit a, Lit b) const {
+  DFV_CHECK(nodeOf(a) < fanin0_.size() && nodeOf(b) < fanin0_.size());
+  if (a == kFalse || b == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  if (a == b) return a;
+  if (a == negate(b)) return kFalse;
+  if (b < a) std::swap(a, b);
+  auto it = strash_.find({a, b});
+  return it == strash_.end() ? kNotFound : it->second;
+}
+
 std::vector<bool> Aig::evaluate(
     const std::unordered_map<std::uint32_t, bool>& inputValues) const {
   std::vector<bool> values(fanin0_.size(), false);

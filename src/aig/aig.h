@@ -56,6 +56,14 @@ class Aig {
   /// AND of two literals (folded, simplified, hashed).
   Lit makeAnd(Lit a, Lit b);
 
+  /// Strash probe: the literal makeAnd(a, b) would return if it can be
+  /// produced without allocating a node (constant fold, trivial rule, or
+  /// an existing hashed node), or kNotFound otherwise.  Const — never
+  /// mutates the graph.  The rewriter prices candidate implementations
+  /// with this before committing them.
+  static constexpr Lit kNotFound = ~Lit{0};
+  Lit probeAnd(Lit a, Lit b) const;
+
   Lit makeOr(Lit a, Lit b) { return negate(makeAnd(negate(a), negate(b))); }
   Lit makeXor(Lit a, Lit b) {
     // a^b = (a|b) & ~(a&b)

@@ -211,6 +211,14 @@ std::vector<PortfolioMember> buildPortfolio(const sec::SecOptions& base,
       m.options.fraig = !base.fraig;
       name << (m.options.fraig ? ":fraig" : ":nofraig");
     }
+    if (opts.varyRewrite && (k & 8u) != 0) {
+      m.options.rewrite = !base.rewrite;
+      name << (m.options.rewrite ? ":rewrite" : ":norewrite");
+    }
+    if (opts.varyInprocess && (k & 16u) != 0) {
+      m.options.solver.inprocess = !base.solver.inprocess;
+      name << (m.options.solver.inprocess ? ":inprocess" : ":noinprocess");
+    }
     m.name = name.str();
     members.push_back(std::move(m));
   }
@@ -340,6 +348,13 @@ sec::SecResult checkBmcParallel(ParallelExecutor& exec,
     merged.stats.fraigMergedNodes += s.fraigMergedNodes;
     merged.stats.fraigSatCalls += s.fraigSatCalls;
     merged.stats.fraigTimeMs += s.fraigTimeMs;
+    merged.stats.rewriteSavedNodes += s.rewriteSavedNodes;
+    merged.stats.rewriteApplied += s.rewriteApplied;
+    merged.stats.rewriteTimeMs += s.rewriteTimeMs;
+    merged.stats.satSubsumedClauses += s.satSubsumedClauses;
+    merged.stats.satVivifiedClauses += s.satVivifiedClauses;
+    merged.stats.satEliminatedVars += s.satEliminatedVars;
+    merged.stats.satInprocessRounds += s.satInprocessRounds;
     merged.stats.seconds += s.seconds;  // summed CPU cost, not wall clock
   };
   merged.verdict = sec::Verdict::kBoundedEquivalent;

@@ -64,6 +64,11 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
         }
         os << ",\"sat_conflicts\":" << rec.satConflicts
            << ",\"sat_decisions\":" << rec.satDecisions
+           << ",\"sat_learnts\":" << rec.satLearnts
+           << ",\"sat_subsumed\":" << rec.satSubsumed
+           << ",\"sat_vivified\":" << rec.satVivified
+           << ",\"sat_eliminated_vars\":" << rec.satEliminatedVars
+           << ",\"rewrite_saved_nodes\":" << rec.rewriteSavedNodes
            << ",\"aig_nodes\":" << rec.aigNodes << "}";
       }
       os << "]";

@@ -77,8 +77,17 @@ void recordSecTelemetry(AttemptRecord& rec, const sec::SecStats& s) {
   rec.satConflicts = s.satConflicts;
   rec.satDecisions = s.satDecisions;
   std::uint64_t props = s.induction.propagations;
-  for (const sec::PhaseStats& p : s.bmcTransactions) props += p.propagations;
+  std::uint64_t learnts = s.induction.learntClauses;
+  for (const sec::PhaseStats& p : s.bmcTransactions) {
+    props += p.propagations;
+    learnts += p.learntClauses;
+  }
   rec.satPropagations = props;
+  rec.satLearnts = learnts;
+  rec.satSubsumed = s.satSubsumedClauses;
+  rec.satVivified = s.satVivifiedClauses;
+  rec.satEliminatedVars = s.satEliminatedVars;
+  rec.rewriteSavedNodes = s.rewriteSavedNodes;
   rec.aigNodes = s.aigNodes;
 }
 

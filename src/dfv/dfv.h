@@ -30,6 +30,7 @@
 #include "absint/simplify.h"        // IWYU pragma: export
 #include "aig/cnf.h"                // IWYU pragma: export
 #include "aig/fraig.h"              // IWYU pragma: export
+#include "aig/rewrite.h"            // IWYU pragma: export
 #include "bitvec/bitvector.h"       // IWYU pragma: export
 #include "bitvec/hdl_int.h"         // IWYU pragma: export
 #include "core/parallel.h"          // IWYU pragma: export

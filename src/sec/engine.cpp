@@ -262,32 +262,42 @@ sat::Result solveIntoPhase(sat::Solver& solver,
   phase.restarts += after.restarts - before.restarts;
   phase.learntClauses += after.learntClauses - before.learntClauses;
   phase.deletedClauses += after.deletedClauses - before.deletedClauses;
+  phase.subsumedClauses += after.subsumedClauses - before.subsumedClauses;
+  phase.vivifiedClauses += after.vivifiedClauses - before.vivifiedClauses;
+  phase.eliminatedVars += after.eliminatedVars - before.eliminatedVars;
+  phase.inprocessRounds += after.inprocessRounds - before.inprocessRounds;
   if (r == sat::Result::kUnknown) phase.budgetExhausted = true;
   return r;
 }
 
 /// The solver interface the engine drives, in one of two modes:
-///  * incremental (SecOptions::fraig off): one persistent solver + lazy
-///    encoder over the unrolling graph; asserted facts become clauses
-///    immediately.  This path is identical to the pre-fraig engine.
-///  * fraig (the default): asserted facts accumulate as AIG literals; each
-///    solve first SAT-sweeps the cone of everything that solve can see
-///    (aig::Fraig), then runs on the sweep's own solver, so the rewritten —
-///    typically much smaller — cone is already clausified and the sweep's
-///    learnt clauses, equivalence units and saved phases are reused.  Model
-///    extraction maps unrolling-graph literals through the sweep's node map,
-///    so counterexamples are exact.
+///  * incremental (SecOptions::fraig and ::rewrite both off): one
+///    persistent solver + lazy encoder over the unrolling graph; asserted
+///    facts become clauses immediately.  This path is identical to the
+///    pre-fraig engine.
+///  * per-solve (the default): asserted facts accumulate as AIG literals;
+///    each solve first rewrites the cone of everything that solve can see
+///    (aig::Rewriter — pure structure, between bit-blast and CNF), then
+///    SAT-sweeps it (aig::Fraig) on the same solver the main solve runs
+///    on, so the rewritten — typically much smaller — cone is already
+///    clausified and the sweep's learnt clauses, equivalence units and
+///    saved phases are reused.  Model extraction maps unrolling-graph
+///    literals through the rewrite's node map and then the sweep's, so
+///    counterexamples are exact.
 class Miter {
  public:
-  Miter(aig::Aig& g, const SecOptions& options) : g_(g), options_(options) {
-    if (!options_.fraig) {
+  Miter(aig::Aig& g, const SecOptions& options)
+      : g_(g),
+        options_(options),
+        perSolve_(options.fraig || options.rewrite) {
+    if (!perSolve_) {
       solver_ = std::make_unique<sat::Solver>(options_.solver);
       enc_ = std::make_unique<aig::CnfEncoder>(g_, *solver_);
     }
   }
 
   void assertTrue(aig::Lit l) {
-    if (!options_.fraig)
+    if (!perSolve_)
       enc_->assertTrue(l);
     else
       asserted_.push_back(l);
@@ -297,80 +307,145 @@ class Miter {
   /// aig::kTrue (the constraint-vacuity form of the question).
   sat::Result solve(aig::Lit query, const sat::Budget& budget,
                     PhaseStats& phase) {
-    if (!options_.fraig) {
+    if (!perSolve_) {
       std::vector<sat::Lit> assumptions;
       if (query != aig::kTrue) assumptions.push_back(enc_->satLit(query));
       return solveIntoPhase(*solver_, assumptions, budget, phase);
     }
     std::vector<aig::Lit> roots = asserted_;
     if (query != aig::kTrue) roots.push_back(query);
-    // The sweep proves its merges through the same solver the main solve
-    // runs on, so the clausified cone, the proven-equivalence units, the
-    // learnt clauses and the saved phases all carry over instead of being
-    // re-derived from scratch.
-    fraigAig_ = std::make_unique<aig::Aig>();
+    // Structural rewrite first: it needs no SAT calls, so everything it
+    // removes is cone the sweep below never has to simulate or prove over.
+    const aig::Aig* solveG = &g_;
+    rewritten_.reset();
+    rwAig_.reset();
+    if (options_.rewrite) {
+      const auto t0 = std::chrono::steady_clock::now();
+      rwAig_ = std::make_unique<aig::Aig>();
+      rewritten_ = std::make_unique<aig::Rewriter::Result>(
+          aig::Rewriter(options_.rewriteOptions).run(g_, roots, *rwAig_));
+      const double ms =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count() *
+          1e3;
+      const aig::RewriteStats& rs = rewritten_->stats;
+      phase.rewriteNodesBefore += rs.nodesBefore;
+      phase.rewriteNodesAfter += rs.nodesAfter;
+      phase.rewriteApplied += rs.rewritesApplied;
+      phase.rewriteTimeMs += ms;
+      rewriteSaved_ += rs.nodesBefore - rs.nodesAfter;
+      rewriteApplied_ += rs.rewritesApplied;
+      rewriteTimeMs_ += ms;
+      roots = rewritten_->roots;
+      solveG = rwAig_.get();
+    }
     solver_ = std::make_unique<sat::Solver>(options_.solver);
-    enc_ = std::make_unique<aig::CnfEncoder>(*fraigAig_, *solver_);
-    fraiged_ = std::make_unique<aig::Fraig::Result>(
-        aig::Fraig(options_.fraigOptions).run(g_, roots, *fraigAig_, *enc_));
-    const aig::FraigStats& fs = fraiged_->stats;
-    phase.fraigNodesBefore += fs.nodesBefore;
-    phase.fraigNodesAfter += fs.nodesAfter;
-    phase.fraigMergedNodes += fs.mergedNodes;
-    phase.fraigSatCalls += fs.satCalls;
-    phase.fraigTimeMs += fs.seconds * 1e3;
-    fraigMerged_ += fs.mergedNodes;
-    fraigSatCalls_ += fs.satCalls;
-    fraigTimeMs_ += fs.seconds * 1e3;
+    if (options_.fraig) {
+      // The sweep proves its merges through the same solver the main solve
+      // runs on, so the clausified cone, the proven-equivalence units, the
+      // learnt clauses and the saved phases all carry over instead of
+      // being re-derived from scratch.
+      fraigAig_ = std::make_unique<aig::Aig>();
+      enc_ = std::make_unique<aig::CnfEncoder>(*fraigAig_, *solver_);
+      fraiged_ = std::make_unique<aig::Fraig::Result>(aig::Fraig(
+          options_.fraigOptions).run(*solveG, roots, *fraigAig_, *enc_));
+      const aig::FraigStats& fs = fraiged_->stats;
+      phase.fraigNodesBefore += fs.nodesBefore;
+      phase.fraigNodesAfter += fs.nodesAfter;
+      phase.fraigMergedNodes += fs.mergedNodes;
+      phase.fraigSatCalls += fs.satCalls;
+      phase.fraigTimeMs += fs.seconds * 1e3;
+      fraigMerged_ += fs.mergedNodes;
+      fraigSatCalls_ += fs.satCalls;
+      fraigTimeMs_ += fs.seconds * 1e3;
+      roots = fraiged_->roots;
+    } else {
+      fraiged_.reset();
+      fraigAig_.reset();
+      enc_ = std::make_unique<aig::CnfEncoder>(*solveG, *solver_);
+    }
     for (std::size_t i = 0; i < asserted_.size(); ++i)
-      enc_->assertTrue(fraiged_->roots[i]);
+      enc_->assertTrue(roots[i]);
     std::vector<sat::Lit> assumptions;
     if (query != aig::kTrue)
-      assumptions.push_back(enc_->satLit(fraiged_->roots.back()));
+      assumptions.push_back(enc_->satLit(roots.back()));
     const sat::Result r = solveIntoPhase(*solver_, assumptions, budget, phase);
     // The solver is transient in this mode: bank its cost before the next
     // solve replaces it.
     conflicts_ += solver_->stats().conflicts;
     decisions_ += solver_->stats().decisions;
+    bankInprocess(solver_->stats());
     return r;
   }
 
   /// After kSat: the model value of an unrolling-graph literal (mapped
-  /// through the last sweep in fraig mode).
+  /// through the last rewrite and sweep in per-solve mode).
   bool modelOf(aig::Lit l, bool def) {
-    if (options_.fraig) {
+    if (rewritten_ != nullptr) {
+      if (!rewritten_->isMapped(l)) return def;
+      l = rewritten_->map(l);
+    }
+    if (fraiged_ != nullptr) {
       if (!fraiged_->isMapped(l)) return def;
       l = fraiged_->map(l);
     }
     return solver_->modelValueOr(enc_->satLit(l), def);
   }
 
-  /// Folds this miter's total solver + fraig cost into the run stats.
+  /// Folds this miter's total solver + rewrite + fraig cost into the run
+  /// stats.
   void foldInto(SecStats& stats) const {
-    if (!options_.fraig) {
+    if (!perSolve_) {
       stats.satConflicts += solver_->stats().conflicts;
       stats.satDecisions += solver_->stats().decisions;
+      const sat::SolverStats& ss = solver_->stats();
+      stats.satSubsumedClauses += ss.subsumedClauses;
+      stats.satVivifiedClauses += ss.vivifiedClauses;
+      stats.satEliminatedVars += ss.eliminatedVars;
+      stats.satInprocessRounds += ss.inprocessRounds;
     } else {
       stats.satConflicts += conflicts_;
       stats.satDecisions += decisions_;
+      stats.satSubsumedClauses += subsumed_;
+      stats.satVivifiedClauses += vivified_;
+      stats.satEliminatedVars += elimVars_;
+      stats.satInprocessRounds += inprocRounds_;
     }
     stats.fraigMergedNodes += fraigMerged_;
     stats.fraigSatCalls += fraigSatCalls_;
     stats.fraigTimeMs += fraigTimeMs_;
+    stats.rewriteSavedNodes += rewriteSaved_;
+    stats.rewriteApplied += rewriteApplied_;
+    stats.rewriteTimeMs += rewriteTimeMs_;
   }
 
  private:
+  void bankInprocess(const sat::SolverStats& ss) {
+    subsumed_ += ss.subsumedClauses;
+    vivified_ += ss.vivifiedClauses;
+    elimVars_ += ss.eliminatedVars;
+    inprocRounds_ += ss.inprocessRounds;
+  }
+
   aig::Aig& g_;
   const SecOptions& options_;
+  const bool perSolve_;
   std::unique_ptr<sat::Solver> solver_;
   std::unique_ptr<aig::CnfEncoder> enc_;
-  std::vector<aig::Lit> asserted_;               // fraig mode only
+  std::vector<aig::Lit> asserted_;  // per-solve mode only
+  std::unique_ptr<aig::Aig> rwAig_;              // last solve's rewrite
+  std::unique_ptr<aig::Rewriter::Result> rewritten_;
   std::unique_ptr<aig::Aig> fraigAig_;           // last solve's rebuilt graph
   std::unique_ptr<aig::Fraig::Result> fraiged_;  // last solve's sweep
   std::uint64_t conflicts_ = 0, decisions_ = 0;
   std::size_t fraigMerged_ = 0;
   std::uint64_t fraigSatCalls_ = 0;
   double fraigTimeMs_ = 0.0;
+  std::size_t rewriteSaved_ = 0;
+  std::uint64_t rewriteApplied_ = 0;
+  double rewriteTimeMs_ = 0.0;
+  std::uint64_t subsumed_ = 0, vivified_ = 0, elimVars_ = 0,
+                inprocRounds_ = 0;
 };
 
 bv::BitVector extractWord(Miter& miter, const aig::Word& w) {

@@ -21,6 +21,7 @@
 #include "aig/bitblast.h"
 #include "aig/cnf.h"
 #include "aig/fraig.h"
+#include "aig/rewrite.h"
 #include "sat/solver.h"
 #include "sec/transaction.h"
 #include "slice/slice.h"
@@ -77,6 +78,18 @@ struct PhaseStats {
   std::size_t fraigMergedNodes = 0;
   std::uint64_t fraigSatCalls = 0;
   double fraigTimeMs = 0.0;
+  /// Structural-rewrite cost/effect for this phase's solves (all zero when
+  /// SecOptions::rewrite is off).
+  std::size_t rewriteNodesBefore = 0;  ///< and-nodes in the solved cone
+  std::size_t rewriteNodesAfter = 0;   ///< and-nodes after rewriting
+  std::uint64_t rewriteApplied = 0;    ///< NPN-table rewrites committed
+  double rewriteTimeMs = 0.0;
+  /// Clause-database inprocessing deltas for this phase's solves (all zero
+  /// when SecOptions::solver.inprocess is off).
+  std::uint64_t subsumedClauses = 0;
+  std::uint64_t vivifiedClauses = 0;
+  std::uint64_t eliminatedVars = 0;
+  std::uint64_t inprocessRounds = 0;
 };
 
 /// Cost and effect of the word-level abstract-interpretation preprocessing
@@ -123,6 +136,15 @@ struct SecStats {
   std::size_t fraigMergedNodes = 0;
   std::uint64_t fraigSatCalls = 0;
   double fraigTimeMs = 0.0;
+  /// Rewrite totals across all phases (see the per-phase fields for splits).
+  std::size_t rewriteSavedNodes = 0;  ///< sum of (before - after) per solve
+  std::uint64_t rewriteApplied = 0;
+  double rewriteTimeMs = 0.0;
+  /// Inprocessing totals across all phases.
+  std::uint64_t satSubsumedClauses = 0;
+  std::uint64_t satVivifiedClauses = 0;
+  std::uint64_t satEliminatedVars = 0;
+  std::uint64_t satInprocessRounds = 0;
   double seconds = 0.0;
   bool inductionAttempted = false;
   bool inductionClosed = false;
@@ -158,11 +180,14 @@ struct SecOptions {
   /// Attempt the inductive step to upgrade bounded -> proven.
   bool tryInduction = true;
   /// Per-instance SAT solver heuristics (seed, phase saving, restart
-  /// policy).  The portfolio racer (core::buildPortfolio) diversifies
-  /// these; defaults reproduce the historical solver behaviour exactly.
-  /// Every Miter solver this run constructs — incremental or per-solve
-  /// fraig-mode — uses them.
-  sat::SolverOptions solver{};
+  /// policy, inprocessing).  The portfolio racer (core::buildPortfolio)
+  /// diversifies these.  Every Miter solver this run constructs —
+  /// incremental or per-solve fraig-mode — uses them.  SEC turns clause-DB
+  /// inprocessing on (the raw sat::Solver default is off): vivification,
+  /// subsumption and bounded variable elimination never change verdicts,
+  /// only the search trajectory, and their work is charged against the
+  /// solve's Budget so capped verdicts remain machine-independent.
+  sat::SolverOptions solver{.inprocess = true};
   /// Apply equality-shaped coupling invariants structurally (shared
   /// symbolic variables) instead of as CNF constraints.  On by default;
   /// exposed so bench_sec_ablation can quantify the optimization (see
@@ -179,6 +204,18 @@ struct SecOptions {
   bool fraig = true;
   /// Tuning for the fraig pass (seed, stimulus size, per-candidate budget).
   aig::FraigOptions fraigOptions{};
+  /// DAG-aware structural rewrite (aig::Rewriter) of the miter cone before
+  /// each solve, between bit-blasting and CNF: AND-tree balancing plus
+  /// 4-input-cut rewriting against the NPN optimal-structure table.  Like
+  /// fraig the pass is unconditional — it never sees the problem
+  /// constraints — so it is sound for BMC and induction alike, and it is
+  /// deterministic, so verdicts are identical with it on or off (tests and
+  /// bench_sec_ablation assert this).  Composes with fraig: rewriting
+  /// shrinks the graph the sweep must simulate and prove over, fraig then
+  /// merges the semantic equivalences structure alone cannot see.
+  bool rewrite = true;
+  /// Tuning for the rewrite pass (balancing, cut bound, pass count).
+  aig::RewriteOptions rewriteOptions{};
   /// Run the word-level abstract interpretation (dfv::absint) on both sides
   /// and unroll the BMC phase from the simplified systems: nodes proven
   /// constant fold away, muxes with proven selectors lose their dead arm,

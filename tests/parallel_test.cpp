@@ -214,6 +214,45 @@ TEST(Portfolio, BuildIsDeterministicAndDiversified) {
   EXPECT_TRUE(sawFraigToggle);
 }
 
+TEST(Portfolio, RewriteAndInprocessingJoinTheToggleCycle) {
+  // Rewrite rides bit 3 and inprocessing bit 4 of the member counter, so a
+  // portfolio must be wide enough to reach them; both default on in
+  // SecOptions, so the toggled members carry the :no... names.
+  sec::SecOptions base;
+  PortfolioOptions popts;
+  popts.members = 20;
+  popts.varyFraig = true;
+  const auto a = buildPortfolio(base, popts);
+  const auto b = buildPortfolio(base, popts);
+  ASSERT_EQ(a.size(), 20u);
+  bool sawNoRewrite = false, sawNoInprocess = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name) << i;
+    EXPECT_EQ(a[i].options.rewrite, b[i].options.rewrite) << i;
+    EXPECT_EQ(a[i].options.solver.inprocess, b[i].options.solver.inprocess)
+        << i;
+    if (!a[i].options.rewrite) {
+      sawNoRewrite = true;
+      EXPECT_NE(a[i].name.find(":norewrite"), std::string::npos) << a[i].name;
+    }
+    if (!a[i].options.solver.inprocess) {
+      sawNoInprocess = true;
+      EXPECT_NE(a[i].name.find(":noinprocess"), std::string::npos)
+          << a[i].name;
+    }
+  }
+  EXPECT_TRUE(sawNoRewrite);
+  EXPECT_TRUE(sawNoInprocess);
+  // Opting out pins every member to the base's settings.
+  PortfolioOptions fixed = popts;
+  fixed.varyRewrite = false;
+  fixed.varyInprocess = false;
+  for (const auto& m : buildPortfolio(base, fixed)) {
+    EXPECT_EQ(m.options.rewrite, base.rewrite);
+    EXPECT_EQ(m.options.solver.inprocess, base.solver.inprocess);
+  }
+}
+
 // ----- The replay contract (acceptance criterion) ---------------------------
 
 TEST(Portfolio, WinnerReplaysBitIdenticalOnOneThread) {
@@ -245,6 +284,40 @@ TEST(Portfolio, WinnerReplaysBitIdenticalOnOneThread) {
   EXPECT_EQ(replay.stats.transactionsChecked,
             w.result.stats.transactionsChecked);
   EXPECT_EQ(replay.stats.inductionClosed, w.result.stats.inductionClosed);
+  EXPECT_EQ(replay.stats.fraigSatCalls, w.result.stats.fraigSatCalls);
+}
+
+TEST(Portfolio, WinnerReplaysBitIdenticalAcrossRewriteAndInprocessMembers) {
+  // A portfolio wide enough that some racers run with rewriting or
+  // inprocessing toggled off: whichever member wins, re-running its exact
+  // options serially must reproduce the verdict and the solver, rewrite
+  // and clause-DB telemetry bit-for-bit.
+  ChecksumFixture f;
+  sec::SecOptions base;
+  base.boundTransactions = 2;
+  PortfolioOptions popts;
+  popts.members = 18;
+  const auto members = buildPortfolio(base, popts);
+  ParallelExecutor exec(4);
+  const PortfolioOutcome out = racePortfolio(
+      exec, members,
+      [&](const sec::SecOptions& o) { return checkEquivalence(*f.problem, o); });
+  ASSERT_GE(out.winner, 0);
+  const MemberAttempt& w = out.attempts[static_cast<std::size_t>(out.winner)];
+  const sec::SecResult replay = sec::checkEquivalence(
+      *f.problem, members[static_cast<std::size_t>(out.winner)].options);
+  EXPECT_EQ(replay.verdict, w.result.verdict);
+  EXPECT_EQ(replay.stats.satConflicts, w.result.stats.satConflicts);
+  EXPECT_EQ(replay.stats.satDecisions, w.result.stats.satDecisions);
+  EXPECT_EQ(replay.stats.rewriteSavedNodes, w.result.stats.rewriteSavedNodes);
+  EXPECT_EQ(replay.stats.rewriteApplied, w.result.stats.rewriteApplied);
+  EXPECT_EQ(replay.stats.satSubsumedClauses,
+            w.result.stats.satSubsumedClauses);
+  EXPECT_EQ(replay.stats.satVivifiedClauses,
+            w.result.stats.satVivifiedClauses);
+  EXPECT_EQ(replay.stats.satEliminatedVars, w.result.stats.satEliminatedVars);
+  EXPECT_EQ(replay.stats.satInprocessRounds,
+            w.result.stats.satInprocessRounds);
   EXPECT_EQ(replay.stats.fraigSatCalls, w.result.stats.fraigSatCalls);
 }
 
@@ -425,6 +498,10 @@ TEST(ParallelRunner, PortfolioRecordsWinnerAndReplayFingerprint) {
       EXPECT_EQ(replay.stats.satConflicts, rec.satConflicts);
       EXPECT_EQ(replay.stats.satDecisions, rec.satDecisions);
       EXPECT_EQ(replay.stats.aigNodes, rec.aigNodes);
+      EXPECT_EQ(replay.stats.rewriteSavedNodes, rec.rewriteSavedNodes);
+      EXPECT_EQ(replay.stats.satSubsumedClauses, rec.satSubsumed);
+      EXPECT_EQ(replay.stats.satVivifiedClauses, rec.satVivified);
+      EXPECT_EQ(replay.stats.satEliminatedVars, rec.satEliminatedVars);
     }
   }
   EXPECT_EQ(winnerRows, 1u);
@@ -433,6 +510,12 @@ TEST(ParallelRunner, PortfolioRecordsWinnerAndReplayFingerprint) {
   EXPECT_NE(json.find("\"portfolio_winner\":"), std::string::npos);
   EXPECT_NE(json.find("\"member_name\":"), std::string::npos);
   EXPECT_NE(json.find("\"workers\":4"), std::string::npos);
+  // The clause-DB and rewrite telemetry travels with every attempt row.
+  EXPECT_NE(json.find("\"sat_learnts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sat_subsumed\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sat_vivified\":"), std::string::npos);
+  EXPECT_NE(json.find("\"sat_eliminated_vars\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rewrite_saved_nodes\":"), std::string::npos);
 }
 
 TEST(ParallelRunner, PortfolioMemberFaultsAreIsolated) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "designs/fir.h"
 #include "designs/histo.h"
 #include "designs/truncsum.h"
 #include "rtl/lower.h"
@@ -527,6 +528,113 @@ TEST(SecFraig, SweepMergesRegroupedAdderAndFoldsStats) {
   for (const auto& ph : ron.stats.bmcTransactions)
     if (ph.fraigNodesAfter < ph.fraigNodesBefore) sawShrink = true;
   EXPECT_TRUE(sawShrink);
+}
+
+// --- DAG-aware rewriting (SecOptions::rewrite) ---------------------------
+//
+// The rewriter is purely structural and unconditional (no caller
+// constraints assumed), so unlike absint its output is sound for BMC and
+// induction alike.  Still, it runs per-solve inside the miter — *after*
+// the unrolling graphs are built — so the recorded bmc/induction AIG sizes
+// must be bit-identical with it on and off, and every verdict must match.
+
+TEST(SecRewrite, VerdictsIdenticalAcrossFixturesWithRewriteOnAndOff) {
+  for (bool buggy : {false, true}) {
+    SecOptions on, off;
+    on.rewrite = true;
+    off.rewrite = false;
+    on.boundTransactions = off.boundTransactions = 2;
+    Fig1Fixture a(buggy), b(buggy);
+    SecResult ron = checkEquivalence(*a.problem, on);
+    SecResult roff = checkEquivalence(*b.problem, off);
+    EXPECT_EQ(ron.verdict, roff.verdict);
+    EXPECT_EQ(ron.cex.has_value(), roff.cex.has_value());
+    // The rewrite never touches the unrolling graphs themselves, only the
+    // per-solve miter cone, so the recorded graph sizes cannot move.
+    EXPECT_EQ(ron.stats.bmcAigNodes, roff.stats.bmcAigNodes);
+    EXPECT_EQ(ron.stats.inductionAigNodes, roff.stats.inductionAigNodes);
+    EXPECT_EQ(roff.stats.rewriteApplied, 0u);
+    EXPECT_EQ(roff.stats.rewriteSavedNodes, 0u);
+  }
+}
+
+TEST(SecRewrite, FirShrinksMiterConeOverFifteenPercentWithSameVerdict) {
+  // The acceptance bar for the subsystem: fir's miter cones (delay-line
+  // muxing + accumulator compare) must shrink by more than 15% across the
+  // run with a bit-identical verdict.  Designs whose two sides hash-cons
+  // to the same structure (histo, gcd) have empty miter cones and nothing
+  // to rewrite — fir's sides genuinely differ.
+  SecOptions on, off;
+  on.rewrite = true;
+  off.rewrite = false;
+  on.boundTransactions = off.boundTransactions = 2;
+  ir::Context ctxOn, ctxOff;
+  designs::FirSecSetup a = designs::makeFirSecProblem(ctxOn, false);
+  designs::FirSecSetup b = designs::makeFirSecProblem(ctxOff, false);
+  SecResult ron = checkEquivalence(*a.problem, on);
+  SecResult roff = checkEquivalence(*b.problem, off);
+  EXPECT_EQ(ron.verdict, Verdict::kProvenEquivalent);
+  EXPECT_EQ(roff.verdict, Verdict::kProvenEquivalent);
+  EXPECT_GT(ron.stats.rewriteApplied, 0u);
+  EXPECT_GT(ron.stats.rewriteSavedNodes, 0u);
+  // fir's BMC cones collapse structurally; the real rewriting headroom is
+  // the induction miter (symbolic-start delay line vs accumulator compare).
+  std::size_t before = ron.stats.induction.rewriteNodesBefore;
+  std::size_t after = ron.stats.induction.rewriteNodesAfter;
+  EXPECT_LT(after, before);
+  for (const auto& ph : ron.stats.bmcTransactions) {
+    before += ph.rewriteNodesBefore;
+    after += ph.rewriteNodesAfter;
+  }
+  EXPECT_LT(after * 100, before * 85) << before << " -> " << after;
+  EXPECT_EQ(ron.stats.inductionAigNodes, roff.stats.inductionAigNodes);
+}
+
+TEST(SecRewrite, ComposesWithFraigAndAlone) {
+  // rewrite+fraig (the default), rewrite-only, fraig-only, neither: all
+  // four miter modes must agree on the verdict and find the same bug.
+  for (bool buggy : {false, true}) {
+    Verdict expected{};
+    bool first = true;
+    for (bool rw : {false, true}) {
+      for (bool fr : {false, true}) {
+        Fig1Fixture f(buggy);
+        SecOptions o{.boundTransactions = 2};
+        o.rewrite = rw;
+        o.fraig = fr;
+        SecResult r = checkEquivalence(*f.problem, o);
+        if (first) {
+          expected = r.verdict;
+          first = false;
+        }
+        EXPECT_EQ(r.verdict, expected) << "rewrite=" << rw << " fraig=" << fr;
+        if (buggy) {
+          EXPECT_TRUE(r.cex.has_value());
+        }
+      }
+    }
+  }
+}
+
+TEST(SecRewrite, InprocessingPreservesVerdictsAndRecordsWork) {
+  // CDCL inprocessing (on by default) must be invisible in verdicts; the
+  // run stats surface its clause-DB work when the solves are big enough
+  // to cross the conflict interval, and stay zero when disabled.
+  SecOptions on, off;
+  on.solver.inprocess = true;
+  on.solver.inprocessInterval = 1;  // force rounds even on small solves
+  off.solver.inprocess = false;
+  on.boundTransactions = off.boundTransactions = 2;
+  ir::Context ctxOn, ctxOff;
+  designs::HistoSecSetup a = designs::makeHistoSecProblem(ctxOn);
+  designs::HistoSecSetup b = designs::makeHistoSecProblem(ctxOff);
+  SecResult ron = checkEquivalence(*a.problem, on);
+  SecResult roff = checkEquivalence(*b.problem, off);
+  EXPECT_EQ(ron.verdict, roff.verdict);
+  EXPECT_EQ(roff.stats.satInprocessRounds, 0u);
+  EXPECT_EQ(roff.stats.satSubsumedClauses, 0u);
+  EXPECT_EQ(roff.stats.satVivifiedClauses, 0u);
+  EXPECT_EQ(roff.stats.satEliminatedVars, 0u);
 }
 
 // --- Abstract-interpretation preprocessing (SecOptions::absint) ----------

@@ -1,0 +1,262 @@
+// Offline generator for src/aig/rewrite_table.inc — the NPN-canonical
+// optimal-structure table the DAG-aware rewriter (src/aig/rewrite.cpp)
+// looks cuts up in.  Deliberately NOT wired into the build: the table is
+// a checked-in artifact, and the kNpnTableIsValid test in
+// tests/rewrite_test.cpp re-simulates every stored program against its
+// representative truth table, so the generator only needs to run again
+// if the table format or the cost model changes.
+//
+//   g++ -std=c++20 -O2 tools/gen_npn_table.cpp -o gen_npn_table
+//   ./gen_npn_table > src/aig/rewrite_table.inc
+//
+// Three stages:
+//
+//   1. Exact synthesis DP: bottom-up over all 2^16 4-input truth tables,
+//      cost = AND gates (complemented edges free, consts/projections
+//      cost 0).  A function of cost c is an AND of functions with costs
+//      summing to c-1, or — because XOR(f,g) shares each operand across
+//      its three AND nodes — an XOR of functions summing to c-3; the
+//      plain tree recurrence would double-count expensive shared
+//      operands, which is why XOR is a macro-gate here.
+//   2. NPN orbit fill in ascending representative order, with the SAME
+//      transform enumeration as canonTable() in rewrite.cpp — the two
+//      loops must stay bit-for-bit identical or runtime lookups miss.
+//      (222 classes for 4 inputs.)
+//   3. DAG extraction with per-truth-table memoization (shared
+//      subfunctions become shared gates), validated by re-simulation
+//      before anything is emitted.
+//
+// Literal encoding in the emitted gate programs:
+//   0 / 1          const0 / const1
+//   2+2j / 3+2j    input z_j / ~z_j        (j in [0,4))
+//   10+2i / 11+2i  gate i output / complement
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+using u16 = std::uint16_t;
+
+static const u16 kProj[4] = {0xAAAA, 0xCCCC, 0xF0F0, 0xFF00};
+
+static int perms[24][4];
+static void genPerms() {
+  int idx = 0;
+  std::array<int, 4> a{0, 1, 2, 3};
+  struct Gen {
+    int* idx;
+    void go(std::array<int, 4> a, int k) {
+      if (k == 4) {
+        for (int i = 0; i < 4; ++i) perms[*idx][i] = a[i];
+        ++*idx;
+        return;
+      }
+      for (int i = k; i < 4; ++i) {
+        std::swap(a[k], a[i]);
+        go(a, k + 1);
+      }
+    }
+  } g{&idx};
+  g.go(a, 0);
+}
+
+static u16 applyTransform(u16 tt, const int* perm, int negIn, int negOut) {
+  u16 r = 0;
+  for (int m = 0; m < 16; ++m) {
+    int src = 0;
+    for (int i = 0; i < 4; ++i) {
+      int v = ((m >> i) & 1) ^ ((negIn >> i) & 1);
+      src |= v << perm[i];
+    }
+    int bit = ((tt >> src) & 1) ^ negOut;
+    r |= (u16)(bit << m);
+  }
+  return r;
+}
+
+std::vector<int> cost(65536, -1);
+std::vector<u16> defA(65536, 0), defB(65536, 0);
+std::vector<bool> defined(65536, false);
+std::vector<bool> defIsXor(65536, false);
+
+struct Extract {
+  std::vector<std::array<u16, 2>> gates;
+  std::vector<int> memo;  // tt -> literal+2 (0 = absent)
+  Extract() : memo(65536, 0) {}
+  int lit(u16 tt) {
+    if (tt == 0x0000) return 0;
+    if (tt == 0xFFFF) return 1;
+    for (int j = 0; j < 4; ++j) {
+      if (tt == kProj[j]) return 2 + 2 * j;
+      if (tt == (u16)(0xFFFF ^ kProj[j])) return 3 + 2 * j;
+    }
+    if (memo[tt]) return memo[tt] - 2;
+    if (memo[(u16)(0xFFFF ^ tt)]) return (memo[(u16)(0xFFFF ^ tt)] - 2) ^ 1;
+    if (!defined[tt]) return lit((u16)(0xFFFF ^ tt)) ^ 1;
+    int a = lit(defA[tt]);
+    int b = lit(defB[tt]);
+    int l;
+    if (defIsXor[tt]) {
+      gates.push_back({(u16)a, (u16)(b ^ 1)});
+      int n1 = 10 + 2 * (int)(gates.size() - 1);
+      gates.push_back({(u16)(a ^ 1), (u16)b});
+      int n2 = 10 + 2 * (int)(gates.size() - 1);
+      gates.push_back({(u16)(n1 ^ 1), (u16)(n2 ^ 1)});
+      l = (10 + 2 * (int)(gates.size() - 1)) ^ 1;
+    } else {
+      gates.push_back({(u16)a, (u16)b});
+      l = 10 + 2 * (int)(gates.size() - 1);
+    }
+    memo[tt] = l + 2;
+    return l;
+  }
+};
+
+// Simulate a gate program to validate.
+static u16 simLit(const std::vector<std::array<u16, 2>>& gates,
+                  const std::vector<u16>& gateTT, int lit) {
+  u16 base;
+  if (lit < 2) base = 0x0000;
+  else if (lit < 10) base = kProj[(lit - 2) / 2];
+  else base = gateTT[(lit - 10) / 2];
+  return (lit & 1) ? (u16)(0xFFFF ^ base) : base;
+}
+
+int main() {
+  genPerms();
+  std::vector<std::vector<u16>> level;
+  level.push_back({});
+  auto assign = [&](u16 tt, int c, u16 a, u16 b, bool base, bool isXor) {
+    if (cost[tt] >= 0) return;
+    cost[tt] = c;
+    cost[0xFFFF ^ tt] = c;
+    if (!base) {
+      defA[tt] = a;
+      defB[tt] = b;
+      defined[tt] = true;
+      defIsXor[tt] = isXor;
+    }
+    level[c].push_back(tt);
+  };
+  assign(0x0000, 0, 0, 0, true, false);
+  for (int i = 0; i < 4; ++i) assign(kProj[i], 0, 0, 0, true, false);
+  int assigned = 10;  // 2 consts + 8 projections/complements
+  for (int c = 1; assigned < 65536 && c < 64; ++c) {
+    level.push_back({});
+    for (int i = 0; i + i + 1 <= c; ++i) {
+      int j = c - 1 - i;
+      if (j < i) break;
+      for (u16 fa : level[i]) {
+        for (u16 fb : level[j]) {
+          if (i == j && fb < fa) continue;
+          const u16 va[2] = {fa, (u16)(0xFFFF ^ fa)};
+          const u16 vb[2] = {fb, (u16)(0xFFFF ^ fb)};
+          for (int sa = 0; sa < 2; ++sa)
+            for (int sb = 0; sb < 2; ++sb) {
+              u16 tt = va[sa] & vb[sb];
+              if (cost[tt] < 0) assign(tt, c, va[sa], vb[sb], false, false);
+            }
+        }
+      }
+    }
+    // XOR macro-gate: 3 AND nodes sharing each operand once, so the DAG
+    // cost of XOR(f, g) is cost(f) + cost(g) + 3 -- the tree recurrence
+    // would double-count expensive operands.
+    for (int i = 0; i + i + 3 <= c; ++i) {
+      int j = c - 3 - i;
+      if (j < i) break;
+      for (u16 fa : level[i]) {
+        for (u16 fb : level[j]) {
+          if (i == j && fb < fa) continue;
+          u16 tt = (u16)(fa ^ fb);
+          if (cost[tt] < 0) assign(tt, c, fa, fb, false, true);
+        }
+      }
+    }
+    assigned = 0;
+    for (int t = 0; t < 65536; ++t)
+      if (cost[t] >= 0) ++assigned;
+  }
+
+  // Orbit fill, ascending representative order (runtime must match).
+  std::vector<int> canon(65536, -1);
+  std::vector<u16> reps;
+  for (int t = 0; t < 65536; ++t) {
+    if (canon[t] >= 0) continue;
+    reps.push_back((u16)t);
+    for (int pi = 0; pi < 24; ++pi)
+      for (int ni = 0; ni < 16; ++ni)
+        for (int no = 0; no < 2; ++no) {
+          u16 x = applyTransform((u16)t, perms[pi], ni, no);
+          if (canon[x] < 0) canon[x] = t;
+        }
+  }
+  std::fprintf(stderr, "classes: %zu\n", reps.size());
+
+  // Extract DAG structures per rep; validate by simulation.
+  std::vector<std::vector<std::array<u16, 2>>> progs;
+  std::vector<int> outLits;
+  int totalGates = 0, maxGates = 0;
+  for (u16 r : reps) {
+    Extract ex;
+    int out = ex.lit(r);
+    std::vector<u16> gateTT;
+    for (auto& g : ex.gates)
+      gateTT.push_back(simLit(ex.gates, gateTT, g[0]) &
+                       simLit(ex.gates, gateTT, g[1]));
+    u16 sim = simLit(ex.gates, gateTT, out);
+    if (sim != r) {
+      std::fprintf(stderr, "VALIDATION FAILURE rep %04x got %04x\n", r, sim);
+      return 1;
+    }
+    totalGates += (int)ex.gates.size();
+    maxGates = std::max(maxGates, (int)ex.gates.size());
+    progs.push_back(ex.gates);
+    outLits.push_back(out);
+  }
+  std::fprintf(stderr, "total gates %d, max per class %d\n", totalGates,
+               maxGates);
+
+  // Emit.
+  std::printf(
+      "// Generated file -- do not edit by hand.  Produced by an offline\n"
+      "// exact-synthesis pass: a bottom-up tree DP over all 2^16 4-input\n"
+      "// truth tables (cost = AND gates, complemented edges free) followed\n"
+      "// by DAG extraction with per-truth-table memoization, one optimal\n"
+      "// structure per NPN class representative.  Representatives are the\n"
+      "// smallest truth table of each orbit when filled in ascending order\n"
+      "// with the transform loop in canonTable() (rewrite.cpp); the\n"
+      "// kNpnTableIsValid test re-simulates every program against its\n"
+      "// representative.  Literal encoding: 0/1 = const0/const1, 2+2j and\n"
+      "// 3+2j = input j and its complement, 10+2i and 11+2i = gate i and\n"
+      "// its complement.\n"
+      "// clang-format off\n");
+  std::printf("inline constexpr int kNpnClassCount = %zu;\n\n", reps.size());
+  std::printf("inline constexpr std::uint16_t kNpnRepTT[%zu] = {", reps.size());
+  for (std::size_t i = 0; i < reps.size(); ++i)
+    std::printf("%s0x%04x,", i % 10 ? " " : "\n    ", reps[i]);
+  std::printf("\n};\n\n");
+  std::printf("inline constexpr std::uint16_t kNpnOutLit[%zu] = {",
+              reps.size());
+  for (std::size_t i = 0; i < reps.size(); ++i)
+    std::printf("%s%d,", i % 16 ? " " : "\n    ", outLits[i]);
+  std::printf("\n};\n\n");
+  std::vector<int> offsets{0};
+  for (auto& p : progs) offsets.push_back(offsets.back() + (int)p.size());
+  std::printf("inline constexpr std::uint16_t kNpnGateOffset[%zu] = {",
+              reps.size() + 1);
+  for (std::size_t i = 0; i < offsets.size(); ++i)
+    std::printf("%s%d,", i % 12 ? " " : "\n    ", offsets[i]);
+  std::printf("\n};\n\n");
+  std::printf("inline constexpr std::uint16_t kNpnGates[%d][2] = {",
+              totalGates);
+  int col = 0;
+  for (auto& p : progs)
+    for (auto& g : p) {
+      std::printf("%s{%d, %d},", col++ % 8 ? " " : "\n    ", g[0], g[1]);
+    }
+  std::printf("\n};\n");
+  std::printf("// clang-format on\n");
+  return 0;
+}
