@@ -37,6 +37,7 @@
 #include "core/resilient.h"
 #include "designs/fir.h"
 #include "designs/gcd.h"
+#include "designs/wrapcnt.h"
 #include "fault/fault.h"
 #include "ir/expr.h"
 
@@ -287,6 +288,66 @@ void runDegradation(benchutil::JsonReport& json, Totals& totals, bool smoke) {
       .field("detail", b.detail);
 }
 
+void runInvariantRescue(benchutil::JsonReport& json, Totals& totals) {
+  // Three-policy contrast on wrapcnt, whose induction closes only through
+  // certified strengthening (the >= vs == wrap comparators agree only on
+  // reachable states, so BMC constant-folds clean from reset while the
+  // inductive step is SAT from a symbolic start).  Same starved base
+  // everywhere; the policies differ only in what the ladder may change:
+  //   none      — no rungs: the sound bounded verdict, twice
+  //   budget    — a rung restores real budget: still bounded, because no
+  //               amount of solver time proves a non-inductive property
+  //   invariants— the same rung also flips invariants on: proven outright
+  // This is the invariants analog of gcd_breakif's fraig rung — budget
+  // alone cannot buy what a missing fact withholds.
+  std::printf("-- invariant-rung rescue: bounded -> proven on wrapcnt --\n");
+  struct Policy {
+    const char* name;
+    bool rung;        // add the budget-restoring rung at all
+    bool invariants;  // ... and have it enable strengthening
+  };
+  for (const Policy p : {Policy{"none", false, false},
+                         Policy{"budget", true, false},
+                         Policy{"invariants", true, true}}) {
+    ir::Context ctx;
+    designs::WrapcntSecSetup setup = designs::makeWrapcntSecProblem(ctx);
+    sec::SecOptions base;
+    base.invariants = false;
+    base.boundTransactions = 3;
+    base.bmcBudget.maxPropagations = 1;
+    base.inductionBudget.maxPropagations = 1;
+    core::RetryPolicy policy;
+    policy.maxAttempts = 2;
+    if (p.rung) {
+      core::RetryRung rung;
+      rung.budgetScale = 2e6;
+      if (p.invariants) rung.invariants = true;
+      policy.rungs = {rung};
+    } else {
+      policy.budgetScale = 1.0;
+    }
+    core::ResilientRunner runner("inv_rescue", policy);
+    runner.addSecBlock("wrapcnt", 1, base, [&](const sec::SecOptions& o) {
+      return sec::checkEquivalence(*setup.problem, o);
+    });
+    const core::PlanReport report = runner.runAll();
+    totals.absorb(report);
+    const core::BlockResult& b = report.blocks.at(0);
+    std::printf("%-12s => %-40s attempts=%u degraded=%-5s certified=%llu\n",
+                p.name, b.detail.c_str(), b.attempts,
+                b.degraded ? "true" : "false",
+                static_cast<unsigned long long>(b.invCertified));
+    json.beginRow("inv_rescue")
+        .field("policy", p.name)
+        .field("detail", b.detail)
+        .field("attempts", b.attempts)
+        .field("degraded", b.degraded)
+        .field("passed", b.passed)
+        .field("invCertified", b.invCertified);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +359,7 @@ int main(int argc, char** argv) {
   runMatrix(json, totals);
   runLadders(json, totals, smoke);
   runDegradation(json, totals, smoke);
+  runInvariantRescue(json, totals);
   std::printf("totals: degraded=%u faulted=%u escaped=%u injections=%llu "
               "slice(severed=%llu seqconst=%llu)\n",
               totals.degraded, totals.faulted, totals.escaped,

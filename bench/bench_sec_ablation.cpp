@@ -37,6 +37,7 @@
 #include "designs/gcd.h"
 #include "designs/histo.h"
 #include "designs/truncsum.h"
+#include "designs/wrapcnt.h"
 #include "rtl/lower.h"
 #include "rtl/mutate.h"
 #include "sec/engine.h"
@@ -577,6 +578,123 @@ int main(int argc, char** argv) {
                 rewriteRegressions);
   }
 
+  // --- Part 1e: invariants x slice x absint matrix --------------------------
+  //
+  // Certified invariant strengthening (SecOptions::invariants) is the only
+  // channel through which reachability-shaped facts may reach k-induction
+  // (DESIGN.md §16): dfv::inv re-proves every mined fact with a Houdini
+  // SAT certificate, making it sound from any start state.  wrapcnt is the
+  // calibrated fixture — its >= vs == wrap comparators agree only on
+  // reachable states, so every invariants=off cell must stay BOUNDED and
+  // every invariants=on cell must reach PROVEN (the acceptance gate).
+  // histo's induction already closes structurally, so all eight of its
+  // cells must agree regardless — strengthening with entailed facts is
+  // verdict-preserving.
+  unsigned invRegressions = 0;
+  std::uint64_t invCertifiedTotal = 0;
+  {
+    std::vector<Case> invCases = {
+        {"wrapcnt", 3, 1000000, 0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::WrapcntSecSetup>(
+               designs::makeWrapcntSecProblem(ctx)));
+         }},
+        {"histo", 6, 1000000, 0,
+         [](ir::Context& ctx) {
+           return hold(std::make_shared<designs::HistoSecSetup>(
+               designs::makeHistoSecProblem(ctx)));
+         }},
+    };
+    if (smoke) invCases = {invCases[0]};  // wrapcnt carries the gate
+
+    std::printf("--- invariants x slice x absint matrix ---\n");
+    std::printf("%-12s %-6s %-6s %-6s %8s %10s %6s %6s %7s  %s\n", "design",
+                "inv", "slice", "absint", "sec(s)", "aig(ind)", "cand",
+                "cert", "rounds", "verdict");
+    for (const Case& c : invCases) {
+      const bool isWrapcnt = std::string(c.name) == "wrapcnt";
+      sec::Verdict ref = sec::Verdict::kInconclusive;
+      bool refSet = false;
+      for (const bool invariants : {true, false}) {
+        for (const bool slice : {true, false}) {
+          for (const bool absint : {true, false}) {
+            ir::Context ctx;
+            auto problem = c.make(ctx);
+            sec::SecOptions o;
+            o.boundTransactions = c.bound;
+            o.invariants = invariants;
+            o.slice = slice;
+            o.absint = absint;
+            applyBudget(o, c, smoke);
+            const auto t0 = Clock::now();
+            const auto r = sec::checkEquivalence(*problem, o);
+            const double secs = secsSince(t0);
+            const bool cut = r.stats.induction.budgetExhausted ||
+                             r.stats.inv.budgetExhausted ||
+                             sumPhases(r.stats, [](const sec::PhaseStats& p) {
+                               return static_cast<int>(p.budgetExhausted);
+                             }) > 0;
+            invCertifiedTotal += r.stats.inv.certified;
+            std::printf(
+                "%-12s %-6s %-6s %-6s %8.3f %10zu %6llu %6llu %7llu  %s\n",
+                c.name, invariants ? "on" : "off", slice ? "on" : "off",
+                absint ? "on" : "off", secs, r.stats.inductionAigNodes,
+                static_cast<unsigned long long>(r.stats.inv.candidates),
+                static_cast<unsigned long long>(r.stats.inv.certified),
+                static_cast<unsigned long long>(r.stats.inv.rounds),
+                sec::verdictName(r.verdict));
+            report.beginRow("inv_matrix")
+                .field("design", c.name)
+                .field("invariants", invariants)
+                .field("slice", slice)
+                .field("absint", absint)
+                .field("seconds", secs)
+                .field("inductionAigNodes", r.stats.inductionAigNodes)
+                .field("invCandidates", r.stats.inv.candidates)
+                .field("invCertified", r.stats.inv.certified)
+                .field("invRounds", r.stats.inv.rounds)
+                .field("invCertSeconds", r.stats.inv.certSeconds)
+                .field("budgetCut", cut)
+                .field("verdict", sec::verdictName(r.verdict));
+            if (cut) continue;
+            if (isWrapcnt) {
+              // The acceptance gate: strengthening — and only strengthening
+              // — flips wrapcnt from bounded to proven, in every cell.
+              const sec::Verdict want = invariants
+                                            ? sec::Verdict::kProvenEquivalent
+                                            : sec::Verdict::kBoundedEquivalent;
+              if (r.verdict != want) {
+                ++invRegressions;
+                std::printf("  !! INV GATE FAILED on wrapcnt (inv=%s): %s\n",
+                            invariants ? "on" : "off",
+                            sec::verdictName(r.verdict));
+              }
+              if (invariants && r.stats.inv.certified == 0) {
+                ++invRegressions;
+                std::printf("  !! INV GATE FAILED on wrapcnt: nothing "
+                            "certified\n");
+              }
+            } else {
+              if (!refSet) {
+                ref = r.verdict;
+                refSet = true;
+              } else if (r.verdict != ref) {
+                ++verdictMismatches;
+                std::printf("  !! VERDICT CHANGED in inv matrix on %s\n",
+                            c.name);
+              }
+            }
+          }
+        }
+      }
+    }
+    std::printf("(certified invariants carry their own SAT certificates — "
+                "sound from any start\n state — so strengthening may only "
+                "upgrade bounded to proven, never flip a\n verdict; gate "
+                "failures: %u, must be 0)\n\n",
+                invRegressions);
+  }
+
   // --- Part 2: strash reserve + hash mixing ---------------------------------
   {
     const std::size_t chain = smoke ? 20000 : 1000000;
@@ -731,10 +849,13 @@ int main(int argc, char** argv) {
       .field("rewriteRegressions", rewriteRegressions)
       .field("sliceStatesSevered", sliceStatesSeveredTotal)
       .field("sliceSeqConstants", sliceSeqConstantsTotal)
+      .field("invRegressions", invRegressions)
+      .field("invCertified", invCertifiedTotal)
       .field("disagreements", disagreements);
   report.write();
   return disagreements == 0 && verdictMismatches == 0 &&
-                 sliceRegressions == 0 && rewriteRegressions == 0
+                 sliceRegressions == 0 && rewriteRegressions == 0 &&
+                 invRegressions == 0
              ? 0
              : 1;
 }

@@ -424,6 +424,30 @@ std::uint64_t Analysis::totalKnownBits() const {
   return total;
 }
 
+std::vector<ir::NodeRef> Analysis::statePredicates(
+    const ir::TransitionSystem& ts) const {
+  std::vector<ir::NodeRef> preds;
+  ir::Context& ctx = ts.ctx();
+  for (const auto& sv : ts.states()) {
+    if (sv.init.isArray) continue;
+    const Fact f = stateFact(sv.current);
+    if (f.isTop() || f.isBottom()) continue;
+    const unsigned w = f.width();
+    const ir::NodeRef s = sv.current;
+    if (!f.iv().lo.isZero())
+      preds.push_back(ctx.ule(ctx.constant(f.iv().lo), s));
+    if (!f.iv().hi.isAllOnes())
+      preds.push_back(ctx.ule(s, ctx.constant(f.iv().hi)));
+    if (!f.kb().zeros.isZero())
+      preds.push_back(
+          ctx.eq(ctx.bitAnd(s, ctx.constant(f.kb().zeros)), ctx.zero(w)));
+    if (!f.kb().ones.isZero())
+      preds.push_back(ctx.eq(ctx.bitAnd(s, ctx.constant(f.kb().ones)),
+                             ctx.constant(f.kb().ones)));
+  }
+  return preds;
+}
+
 std::function<std::string(ir::NodeRef)> Analysis::annotator() const {
   return [this](ir::NodeRef n) -> std::string {
     const auto it = facts_.find(n);

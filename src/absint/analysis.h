@@ -62,6 +62,17 @@ class Analysis {
   /// metric for stats and benchmarks.
   std::uint64_t totalKnownBits() const;
 
+  /// Exports the state fixpoint as 1-bit candidate predicates over the
+  /// scalar state leaves of `ts` (which must be the system this Analysis
+  /// ran on): interval bounds as `lo <= s` / `s <= hi` and known-bits
+  /// masks as `(s & zeros) == 0` / `(s & ones) == ones`, emitted only when
+  /// non-trivial.  Order is deterministic: ts.states() order, bounds before
+  /// masks.  These are *reachability* facts, NOT sound for induction — the
+  /// only sanctioned path into an induction hypothesis is certification
+  /// through dfv::inv (see CLAUDE.md).
+  std::vector<ir::NodeRef> statePredicates(
+      const ir::TransitionSystem& ts) const;
+
   /// Annotation hook for ir::printExpr / printTransitionSystem: returns the
   /// node's fact string, or "" when nothing beyond top is known.  The
   /// returned callable references this Analysis and must not outlive it.

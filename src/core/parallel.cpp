@@ -382,6 +382,9 @@ sec::SecResult checkBmcParallel(ParallelExecutor& exec,
     merged.stats.induction = inductionResult.stats.induction;
     merged.stats.inductionAttempted = inductionResult.stats.inductionAttempted;
     merged.stats.inductionClosed = inductionResult.stats.inductionClosed;
+    // Mining is gated on tryInduction, so only this task ran it: the depth
+    // shards carry zero InvStats by construction.
+    merged.stats.inv = inductionResult.stats.inv;
     if (inductionResult.verdict == sec::Verdict::kProvenEquivalent)
       merged.verdict = sec::Verdict::kProvenEquivalent;
   }

@@ -39,6 +39,7 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
        << ",\"fault_injections\":" << b.faultInjections
        << ",\"slice_states_severed\":" << b.sliceStatesSevered
        << ",\"slice_seq_constants\":" << b.sliceSeqConstants
+       << ",\"inv_certified\":" << b.invCertified
        << ",\"detail\":\"" << jsonEscape(b.detail) << "\"";
     if (b.portfolioWinner >= 0) {
       os << ",\"portfolio_winner\":" << b.portfolioWinner
@@ -69,6 +70,8 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
            << ",\"sat_vivified\":" << rec.satVivified
            << ",\"sat_eliminated_vars\":" << rec.satEliminatedVars
            << ",\"rewrite_saved_nodes\":" << rec.rewriteSavedNodes
+           << ",\"inv_candidates\":" << rec.invCandidates
+           << ",\"inv_certified\":" << rec.invCertified
            << ",\"aig_nodes\":" << rec.aigNodes << "}";
       }
       os << "]";

@@ -64,6 +64,7 @@ sec::SecOptions attemptOptions(const sec::SecOptions& base, unsigned attempt,
     cumulative *= rung.budgetScale;
     if (rung.fraig.has_value()) opts.fraig = *rung.fraig;
     if (rung.absint.has_value()) opts.absint = *rung.absint;
+    if (rung.invariants.has_value()) opts.invariants = *rung.invariants;
   }
   opts.bmcBudget = scaledBudget(base.bmcBudget, cumulative);
   opts.inductionBudget = scaledBudget(base.inductionBudget, cumulative);
@@ -89,6 +90,8 @@ void recordSecTelemetry(AttemptRecord& rec, const sec::SecStats& s) {
   rec.satEliminatedVars = s.satEliminatedVars;
   rec.rewriteSavedNodes = s.rewriteSavedNodes;
   rec.aigNodes = s.aigNodes;
+  rec.invCandidates = s.inv.candidates;
+  rec.invCertified = s.inv.certified;
 }
 
 void tally(PlanReport& report, const BlockResult& r) {
@@ -208,6 +211,7 @@ BlockResult ResilientRunner::runEntry(Entry& e) {
                                sr.stats.slice.rtl.statesSevered;
         r.sliceSeqConstants = sr.stats.slice.slm.seqConstants +
                               sr.stats.slice.rtl.seqConstants;
+        r.invCertified = sr.stats.inv.certified;
       };
       if (!racing) {
         AttemptRecord rec;

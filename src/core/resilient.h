@@ -42,12 +42,17 @@ namespace dfv::core {
 
 /// One escalation step of the retry ladder.  `budgetScale` multiplies the
 /// *previous* attempt's conflict/propagation/seconds caps (unlimited caps
-/// stay unlimited); `fraig`/`absint`, when set, override the corresponding
-/// SecOptions toggle from this rung on.
+/// stay unlimited); `fraig`/`absint`/`invariants`, when set, override the
+/// corresponding SecOptions toggle from this rung on.  An `invariants`
+/// rung is the natural rescue between budget escalation and cosim
+/// degradation: when the inductive step keeps failing, certified
+/// strengthening often closes it outright instead of buying more solver
+/// time.
 struct RetryRung {
   double budgetScale = 4.0;
   std::optional<bool> fraig;
   std::optional<bool> absint;
+  std::optional<bool> invariants;
 };
 
 /// How inconclusive SEC blocks are retried and degraded.

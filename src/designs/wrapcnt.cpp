@@ -1,0 +1,52 @@
+#include "designs/wrapcnt.h"
+
+#include "rtl/lower.h"
+
+namespace dfv::designs {
+
+ir::TransitionSystem makeWrapcntSlmTs(ir::Context& ctx) {
+  ir::TransitionSystem ts(ctx, "wrapcnt_slm");
+  const unsigned w = kWrapcntWidth;
+  ir::NodeRef tick = ts.addInput("s.tick", 1);
+  ir::NodeRef cnt = ts.addState("s.cnt", w, 0);
+  ir::NodeRef maxv = ctx.constantUint(w, kWrapcntMax);
+  // Defensive wrap: any count at or past the limit restarts the cycle.
+  ir::NodeRef step = ctx.mux(ctx.ule(maxv, cnt), ctx.zero(w),
+                             ctx.add(cnt, ctx.one(w)));
+  ts.setNext(cnt, ctx.mux(tick, step, cnt));
+  ts.addOutput("count", cnt);
+  return ts;
+}
+
+rtl::Module makeWrapcntRtl() {
+  const unsigned w = kWrapcntWidth;
+  rtl::Module m("wrapcnt");
+  rtl::NetId tick = m.addInput("tick", 1);
+  rtl::NetId cnt = m.addDff("cnt", w, 0);
+  // Synthesized wrap: an equality comparator against the terminal count.
+  rtl::NetId step = m.opMux(m.opEq(cnt, m.constantUint(w, kWrapcntMax)),
+                            m.constantUint(w, 0),
+                            m.opAdd(cnt, m.constantUint(w, 1)));
+  m.connectDff(cnt, m.opMux(tick, step, cnt));
+  m.addOutput("count", cnt);
+  return m;
+}
+
+WrapcntSecSetup makeWrapcntSecProblem(ir::Context& ctx) {
+  WrapcntSecSetup setup;
+  setup.slm = std::make_unique<ir::TransitionSystem>(makeWrapcntSlmTs(ctx));
+  setup.rtl = std::make_unique<ir::TransitionSystem>(
+      rtl::lowerToTransitionSystem(makeWrapcntRtl(), ctx, "r."));
+  setup.problem = std::make_unique<sec::SecProblem>(
+      ctx, *setup.slm, 1, *setup.rtl, 1);
+  sec::SecProblem& p = *setup.problem;
+  ir::NodeRef tick = p.declareTxnVar("tick", 1);
+  p.bindInput(sec::Side::kSlm, "s.tick", 0, tick);
+  p.bindInput(sec::Side::kRtl, "r.tick", 0, tick);
+  p.checkOutputs("count", 0, "count", 0);
+  p.addCouplingInvariant(ctx.eq(setup.slm->findState("s.cnt")->current,
+                                setup.rtl->findState("r.cnt")->current));
+  return setup;
+}
+
+}  // namespace dfv::designs

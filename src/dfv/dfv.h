@@ -16,6 +16,7 @@
 //   dfv::aig   — and-inverter graphs, CNF encoding, bit-blasting
 //   dfv::sec   — transaction-based sequential equivalence checking
 //   dfv::slice — induction-sound COI slicing, ternary eval, seq constants
+//   dfv::inv   — Houdini-certified inductive invariants for SEC induction
 //   dfv::fp    — IEEE-754 and simplified-hardware floating point
 //   dfv::cosim — transactors, wrapped-RTL, timing-aligning scoreboards
 //   dfv::slmc  — conditioned algorithmic models: interp, lint, elaborate
@@ -44,6 +45,7 @@
 #include "fault/fault.h"            // IWYU pragma: export
 #include "fp/circuits.h"            // IWYU pragma: export
 #include "fp/softfloat.h"           // IWYU pragma: export
+#include "inv/inv.h"                // IWYU pragma: export
 #include "ir/eval.h"                // IWYU pragma: export
 #include "ir/expr.h"                // IWYU pragma: export
 #include "ir/transition_system.h"   // IWYU pragma: export

@@ -42,6 +42,8 @@ const char* ruleName(Rule rule) {
     case Rule::kSliceDeadInput: return "slice-dead-input";
     case Rule::kSliceDeadLogic: return "slice-dead-logic";
     case Rule::kSliceStuckAtReset: return "slice-stuck-at-reset";
+    case Rule::kInvariantStrengthened: return "invariant-strengthened";
+    case Rule::kInvariantCandidateStorm: return "invariant-candidate-storm";
     case Rule::kRuleCount_: break;
   }
   DFV_UNREACHABLE("bad drc rule");

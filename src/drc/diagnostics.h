@@ -80,6 +80,8 @@ enum class Rule {
   kSliceDeadLogic,      ///< IR nodes feeding no output or constraint
   kSliceStuckAtReset,   ///< latch provably stuck at its reset value
                         ///< (ternary greatest fixpoint; inductive fact)
+  kInvariantStrengthened,     ///< certified inductive invariant available
+  kInvariantCandidateStorm,   ///< mined candidates overflow the cert cap
   // Sentinel for allRules(); keep last.
   kRuleCount_,
 };

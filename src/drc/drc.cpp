@@ -10,6 +10,7 @@ DrcReport runDrc(const DrcInputs& inputs) {
     checkTransitionSystem(*ts, name, report);
     checkSemantics(*ts, name, report);
     checkSliceRules(*ts, name, report);
+    checkInvariantRules(*ts, name, report);
   }
   for (const auto& [name, m] : inputs.modules)
     checkNetlist(*m, name, report);

@@ -15,6 +15,7 @@
 
 #include "drc/absint_rules.h"
 #include "drc/diagnostics.h"
+#include "drc/inv_rules.h"
 #include "drc/ir_rules.h"
 #include "drc/rtl_rules.h"
 #include "drc/sec_rules.h"

@@ -525,6 +525,24 @@ void replayCounterexample(const SecProblem& problem, Counterexample& cex) {
   }
 }
 
+/// Shrinks the shared induction budget pool by what one certification pass
+/// spent.  Finite caps drain to a minimal positive remainder — never to 0,
+/// which would mean "unlimited" — so an exhausted pool makes the next solve
+/// fail fast (kUnknown -> budgetExhausted) instead of silently lifting the
+/// cap.
+sat::Budget drainBudget(sat::Budget b, const inv::Stats& spent) {
+  if (b.maxConflicts > 0)
+    b.maxConflicts = std::max<std::int64_t>(
+        1, b.maxConflicts - static_cast<std::int64_t>(spent.certConflicts));
+  if (b.maxPropagations > 0)
+    b.maxPropagations = std::max<std::int64_t>(
+        1,
+        b.maxPropagations - static_cast<std::int64_t>(spent.certPropagations));
+  if (b.maxSeconds > 0)
+    b.maxSeconds = std::max(1e-9, b.maxSeconds - spent.certSeconds);
+  return b;
+}
+
 }  // namespace
 
 SecResult checkEquivalence(const SecProblem& problem,
@@ -589,6 +607,41 @@ SecResult checkEquivalence(const SecProblem& problem,
     st.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+  }
+
+  // Certified-invariant strengthening (SecOptions::invariants): mine and
+  // Houdini-certify per-state predicates on the systems the induction step
+  // will use (sliced-or-original; NEVER the absint copies below, which are
+  // reachability-simplified views for BMC only).  A certified predicate
+  // holds at reset, in every reachable state, and is closed under one
+  // free-input transition of its side, so it is sound to assume at the
+  // symbolic induction start and entailed (free) at every BMC transaction
+  // boundary.  Certification solves charge options.inductionBudget as a
+  // shared pool: the induction solve below runs under the drained
+  // remainder, so capped runs stay machine-independent facts.
+  std::vector<ir::NodeRef> slmCertified, rtlCertified;
+  sat::Budget inductionBudget = options.inductionBudget;
+  if (options.invariants && options.tryInduction) {
+    InvStats& is = result.stats.inv;
+    is.applied = true;
+    auto runSide = [&](const ir::TransitionSystem& ts,
+                       std::vector<ir::NodeRef>& out) {
+      const inv::Result r = inv::mineAndCertify(ts, options.invOptions,
+                                                inductionBudget,
+                                                options.solver);
+      out = r.certified;
+      is.candidates += r.stats.candidates;
+      is.certified += r.stats.certified;
+      is.rounds += r.stats.rounds;
+      is.dropped += r.stats.dropped;
+      is.certConflicts += r.stats.certConflicts;
+      is.certPropagations += r.stats.certPropagations;
+      is.certSeconds += r.stats.certSeconds;
+      is.budgetExhausted = is.budgetExhausted || r.stats.budgetExhausted;
+      inductionBudget = drainBudget(inductionBudget, r.stats);
+    };
+    runSide(*slmForInduction, slmCertified);
+    runSide(*rtlForInduction, rtlCertified);
   }
 
   // Word-level preprocessing: simplify both sides under reachable-from-reset
@@ -701,6 +754,28 @@ SecResult checkEquivalence(const SecProblem& problem,
       DFV_CHECK_MSG(vr == sat::Result::kSat,
                     "SEC constraints are unsatisfiable: every property "
                     "would hold vacuously (over-constrained input space)");
+    }
+
+    // Certified invariants hold in every reachable state and the unrolling
+    // visits only reachable states, so asserting them at each transaction
+    // boundary is free strengthening (at t=0 they fold to constant true
+    // over the reset words).  A constant-false assertion would make every
+    // check pass vacuously — that can only mean a certifier soundness bug,
+    // so it is rejected loudly instead.
+    if (!slmCertified.empty() || !rtlCertified.empty()) {
+      aig::BitBlaster frame(g);
+      slm.bindStateLeaves(frame);
+      rtl.bindStateLeaves(frame);
+      auto assertFact = [&](ir::NodeRef p) {
+        const aig::Lit l = frame.blast(p)[0];
+        if (l == aig::kTrue) return;
+        DFV_CHECK_MSG(l != aig::kFalse,
+                      "certified invariant is false on the BMC unrolling "
+                      "(certifier soundness bug)");
+        miter.assertTrue(l);
+      };
+      for (ir::NodeRef p : slmCertified) assertFact(p);
+      for (ir::NodeRef p : rtlCertified) assertFact(p);
     }
 
     slm.runTransaction(t, vars);
@@ -869,6 +944,20 @@ SecResult checkEquivalence(const SecProblem& problem,
         rtlI.bindStateLeaves(frame);
         for (ir::NodeRef inv : cnfInvariants)
           miterI.assertTrue(frame.blast(inv)[0]);
+        // Certified invariants join the hypothesis: assumed at the symbolic
+        // start, never added to the violation disjunction below — they are
+        // already-proven facts of every reachable state (each carries its
+        // own Houdini SAT certificate), not proof obligations of this step.
+        auto assumeCertified = [&](ir::NodeRef p) {
+          const aig::Lit l = frame.blast(p)[0];
+          if (l == aig::kTrue) return;
+          DFV_CHECK_MSG(l != aig::kFalse,
+                        "certified invariant is constant false at the "
+                        "symbolic induction start (certifier soundness bug)");
+          miterI.assertTrue(l);
+        };
+        for (ir::NodeRef p : slmCertified) assumeCertified(p);
+        for (ir::NodeRef p : rtlCertified) assumeCertified(p);
       }
       // One symbolic transaction.
       std::vector<aig::Word> vars;
@@ -902,7 +991,7 @@ SecResult checkEquivalence(const SecProblem& problem,
           violation =
               gi.makeOr(violation, aig::negate(frame.blast(inv)[0]));
       }
-      const sat::Result ir = miterI.solve(violation, options.inductionBudget,
+      const sat::Result ir = miterI.solve(violation, inductionBudget,
                                           result.stats.induction);
       // kUnknown leaves `closed` false: the bounded verdict is sound on its
       // own, so an induction cutoff only forgoes the upgrade to proven.

@@ -22,6 +22,7 @@
 #include "aig/cnf.h"
 #include "aig/fraig.h"
 #include "aig/rewrite.h"
+#include "inv/inv.h"
 #include "sat/solver.h"
 #include "sec/transaction.h"
 #include "slice/slice.h"
@@ -125,6 +126,28 @@ struct SliceStats {
   double seconds = 0.0;  ///< both sides' analysis + rebuild wall-clock
 };
 
+/// Cost and effect of the certified-invariant strengthening pass
+/// (SecOptions::invariants): dfv::inv runs once per side on the systems the
+/// induction step will use, and the certified predicates join the induction
+/// hypothesis (plus free BMC boundary assertions).  Counters aggregate both
+/// sides; certification solver cost is kept here, NOT in
+/// satConflicts/satDecisions — phase telemetry is unchanged by
+/// strengthening.
+struct InvStats {
+  bool applied = false;  ///< the pass ran (invariants on, induction wanted)
+  std::uint64_t candidates = 0;
+  std::uint64_t certified = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t certConflicts = 0;
+  std::uint64_t certPropagations = 0;
+  double certSeconds = 0.0;
+  /// Certification exhausted the induction budget pool on some side: that
+  /// side contributed no invariants and the induction solve ran under the
+  /// drained remainder (so it reports its own budgetExhausted).
+  bool budgetExhausted = false;
+};
+
 struct SecStats {
   unsigned transactionsChecked = 0;
   std::size_t aigNodes = 0;           ///< total across both graphs
@@ -157,6 +180,9 @@ struct SecStats {
   AbsintStats absint{};
   /// Structural slicing telemetry (see SecOptions::slice).
   SliceStats slice{};
+  /// Certified-invariant strengthening telemetry (see
+  /// SecOptions::invariants).
+  InvStats inv{};
 };
 
 struct SecResult {
@@ -243,6 +269,23 @@ struct SecOptions {
   bool slice = true;
   /// Tuning for the slicing passes (COI severing, constant detection).
   slice::Options sliceOptions{};
+  /// Mine candidate invariants from the absint fixpoint and the ternary
+  /// greatest fixpoint, certify a simultaneously-inductive subset with
+  /// dfv::inv's Houdini loop, and conjoin the certified predicates to the
+  /// k-induction hypothesis (they are also asserted at BMC transaction
+  /// boundaries as free strengthening).  This is the ONLY channel through
+  /// which reachability-shaped facts reach the induction step: soundness
+  /// rests on the per-predicate SAT certificate, not on the analyzers.
+  /// Certification solves are charged against inductionBudget as a shared
+  /// pool — what certification spends, the induction solve no longer has —
+  /// so capped runs stay machine-independent.  BMC-only verdicts are
+  /// identical on or off (the assertions are entailed facts); induction can
+  /// only gain (bounded -> proven), never lose, a verdict.  The mining
+  /// analysis is private (invOptions.absintOptions), so certified sets are
+  /// independent of the SecOptions::absint toggle.
+  bool invariants = true;
+  /// Tuning for mining and certification (see inv::Options).
+  inv::Options invOptions{};
   /// Resource cap applied to each BMC solve (one per transaction, plus the
   /// constraint-vacuity check).  Default-constructed = unlimited.  When a
   /// BMC solve is cut off the engine stops and returns kInconclusive —

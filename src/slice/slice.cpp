@@ -243,6 +243,52 @@ SeqConstResult sequentialConstants(const ir::TransitionSystem& ts) {
   return result;
 }
 
+SeqTernaryResult sequentialTernary(const ir::TransitionSystem& ts) {
+  SeqTernaryResult result;
+  // Same greatest fixpoint as sequentialConstants, per bit: start every
+  // scalar latch fully known at reset and demote individual bits until
+  // stable.  Inputs, array states and fully-demoted latches read as X via
+  // the evaluator's unbound-leaf rule.
+  std::vector<const ir::StateVar*> candidates;
+  std::unordered_map<ir::NodeRef, Ternary> pattern;
+  for (const auto& sv : ts.states()) {
+    if (sv.next == nullptr || sv.init.isArray) continue;
+    candidates.push_back(&sv);
+    pattern.emplace(sv.current, Ternary::known(sv.init.scalar));
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    TernaryEnv env;
+    for (const auto* sv : candidates) {
+      const Ternary& p = pattern.at(sv->current);
+      if (!p.noneKnown()) env.emplace(sv->current, TernaryValue(p));
+    }
+    TernaryEvaluator eval(env);
+    for (const auto* sv : candidates) {
+      Ternary& p = pattern.at(sv->current);
+      if (p.noneKnown()) continue;
+      const TernaryValue& next = eval.eval(sv->next);
+      DFV_CHECK(!next.isArray);
+      // Keep exactly the bits whose next value is known-equal to reset.
+      const bv::BitVector agree =
+          p.mask() & next.scalar.mask() &
+          ~(next.scalar.value() ^ sv->init.scalar);
+      if (agree != p.mask()) {
+        p = Ternary::make(sv->init.scalar, agree);
+        changed = true;
+      }
+    }
+  }
+  for (const auto* sv : candidates) {
+    const Ternary& p = pattern.at(sv->current);
+    if (!p.noneKnown()) result.masks.emplace(sv->current, p);
+  }
+  return result;
+}
+
 ir::TransitionSystem sliceTransitionSystem(const ir::TransitionSystem& ts,
                                            const Roots& roots,
                                            const Options& opts,

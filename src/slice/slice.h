@@ -103,6 +103,26 @@ struct SeqConstResult {
 
 SeqConstResult sequentialConstants(const ir::TransitionSystem& ts);
 
+/// Per-bit generalization of sequentialConstants for *scalar* latches: the
+/// greatest fixpoint over partial reset patterns.  Start every candidate
+/// fully known at its reset value; each round evaluates every next-state
+/// function under the current patterns (inputs and array states at X) and
+/// keeps only the bits whose next value is known-equal to the reset bit.
+/// The surviving pattern P_s per latch satisfies: (1) reset agrees with
+/// every known bit, and (2) any state agreeing with every latch's pattern
+/// steps, for all inputs, to a state that still agrees.  Like
+/// sequentialConstants the facts are therefore *inductive*, not merely
+/// reachable — the masks are safe candidate sources for dfv::inv and a
+/// fully-known pattern coincides with a sequentialConstants scalar entry.
+struct SeqTernaryResult {
+  /// Scalar latch leaf -> its stuck-bit pattern.  Only latches with at
+  /// least one known bit appear.
+  std::unordered_map<ir::NodeRef, Ternary> masks;
+  unsigned iterations = 0;
+};
+
+SeqTernaryResult sequentialTernary(const ir::TransitionSystem& ts);
+
 /// Unique non-leaf IR nodes across every next-state, output and constraint
 /// cone — the slice analogue of absint's coneSize, counted identically
 /// before and after slicing.

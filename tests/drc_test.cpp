@@ -18,6 +18,7 @@
 #include "designs/macpipe.h"
 #include "designs/memsys.h"
 #include "designs/truncsum.h"
+#include "designs/wrapcnt.h"
 #include "drc/drc.h"
 #include "rtl/sim.h"
 #include "slmc/lint.h"
@@ -409,6 +410,37 @@ TEST(DrcSweep, ViolatingVariantsAreFlagged) {
 // ---------------------------------------------------------------------------
 // Diagnostics plumbing
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Invariant-strengthening advisories (dfv::inv's DRC face)
+// ---------------------------------------------------------------------------
+
+TEST(DrcInv, StrengthenedAdvisoryQuotesCertifiedPredicate) {
+  ir::Context ctx;
+  ir::TransitionSystem ts = designs::makeWrapcntSlmTs(ctx);
+  DrcReport r;
+  drc::checkInvariantRules(ts, "wrapcnt", r);
+  EXPECT_TRUE(r.fired(Rule::kInvariantStrengthened));
+  EXPECT_FALSE(r.fired(Rule::kInvariantCandidateStorm));
+  EXPECT_TRUE(r.clean());  // advisory: certified facts are good news
+  for (const auto& d : r.diagnostics())
+    if (d.rule == Rule::kInvariantStrengthened) {
+      EXPECT_EQ(d.severity, Severity::kInfo);
+      EXPECT_FALSE(d.evidence.empty());  // printExpr of the predicate
+    }
+}
+
+TEST(DrcInv, CandidateStormWarnsAboveThreshold) {
+  ir::Context ctx;
+  ir::TransitionSystem ts = designs::makeWrapcntSlmTs(ctx);
+  drc::InvRuleOptions opts;
+  opts.stormThreshold = 1;  // wrapcnt mines more than one candidate
+  DrcReport r;
+  drc::checkInvariantRules(ts, "wrapcnt", r, opts);
+  EXPECT_TRUE(r.fired(Rule::kInvariantCandidateStorm));
+  EXPECT_FALSE(r.clean());
+  EXPECT_GE(r.warnings(), 1u);
+}
 
 TEST(DrcReportTest, JsonShapeAndEscaping) {
   DrcReport r;

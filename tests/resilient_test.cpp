@@ -15,6 +15,7 @@
 #include "core/report.h"
 #include "designs/fir.h"
 #include "designs/gcd.h"
+#include "designs/wrapcnt.h"
 #include "fault/fault.h"
 #include "ir/expr.h"
 
@@ -358,6 +359,45 @@ TEST(RealDesigns, StarvedGcdBreakIfDegradesToRandomCosim) {
   EXPECT_NE(b.detail.find("degraded to cosim"), std::string::npos);
   const std::string json = report.json("gcd");
   EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+}
+
+TEST(RealDesigns, InvariantRungRescuesWrapcntFromBoundedToProven) {
+  ir::Context ctx;
+  designs::WrapcntSecSetup setup = designs::makeWrapcntSecProblem(ctx);
+  // Base attempt: strengthening off AND a one-propagation induction cap, so
+  // attempt 1 lands on kBoundedEquivalent with induction.budgetExhausted —
+  // the retryInductionCutoff trigger.  The rung restores real budget and
+  // flips invariants on; attempt 2 must certify the wrap bound and close
+  // the induction, upgrading the block without ever touching cosim.
+  sec::SecOptions base;
+  base.invariants = false;
+  base.boundTransactions = 3;
+  base.inductionBudget.maxPropagations = 1;
+  RetryPolicy policy;
+  policy.maxAttempts = 2;
+  RetryRung rescue;
+  rescue.budgetScale = 1e6;  // lift the starvation cap out of the way
+  rescue.invariants = true;
+  policy.rungs = {rescue};
+  ResilientRunner runner("wrapcnt", policy);
+  runner.addSecBlock("wrapcnt", 1, base, [&](const sec::SecOptions& o) {
+    return sec::checkEquivalence(*setup.problem, o);
+  });
+  const PlanReport report = runner.runAll();
+  const BlockResult& b = report.blocks[0];
+  EXPECT_TRUE(b.passed);
+  EXPECT_FALSE(b.degraded);
+  EXPECT_EQ(b.attempts, 2u);
+  ASSERT_EQ(b.attemptLog.size(), 2u);
+  EXPECT_EQ(b.attemptLog[0].outcome, "bounded-equivalent");
+  EXPECT_EQ(b.attemptLog[1].outcome, "proven-equivalent");
+  EXPECT_EQ(b.attemptLog[0].invCertified, 0u);
+  EXPECT_EQ(b.attemptLog[0].invCandidates, 0u);
+  EXPECT_GT(b.attemptLog[1].invCertified, 0u);
+  EXPECT_EQ(b.invCertified, b.attemptLog[1].invCertified);
+  const std::string json = report.json("wrapcnt");
+  EXPECT_NE(json.find("\"inv_certified\":"), std::string::npos);
+  EXPECT_NE(json.find("\"inv_candidates\":"), std::string::npos);
 }
 
 TEST(RealDesigns, RandomCosimFallbackFindsTheNarrowAccumulator) {

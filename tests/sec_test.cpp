@@ -9,6 +9,7 @@
 #include "designs/fir.h"
 #include "designs/histo.h"
 #include "designs/truncsum.h"
+#include "designs/wrapcnt.h"
 #include "rtl/lower.h"
 #include "rtl/netlist.h"
 
@@ -821,6 +822,126 @@ TEST(SecEngine, NegativeBudgetCapsAreRejectedOnEntry) {
   opts.boundTransactions = 2;
   EXPECT_EQ(checkEquivalence(*f.problem, opts).verdict,
             Verdict::kBoundedEquivalent);
+}
+
+// ---------------------------------------------------------------------------
+// SecInvariants: the certified-invariant strengthening channel
+// (SecOptions::invariants).  wrapcnt is the calibrated fixture: its two wrap
+// comparators (>= vs ==) agree only on reachable states, so plain induction
+// is SAT and the verdict stays bounded — until dfv::inv certifies
+// ule(count, 10) and the hypothesis closes the gap.
+// ---------------------------------------------------------------------------
+
+TEST(SecInvariants, WrapcntFlipsBoundedToProven) {
+  ir::Context ctx;
+  designs::WrapcntSecSetup s = designs::makeWrapcntSecProblem(ctx);
+
+  SecOptions off;
+  off.boundTransactions = 3;
+  off.invariants = false;
+  SecResult roff = checkEquivalence(*s.problem, off);
+  EXPECT_EQ(roff.verdict, Verdict::kBoundedEquivalent);
+  EXPECT_TRUE(roff.stats.inductionAttempted);
+  EXPECT_FALSE(roff.stats.inductionClosed);
+  EXPECT_FALSE(roff.stats.inv.applied);
+  EXPECT_EQ(roff.stats.inv.certified, 0u);
+
+  SecOptions on;
+  on.boundTransactions = 3;
+  SecResult ron = checkEquivalence(*s.problem, on);
+  EXPECT_EQ(ron.verdict, Verdict::kProvenEquivalent);
+  EXPECT_TRUE(ron.stats.inductionClosed);
+  EXPECT_TRUE(ron.stats.inv.applied);
+  EXPECT_GT(ron.stats.inv.certified, 0u);
+  EXPECT_EQ(ron.stats.inv.candidates,
+            ron.stats.inv.certified + ron.stats.inv.dropped);
+  EXPECT_FALSE(ron.stats.inv.budgetExhausted);
+  EXPECT_GE(ron.stats.inv.rounds, 2u);  // one side each, at least
+  // Certification cost is telemetry of its own, never folded into the
+  // phase solver counters (which must replay bit-identically).
+  EXPECT_GT(ron.stats.inv.certPropagations, 0u);
+}
+
+TEST(SecInvariants, VerdictParityAcrossFixtures) {
+  // Certified invariants are entailed facts: asserting them may never
+  // change any verdict or counterexample on designs whose inductions
+  // already close (or already fail for non-reachability reasons).
+  auto parity = [](SecProblem& p, unsigned bound) {
+    SecOptions off;
+    off.boundTransactions = bound;
+    off.invariants = false;
+    SecOptions on = off;
+    on.invariants = true;
+    SecResult roff = checkEquivalence(p, off);
+    SecResult ron = checkEquivalence(p, on);
+    EXPECT_EQ(roff.verdict, ron.verdict);
+    EXPECT_EQ(roff.cex.has_value(), ron.cex.has_value());
+    EXPECT_EQ(roff.stats.transactionsChecked, ron.stats.transactionsChecked);
+    return ron;
+  };
+  {
+    Fig1Fixture f(/*buggyNarrowTmp=*/false);
+    parity(*f.problem, 2);
+  }
+  {
+    Fig1Fixture f(/*buggyNarrowTmp=*/true);
+    parity(*f.problem, 2);
+  }
+  {
+    ir::Context ctx;
+    designs::TruncsumSecSetup s =
+        designs::makeTruncsumSecProblem(ctx, /*narrow=*/false);
+    parity(*s.problem, 2);
+  }
+  {
+    ir::Context ctx;
+    designs::HistoSecSetup s = designs::makeHistoSecProblem(ctx);
+    parity(*s.problem, 2);
+  }
+}
+
+TEST(SecInvariants, MiningAnalysisIsPrivateToTheChannel) {
+  // The miner runs its own absint fixpoint (invOptions.absintOptions), so
+  // the induction graph with strengthening on must be bit-identical
+  // whether or not the consumer's own absint pass (BMC-only by the
+  // CLAUDE.md invariant) is enabled.
+  auto run = [](bool absintOn) {
+    ir::Context ctx;
+    designs::WrapcntSecSetup s = designs::makeWrapcntSecProblem(ctx);
+    SecOptions o;
+    o.boundTransactions = 2;
+    o.absint = absintOn;
+    return checkEquivalence(*s.problem, o);
+  };
+  SecResult ra = run(true);
+  SecResult rb = run(false);
+  EXPECT_EQ(ra.verdict, Verdict::kProvenEquivalent);
+  EXPECT_EQ(rb.verdict, Verdict::kProvenEquivalent);
+  EXPECT_EQ(ra.stats.inductionAigNodes, rb.stats.inductionAigNodes);
+  EXPECT_EQ(ra.stats.inv.certified, rb.stats.inv.certified);
+  EXPECT_EQ(ra.stats.inv.certConflicts, rb.stats.inv.certConflicts);
+}
+
+TEST(SecInvariants, CertExhaustionDegradesToUncertifiedBoundedVerdict) {
+  // A cert pool too small to finish Houdini must yield the same sound
+  // bounded verdict as invariants=false — never a wrong one, and never a
+  // skipped induction solve (the drained budget clamps to a fast-failing
+  // minimum instead of zero).
+  ir::Context ctx;
+  designs::WrapcntSecSetup s = designs::makeWrapcntSecProblem(ctx);
+  SecOptions o;
+  o.boundTransactions = 3;
+  o.inductionBudget.maxPropagations = 1;
+  SecResult r = checkEquivalence(*s.problem, o);
+  EXPECT_EQ(r.verdict, Verdict::kBoundedEquivalent);
+  EXPECT_TRUE(r.stats.inv.applied);
+  EXPECT_TRUE(r.stats.inv.budgetExhausted);
+  EXPECT_EQ(r.stats.inv.certified, 0u);
+  EXPECT_TRUE(r.stats.inductionAttempted);
+  EXPECT_FALSE(r.stats.inductionClosed);
+  EXPECT_TRUE(r.stats.induction.budgetExhausted);
+  EXPECT_GT(r.stats.induction.propagations, 0u);
+  EXPECT_GT(r.stats.inductionAigNodes, 0u);
 }
 
 }  // namespace
