@@ -6,9 +6,12 @@
 //
 //   1. fault -> recovery matrix — every fault site x policy x
 //      {transient, persistent} combination injected (dfv::fault) into a
-//      two-block plan; the table shows the structured outcome per block.
-//      The invariant: no combination escapes runAll() as an exception, and
-//      every injection is attributed to a block's faultInjections counter.
+//      two-block journaled plan; the table shows the structured outcome per
+//      block.  The journal sites (journal.append/fsync/commit, including
+//      the torn-write crash model) ride the same matrix: a journal fault
+//      may cost durability, never a verdict.  The invariant: no combination
+//      escapes runAll() as an exception, and every injection is attributed
+//      to a block's faultInjections counter.
 //   2. retry-ladder cost — the deliberately hard designs under starvation
 //      budgets: gcd_breakif (fraig off + propagation caps: inconclusive
 //      until a rung re-enables fraig) and FIR without structural aliasing
@@ -25,14 +28,19 @@
 // With --smoke: the full matrix (it is cheap) but a truncated ladder with
 // no fraig/no-aliasing rungs — a wiring check making no timing claims.
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "cosim/scoreboard.h"
+#include "core/journal.h"
 #include "core/report.h"
 #include "core/resilient.h"
 #include "designs/fir.h"
@@ -88,6 +96,13 @@ struct MatrixPlan {
   }
 };
 
+std::string matrixJournalBase() {
+  static std::atomic<unsigned> counter{0};
+  std::ostringstream os;
+  os << "/tmp/dfv_bench_resilience_" << ::getpid() << "_" << counter++;
+  return os.str();
+}
+
 const char* statusOf(const core::BlockResult& b) {
   if (b.faulted) return "faulted";
   if (b.degraded) return b.passed ? "degraded-pass" : "degraded-fail";
@@ -121,13 +136,16 @@ void runMatrix(benchutil::JsonReport& json, Totals& totals) {
   using fault::Policy;
   using fault::Site;
   std::printf("-- fault -> recovery matrix "
-              "(2-block plan, ladder depth 2, cosim fallback) --\n");
-  std::printf("%-22s %-18s %-10s | %-14s %-8s %5s %s\n", "site", "policy",
-              "mode", "gcd", "stream", "inj", "escaped");
-  const Site sites[] = {Site::kSolverSolve, Site::kSecBmcPhase,
-                        Site::kSecInductionPhase, Site::kCosimSample};
+              "(2-block journaled plan, ladder depth 2, cosim fallback) --\n");
+  std::printf("%-22s %-18s %-10s | %-14s %-8s %5s %-9s %s\n", "site", "policy",
+              "mode", "gcd", "stream", "inj", "journal", "escaped");
+  const Site sites[] = {Site::kSolverSolve,   Site::kSecBmcPhase,
+                        Site::kSecInductionPhase, Site::kCosimSample,
+                        Site::kJournalAppend, Site::kJournalFsync,
+                        Site::kJournalCommit};
   const Policy policies[] = {Policy::kThrowCheckError, Policy::kSpuriousUnknown,
-                             Policy::kExhaustBudget, Policy::kCorruptSample};
+                             Policy::kExhaustBudget, Policy::kCorruptSample,
+                             Policy::kTornWrite};
   unsigned escapedTotal = 0;
   for (Site site : sites) {
     for (Policy policy : policies) {
@@ -135,6 +153,16 @@ void runMatrix(benchutil::JsonReport& json, Totals& totals) {
         MatrixPlan plan;
         fault::ScopedInjector scoped(42);
         scoped.injector().arm(site, policy, 1, persistent ? 1 : 0);
+        // Journal attached inside the armed window so the journal.* sites
+        // are on the path; a commit fault means "run unjournaled" — the
+        // documented production reaction.
+        std::unique_ptr<core::Journal> journal;
+        try {
+          journal = std::make_unique<core::Journal>(matrixJournalBase(),
+                                                    "matrix");
+          plan.runner.setJournal(journal.get());
+        } catch (const CheckError&) {
+        }
         core::PlanReport report;
         bool escaped = false;
         try {
@@ -151,11 +179,14 @@ void runMatrix(benchutil::JsonReport& json, Totals& totals) {
             escaped ? "-" : statusOf(report.blocks.at(0));
         const char* streamStatus =
             escaped ? "-" : statusOf(report.blocks.at(1));
-        std::printf("%-22s %-18s %-10s | %-14s %-8s %5llu %s\n",
+        const char* journalStatus = journal == nullptr ? "none"
+                                    : journal->failed() ? "dead"
+                                                        : "alive";
+        std::printf("%-22s %-18s %-10s | %-14s %-8s %5llu %-9s %s\n",
                     fault::siteName(site), fault::policyName(policy), mode,
                     gcdStatus, streamStatus,
                     static_cast<unsigned long long>(injections),
-                    escaped ? "YES" : "no");
+                    journalStatus, escaped ? "YES" : "no");
         json.beginRow("fault_recovery_matrix")
             .field("site", fault::siteName(site))
             .field("policy", fault::policyName(policy))
@@ -163,6 +194,7 @@ void runMatrix(benchutil::JsonReport& json, Totals& totals) {
             .field("gcd_status", gcdStatus)
             .field("stream_status", streamStatus)
             .field("injections", injections)
+            .field("journal", journalStatus)
             .field("escaped", escaped);
       }
     }

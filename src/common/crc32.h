@@ -1,0 +1,49 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over byte strings.
+//
+// The write-ahead journal (core/journal.h) frames every record as
+// `length + CRC32(payload)`; on recovery the checksum is what separates "a
+// record the process wrote" from "bytes a crash or a bit flip left behind".
+// CRC-32 detects every single-bit and every burst error up to 32 bits, which
+// is exactly the torn-write/flipped-byte corruption model the journal's
+// recovery tests exercise.  Header-only and constexpr so checksums of fixed
+// strings can be compile-time facts in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dfv::common {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> makeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = makeCrc32Table();
+
+}  // namespace detail
+
+/// CRC-32 of `data`.  `seed` chains partial computations:
+/// crc32(ab) == crc32(b, crc32(a)).
+constexpr std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : data)
+    c = detail::kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^
+        (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+static_assert(crc32("123456789") == 0xCBF43926u,
+              "CRC-32 check value (IEEE 802.3)");
+static_assert(crc32("") == 0u, "CRC-32 of the empty string");
+
+}  // namespace dfv::common

@@ -1,0 +1,55 @@
+// Stable (process- and machine-independent) hashing for fingerprints.
+//
+// The journal's per-block problem fingerprint must mean the same thing in
+// the run that wrote a record and the run that resumes from it — possibly a
+// different process on a different machine — so std::hash (unspecified,
+// per-implementation) is unusable.  StableHasher is FNV-1a64 with a
+// splitmix64 finalizer: every value folded in is first serialized to a
+// defined byte sequence (little-endian words, length-prefixed strings), and
+// the result depends only on the sequence of mix() calls.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace dfv::common {
+
+class StableHasher {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mixByte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void mix(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(unsigned v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(int v) { mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v ? 1 : 0)); }
+  /// Doubles hash by bit pattern: two runs configured with the same literal
+  /// produce the same fingerprint; -0.0 vs 0.0 intentionally differ.
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  /// Length-prefixed so {"ab","c"} and {"a","bc"} cannot collide.
+  void mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) mixByte(static_cast<unsigned char>(c));
+  }
+
+  /// splitmix64-finalized digest; call order is the whole identity.
+  std::uint64_t digest() const {
+    std::uint64_t z = h_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  void mixByte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ull;  // FNV-1a64 prime
+  }
+
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV-1a64 offset basis
+};
+
+}  // namespace dfv::common

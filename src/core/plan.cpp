@@ -5,7 +5,17 @@
 #include <exception>
 #include <sstream>
 
+#include "core/journal.h"
+
 namespace dfv::core {
+
+bool isResumableVerdict(const BlockResult& r) {
+  // The extra conjuncts beyond "passed and clean" are belt-and-braces for
+  // journal records, which are untrusted bytes: a crafted record could set
+  // passed alongside a contradictory flag, and it must still be rejected.
+  return r.passed && !r.degraded && !r.faulted && !r.inconclusive &&
+         !r.blockedByDrc && !r.skippedUnchanged;
+}
 
 std::vector<std::string> PlanReport::failingBlocks() const {
   std::vector<std::string> out;
@@ -127,13 +137,74 @@ BlockResult VerificationPlan::runEntry(Entry& e) {
                   .count();
   // Only a clean, full-strength pass may seed the incremental cache: a
   // faulted or degraded block must rerun even if its digest is unchanged.
-  if (r.passed && !r.faulted && !r.degraded) {
+  // The same predicate admits journal records on resume — one function, so
+  // the two policies cannot drift apart.
+  if (isResumableVerdict(r)) {
     e.lastCleanDigest = e.digest;
     e.lastDetail = r.detail;
     e.lastSeconds = r.seconds;
   } else {
     e.lastCleanDigest.reset();
   }
+  journalAppend(e, r);
+  return r;
+}
+
+void VerificationPlan::journalAppend(const Entry& e, const BlockResult& r) {
+  if (journal_ == nullptr) return;
+  JournalRecord rec;
+  rec.digest = e.digest;
+  rec.fingerprint = planBlockFingerprint(e.block, e.method, e.digest,
+                                         drcPolicy_, e.drcRunner != nullptr);
+  rec.hasDrc = r.drc.has_value();
+  rec.result = r;
+  try {
+    journal_->append(rec);
+  } catch (const std::exception&) {
+    // Journal I/O failure loses durability, never a verdict: the run
+    // continues unjournaled.
+  }
+}
+
+unsigned VerificationPlan::resumePlan(const JournalLoaded& loaded) {
+  if (loaded.planName != name_) return 0;
+  unsigned admitted = 0;
+  for (const JournalRecord& rec : loaded.records) {
+    auto it = std::find_if(
+        blocks_.begin(), blocks_.end(),
+        [&](const Entry& e) { return e.block == rec.result.block; });
+    // An unknown block or a digest/fingerprint mismatch means the plan the
+    // journal describes is not the plan we have: cold-start from here —
+    // this record and everything after it are stale, never a guess.
+    if (it == blocks_.end()) break;
+    const Entry& e = *it;
+    if (rec.digest != e.digest ||
+        rec.fingerprint != planBlockFingerprint(e.block, e.method, e.digest,
+                                                drcPolicy_,
+                                                e.drcRunner != nullptr))
+      break;
+    // A non-resumable verdict (or one that carried live DRC diagnostics the
+    // journal cannot replay) re-runs its own block only; later records are
+    // still individually admissible.
+    if (!isResumableVerdict(rec.result) || rec.hasDrc ||
+        rec.result.drc.has_value())
+      continue;
+    it->resumedResult = rec.result;
+    it->resumedResult->resumed = true;
+    ++admitted;
+  }
+  return admitted;
+}
+
+BlockResult VerificationPlan::takeResumed(Entry& e) {
+  BlockResult r = std::move(*e.resumedResult);
+  e.resumedResult.reset();
+  // Seed the incremental cache exactly as the recorded clean run did, and
+  // re-journal the record so the fresh WAL covers this run completely.
+  e.lastCleanDigest = e.digest;
+  e.lastDetail = r.detail;
+  e.lastSeconds = r.seconds;
+  journalAppend(e, r);
   return r;
 }
 
@@ -147,13 +218,14 @@ void tally(PlanReport& report, const BlockResult& r) {
   if (r.blockedByDrc) ++report.blocked;
   if (r.faulted) ++report.faulted;
   if (r.degraded) ++report.degraded;
+  if (r.resumed) ++report.resumed;
 }
 }  // namespace
 
 PlanReport VerificationPlan::runAll() {
   PlanReport report;
   for (Entry& e : blocks_) {
-    BlockResult r = runEntry(e);
+    BlockResult r = e.resumedResult.has_value() ? takeResumed(e) : runEntry(e);
     tally(report, r);
     report.blocks.push_back(std::move(r));
   }
@@ -163,6 +235,12 @@ PlanReport VerificationPlan::runAll() {
 PlanReport VerificationPlan::runIncremental() {
   PlanReport report;
   for (Entry& e : blocks_) {
+    if (e.resumedResult.has_value()) {
+      BlockResult r = takeResumed(e);
+      tally(report, r);
+      report.blocks.push_back(std::move(r));
+      continue;
+    }
     if (e.lastCleanDigest.has_value() && *e.lastCleanDigest == e.digest) {
       BlockResult r;
       r.block = e.block;

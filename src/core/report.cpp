@@ -16,8 +16,10 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
      << ",\"inconclusive\":" << report.inconclusive
      << ",\"blocked\":" << report.blocked
      << ",\"faulted\":" << report.faulted
-     << ",\"degraded\":" << report.degraded
-     << ",\"workers\":" << report.workers
+     << ",\"degraded\":" << report.degraded;
+  // Emitted only when nonzero so pre-journal reports stay byte-identical.
+  if (report.resumed > 0) os << ",\"resumed\":" << report.resumed;
+  os << ",\"workers\":" << report.workers
      << ",\"total_seconds\":" << report.totalSeconds
      << ",\"all_passed\":" << (report.allPassed() ? "true" : "false") << "},";
   os << "\"blocks\":[";
@@ -36,8 +38,9 @@ std::string toJson(const std::string& planName, const PlanReport& report) {
        << ",\"attempts\":" << b.attempts
        << ",\"degraded\":" << (b.degraded ? "true" : "false")
        << ",\"faulted\":" << (b.faulted ? "true" : "false")
-       << ",\"fault_injections\":" << b.faultInjections
-       << ",\"slice_states_severed\":" << b.sliceStatesSevered
+       << ",\"fault_injections\":" << b.faultInjections;
+    if (b.resumed) os << ",\"resumed\":true";
+    os << ",\"slice_states_severed\":" << b.sliceStatesSevered
        << ",\"slice_seq_constants\":" << b.sliceSeqConstants
        << ",\"inv_certified\":" << b.invCertified
        << ",\"detail\":\"" << jsonEscape(b.detail) << "\"";

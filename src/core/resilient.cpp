@@ -6,6 +6,7 @@
 #include <exception>
 #include <sstream>
 
+#include "core/journal.h"
 #include "fault/fault.h"
 #include "ir/eval.h"
 #include "ir/transition_system.h"
@@ -103,6 +104,7 @@ void tally(PlanReport& report, const BlockResult& r) {
   if (r.blockedByDrc) ++report.blocked;
   if (r.faulted) ++report.faulted;
   if (r.degraded) ++report.degraded;
+  if (r.resumed) ++report.resumed;
 }
 
 }  // namespace
@@ -334,14 +336,72 @@ BlockResult ResilientRunner::runEntry(Entry& e) {
       portfolioInjections;
   // Only a clean, full-strength pass is cacheable.  A degraded pass is
   // weaker evidence and a faulted run is no evidence: both must rerun on
-  // the next incremental pass even with an unchanged digest.
-  if (r.passed && !r.degraded && !r.faulted) {
+  // the next incremental pass even with an unchanged digest.  The same
+  // predicate admits journal records on resume — one function, so the two
+  // policies cannot drift apart.
+  if (isResumableVerdict(r)) {
     e.lastCleanDigest = e.digest;
     e.lastDetail = r.detail;
   } else {
     e.lastCleanDigest.reset();
   }
+  if (journal_ != nullptr) {
+    // The record carries the pre-append injection count; firings at the
+    // journal sites themselves are folded into the in-memory result below
+    // so the report's attribution still covers every firing.
+    journalAppend(e, r);
+    r.faultInjections =
+        (inj != nullptr ? inj->totalInjections() : 0) - injectionsBefore +
+        portfolioInjections;
+  }
   return r;
+}
+
+std::uint64_t ResilientRunner::entryFingerprint(const Entry& e) const {
+  if (e.method == Method::kCosim)
+    return cosimBlockFingerprint(e.block, e.digest, policy_.cosimSeed);
+  const bool racing =
+      exec_ != nullptr && portfolioEnabled_ && portfolio_.members > 1;
+  return secBlockFingerprint(e.block, e.digest, e.baseOptions, policy_,
+                             racing, racing ? portfolio_.members : 0);
+}
+
+void ResilientRunner::journalAppend(const Entry& e, const BlockResult& r) {
+  if (journal_ == nullptr) return;
+  JournalRecord rec;
+  rec.digest = e.digest;
+  rec.fingerprint = entryFingerprint(e);
+  rec.result = r;
+  try {
+    journal_->append(rec);
+  } catch (const std::exception&) {
+    // Journal I/O failure loses durability, never a verdict: the run
+    // continues unjournaled.
+  }
+}
+
+unsigned ResilientRunner::resumePlan(const JournalLoaded& loaded) {
+  if (loaded.planName != name_) return 0;
+  unsigned admitted = 0;
+  for (const JournalRecord& rec : loaded.records) {
+    auto it = std::find_if(
+        blocks_.begin(), blocks_.end(),
+        [&](const Entry& e) { return e.block == rec.result.block; });
+    // Unknown block or digest/fingerprint mismatch: the journal describes
+    // a different plan from this record on — cold-start from here.
+    if (it == blocks_.end()) break;
+    if (rec.digest != it->digest || rec.fingerprint != entryFingerprint(*it))
+      break;
+    // Non-resumable rows (inconclusive, faulted, degraded, DRC-carrying)
+    // re-run their own block only; later records stay admissible.
+    if (!isResumableVerdict(rec.result) || rec.hasDrc ||
+        rec.result.drc.has_value())
+      continue;
+    it->resumedResult = rec.result;
+    it->resumedResult->resumed = true;
+    ++admitted;
+  }
+  return admitted;
 }
 
 PlanReport ResilientRunner::runAll() { return run(/*incremental=*/false); }
@@ -361,6 +421,18 @@ PlanReport ResilientRunner::run(bool incremental) {
   std::vector<char> skip(blocks_.size(), 0);
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
     Entry& e = blocks_[i];
+    if (e.resumedResult.has_value()) {
+      // Journal-admitted: emit the recorded result (resumed=true set at
+      // admission), seed the incremental cache exactly as the recorded
+      // clean run did, and re-journal it so the fresh WAL covers this run.
+      skip[i] = 2;
+      results[i] = std::move(*e.resumedResult);
+      e.resumedResult.reset();
+      e.lastCleanDigest = e.digest;
+      e.lastDetail = results[i].detail;
+      journalAppend(e, results[i]);
+      continue;
+    }
     if (incremental && e.lastCleanDigest.has_value() &&
         *e.lastCleanDigest == e.digest) {
       skip[i] = 1;
@@ -395,10 +467,10 @@ PlanReport ResilientRunner::run(bool incremental) {
     exec_->wait(group);
   }
   for (std::size_t i = 0; i < blocks_.size(); ++i) {
-    if (skip[i] != 0)
+    if (skip[i] == 1)
       ++report.skipped;
     else
-      tally(report, results[i]);
+      tally(report, results[i]);  // computed (0) and resumed (2) both tally
     report.blocks.push_back(std::move(results[i]));
   }
   return report;

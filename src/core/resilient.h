@@ -40,6 +40,9 @@
 
 namespace dfv::core {
 
+class Journal;
+struct JournalLoaded;
+
 /// One escalation step of the retry ladder.  `budgetScale` multiplies the
 /// *previous* attempt's conflict/propagation/seconds caps (unlimited caps
 /// stay unlimited); `fraig`/`absint`/`invariants`, when set, override the
@@ -125,6 +128,17 @@ class ResilientRunner {
     portfolioEnabled_ = true;
   }
 
+  /// Attaches a write-ahead journal (borrowed; must outlive every run):
+  /// every completed block appends one record — from worker threads under
+  /// an executor (the journal serializes internally).  Journal I/O
+  /// failures never affect verdicts; the run continues unjournaled.
+  void setJournal(Journal* journal) { journal_ = journal; }
+
+  /// Replays a loaded journal (see VerificationPlan::resumePlan for the
+  /// admission rules — same predicate, isResumableVerdict, same
+  /// cold-start-on-mismatch semantics).  Returns the admitted count.
+  unsigned resumePlan(const JournalLoaded& loaded);
+
   /// Verifies every block unconditionally.  Never throws for runner
   /// failures — they surface as faulted BlockResults.
   PlanReport runAll();
@@ -148,11 +162,15 @@ class ResilientRunner {
     CosimRunner cosimRunner;   ///< primary for kCosim, fallback for kSec
     std::optional<std::uint64_t> lastCleanDigest;
     std::string lastDetail;
+    // Journal-admitted result, consumed (once) by the next run.
+    std::optional<BlockResult> resumedResult;
   };
 
   BlockResult runEntry(Entry& e);
   PlanReport run(bool incremental);
   Entry& find(const std::string& block);
+  std::uint64_t entryFingerprint(const Entry& e) const;
+  void journalAppend(const Entry& e, const BlockResult& r);
 
   std::string name_;
   RetryPolicy policy_;
@@ -160,6 +178,7 @@ class ResilientRunner {
   ParallelExecutor* exec_ = nullptr;  ///< borrowed; nullptr = serial
   PortfolioOptions portfolio_{};
   bool portfolioEnabled_ = false;
+  Journal* journal_ = nullptr;  ///< borrowed; nullptr = unjournaled
 };
 
 /// Builds a degradation fallback from the SEC problem itself: drives

@@ -23,7 +23,8 @@
 //   dfv::drc   — cross-layer design-rule checking and diagnostics
 //   dfv::fault — deterministic fault injection for flow robustness tests
 //   dfv::core  — verification plans with incremental re-verification,
-//                DRC gating, and resilient (retry/degrade) execution
+//                DRC gating, resilient (retry/degrade) execution, and a
+//                crash-durable write-ahead journal with resume
 //   dfv::designs / dfv::workload — reference design pairs and stimulus
 #pragma once
 
@@ -34,6 +35,7 @@
 #include "aig/rewrite.h"            // IWYU pragma: export
 #include "bitvec/bitvector.h"       // IWYU pragma: export
 #include "bitvec/hdl_int.h"         // IWYU pragma: export
+#include "core/journal.h"           // IWYU pragma: export
 #include "core/parallel.h"          // IWYU pragma: export
 #include "core/plan.h"              // IWYU pragma: export
 #include "core/report.h"            // IWYU pragma: export

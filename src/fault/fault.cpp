@@ -26,6 +26,9 @@ const char* siteName(Site s) {
     case Site::kSecBmcPhase: return "sec.bmc-phase";
     case Site::kSecInductionPhase: return "sec.induction-phase";
     case Site::kCosimSample: return "cosim.sample";
+    case Site::kJournalAppend: return "journal.append";
+    case Site::kJournalFsync: return "journal.fsync";
+    case Site::kJournalCommit: return "journal.commit";
   }
   DFV_UNREACHABLE("bad fault site");
 }
@@ -37,6 +40,7 @@ const char* policyName(Policy p) {
     case Policy::kSpuriousUnknown: return "spurious-unknown";
     case Policy::kExhaustBudget: return "exhaust-budget";
     case Policy::kCorruptSample: return "corrupt-sample";
+    case Policy::kTornWrite: return "torn-write";
   }
   DFV_UNREACHABLE("bad fault policy");
 }

@@ -34,8 +34,11 @@ enum class Site : unsigned {
   kSecBmcPhase,        ///< before each BMC transaction's solves
   kSecInductionPhase,  ///< before the inductive-step solve
   kCosimSample,        ///< each scoreboard observe()
+  kJournalAppend,      ///< each core::Journal record append (write path)
+  kJournalFsync,       ///< each fsync of the journal's WAL fd
+  kJournalCommit,      ///< the atomic-rename header commit
 };
-inline constexpr unsigned kNumSites = 4;
+inline constexpr unsigned kNumSites = 7;
 
 const char* siteName(Site s);
 
@@ -49,8 +52,9 @@ enum class Policy : unsigned {
   kSpuriousUnknown,  ///< solver-shaped sites report sat::Result::kUnknown
   kExhaustBudget,    ///< budgeted sites report their budget expired early
   kCorruptSample,    ///< cosim sample sites flip the observed value's LSB
+  kTornWrite,        ///< journal append writes a truncated frame (crash model)
 };
-inline constexpr unsigned kNumPolicies = 5;  // including kNone
+inline constexpr unsigned kNumPolicies = 6;  // including kNone
 
 const char* policyName(Policy p);
 

@@ -122,8 +122,33 @@ TEST(ScopedInjector, InstallsAndRestoresIncludingNesting) {
 TEST(Names, SiteAndPolicyNamesAreStable) {
   EXPECT_STREQ(siteName(Site::kSolverSolve), "solver.solve");
   EXPECT_STREQ(siteName(Site::kCosimSample), "cosim.sample");
+  EXPECT_STREQ(siteName(Site::kJournalAppend), "journal.append");
+  EXPECT_STREQ(siteName(Site::kJournalFsync), "journal.fsync");
+  EXPECT_STREQ(siteName(Site::kJournalCommit), "journal.commit");
   EXPECT_STREQ(policyName(Policy::kNone), "none");
   EXPECT_STREQ(policyName(Policy::kCorruptSample), "corrupt-sample");
+  EXPECT_STREQ(policyName(Policy::kTornWrite), "torn-write");
+}
+
+TEST(Names, EveryEnumeratedSiteAndPolicyHasAName) {
+  // Totality guard: growing the enums without growing the name tables (or
+  // kNumSites/kNumPolicies) must fail here, not UB in a bench table.
+  for (unsigned i = 0; i < kNumSites; ++i)
+    EXPECT_NE(siteName(static_cast<Site>(i)), nullptr) << i;
+  for (unsigned i = 0; i < kNumPolicies; ++i)
+    EXPECT_NE(policyName(static_cast<Policy>(i)), nullptr) << i;
+}
+
+TEST(Injector, JournalSitesCountIndependently) {
+  Injector inj;
+  inj.arm(Site::kJournalAppend, Policy::kTornWrite, 2);
+  EXPECT_EQ(inj.onHit(Site::kJournalAppend), Policy::kNone);
+  EXPECT_EQ(inj.onHit(Site::kJournalFsync), Policy::kNone);  // unarmed
+  EXPECT_EQ(inj.onHit(Site::kJournalAppend), Policy::kTornWrite);
+  EXPECT_EQ(inj.injections(Site::kJournalAppend), 1u);
+  EXPECT_EQ(inj.hits(Site::kJournalFsync), 1u);
+  EXPECT_EQ(inj.injections(Site::kJournalFsync), 0u);
+  EXPECT_EQ(inj.hits(Site::kJournalCommit), 0u);
 }
 
 // ----- Solver site ----------------------------------------------------------

@@ -6,12 +6,16 @@
 #include "core/resilient.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cosim/scoreboard.h"
+#include "core/journal.h"
 #include "core/report.h"
 #include "designs/fir.h"
 #include "designs/gcd.h"
@@ -454,13 +458,24 @@ struct SweepPlan {
   }
 };
 
+std::string sweepTempBase() {
+  static std::atomic<unsigned> counter{0};
+  std::ostringstream os;
+  os << ::testing::TempDir() << "dfv_resilient_sweep_" << ::getpid() << "_"
+     << counter++;
+  return os.str();
+}
+
 TEST(FaultSweep, EverySiteAndPolicyYieldsAStructuredResult) {
   using fault::Policy;
   using fault::Site;
-  const Site sites[] = {Site::kSolverSolve, Site::kSecBmcPhase,
-                        Site::kSecInductionPhase, Site::kCosimSample};
+  const Site sites[] = {Site::kSolverSolve,   Site::kSecBmcPhase,
+                        Site::kSecInductionPhase, Site::kCosimSample,
+                        Site::kJournalAppend, Site::kJournalFsync,
+                        Site::kJournalCommit};
   const Policy policies[] = {Policy::kThrowCheckError, Policy::kSpuriousUnknown,
-                             Policy::kExhaustBudget, Policy::kCorruptSample};
+                             Policy::kExhaustBudget, Policy::kCorruptSample,
+                             Policy::kTornWrite};
   for (Site site : sites) {
     for (Policy policy : policies) {
       for (bool persistent : {false, true}) {
@@ -470,6 +485,17 @@ TEST(FaultSweep, EverySiteAndPolicyYieldsAStructuredResult) {
         SweepPlan plan;
         fault::ScopedInjector scoped(7);
         scoped.injector().arm(site, policy, 1, persistent ? 1 : 0);
+        // The journal is created inside the armed window so the journal.*
+        // sites are reachable.  A commit fault means the journal cannot
+        // exist — the documented production reaction is to run unjournaled.
+        std::unique_ptr<Journal> journal;
+        try {
+          journal = std::make_unique<Journal>(sweepTempBase(), "sweep");
+          plan.runner.setJournal(journal.get());
+        } catch (const CheckError&) {
+        }
+        // Construction-time firings (the commit site) precede any block.
+        const std::uint64_t preRun = scoped.injector().totalInjections();
         PlanReport report;
         EXPECT_NO_THROW(report = plan.runner.runAll());
         ASSERT_EQ(report.blocks.size(), 2u);
@@ -480,12 +506,14 @@ TEST(FaultSweep, EverySiteAndPolicyYieldsAStructuredResult) {
             EXPECT_NE(b.detail.find("injected fault"), std::string::npos);
           }
         }
-        // Every injection that fired is attributed to some block.
+        // Every injection that fired during the run is attributed to some
+        // block — including firings at the journal sites.
         std::uint64_t attributed = 0;
         for (const BlockResult& b : report.blocks)
           attributed += b.faultInjections;
-        EXPECT_EQ(attributed, scoped.injector().totalInjections());
-        // The plan always tallies both blocks, one way or another.
+        EXPECT_EQ(attributed, scoped.injector().totalInjections() - preRun);
+        // The plan always tallies both blocks, one way or another — a
+        // journal fault may cost durability, never a verdict.
         EXPECT_EQ(report.verified + report.failed + report.inconclusive, 2u);
       }
     }
